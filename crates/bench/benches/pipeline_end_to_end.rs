@@ -1,0 +1,24 @@
+//! Criterion bench: end-to-end evaluate-one-app cost (compile with CATT +
+//! run transformed kernels) for a cheap CI app and a mid-sized CS app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    use catt_workloads::harness::eval_config_max_l1d;
+    use catt_workloads::registry::find;
+    use catt_workloads::run_catt;
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for abbrev in ["MC", "GSMV"] {
+        let w = find(abbrev).unwrap();
+        let cfg = eval_config_max_l1d();
+        g.bench_function(abbrev, |b| {
+            b.iter(|| criterion::black_box(run_catt(&w, &cfg).0.cycles()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

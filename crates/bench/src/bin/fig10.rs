@@ -1,0 +1,15 @@
+//! Fig. 10 — normalized execution time of the CS group on a 32 KB L1D
+//! (paper §5.1.3): throttling matters more on small caches — the paper
+//! reports +89.23% (CATT) vs +68.17% (BFTT) geomean on its testbed.
+
+use catt_bench::{eval_group, print_normalized_figure};
+use catt_workloads::harness::eval_config_32kb_l1d;
+use catt_workloads::registry::cs_workloads;
+
+fn main() {
+    let evals = eval_group(&cs_workloads(), &eval_config_32kb_l1d(), true);
+    print_normalized_figure(
+        "Fig. 10: normalized execution time, CS group (32 KB L1D)",
+        &evals,
+    );
+}

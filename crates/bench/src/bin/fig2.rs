@@ -1,0 +1,41 @@
+//! Fig. 2 — off-chip memory requests per instruction over time for the CS
+//! applications (baseline runs with request tracing on). Each series is
+//! bucketed to 40 points; high values mean divergent phases, low values
+//! coalesced phases — the dynamic fluctuation CATT's per-loop decisions
+//! exploit.
+
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::cs_workloads;
+
+const BUCKETS: usize = 40;
+
+fn main() {
+    println!("Fig. 2: off-chip requests per memory instruction over time (baseline)");
+    println!("(x: execution progress in {BUCKETS} buckets; y: avg 128B transactions per instruction)");
+    let mut config = eval_config_max_l1d();
+    config.trace_requests = true;
+    for w in cs_workloads() {
+        eprintln!("  tracing {} ...", w.abbrev);
+        let kernels = w.kernels();
+        let stats = (w.run)(&kernels, &config, false);
+        let series = stats.trace.bucketed(BUCKETS);
+        print!("{:<6}", w.abbrev);
+        for v in &series {
+            print!(" {v:5.1}");
+        }
+        println!();
+        // A simple sparkline-style indicator of the phase structure.
+        print!("{:<6}", "");
+        for v in &series {
+            let c = match *v as u32 {
+                0..=1 => '.',
+                2..=7 => '-',
+                8..=19 => '=',
+                _ => '#',
+            };
+            print!(" {c:>5}");
+        }
+        println!();
+    }
+    println!("\nlegend: '.' coalesced (~1 req/inst), '#' divergent (>=20 req/inst)");
+}

@@ -1,0 +1,31 @@
+//! Fig. 3 — performance impact of TLP vs cache footprint: the
+//! `L1D-full-with-{4,8,16}-warps` microbenchmarks swept from 1 to 32
+//! concurrent warps at fixed total work.
+
+use catt_sim::GpuConfig;
+use catt_workloads::micro;
+
+fn main() {
+    let mut config = GpuConfig::titan_v_1sm();
+    config.l1_cap_bytes = Some(32 * 1024);
+    let tlps = [1u32, 2, 4, 8, 16, 32];
+
+    println!("Fig. 3: execution time (cycles) vs TLP, fixed total work");
+    let mut rows = Vec::new();
+    for full_with in [4u32, 8, 16] {
+        let mut row = vec![format!("L1D-full-with-{full_with}-warps")];
+        for &t in &tlps {
+            let s = micro::run(full_with, t, &config);
+            row.push(format!("{}", s.cycles));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["microbenchmark".to_string()];
+    headers.extend(tlps.iter().map(|t| format!("TLP {t}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    catt_bench::print_table(&headers_ref, &rows);
+    println!(
+        "\nExpected shape: per row, time falls with TLP until the fill point\n\
+         (enough warps to fill the L1D) and rises past it as footprints thrash."
+    );
+}

@@ -1,0 +1,15 @@
+//! Fig. 7 — normalized execution time of the CS group on the maximum
+//! L1D, baseline vs BFTT vs CATT. The paper's headline numbers live here
+//! (CATT +42.96% geomean, BFTT +31.19% on its testbed).
+
+use catt_bench::{eval_group, print_normalized_figure};
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::cs_workloads;
+
+fn main() {
+    let evals = eval_group(&cs_workloads(), &eval_config_max_l1d(), true);
+    print_normalized_figure(
+        "Fig. 7: normalized execution time, CS group (max. L1D)",
+        &evals,
+    );
+}

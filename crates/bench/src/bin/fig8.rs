@@ -1,0 +1,25 @@
+//! Fig. 8 — normalized execution time of the CI group on the maximum
+//! L1D. The expected result is a flat line at 1.0 for CATT: the static
+//! analysis must conclude that no CI kernel needs throttling (§5.1.1).
+
+use catt_bench::{eval_group, print_normalized_figure};
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::ci_workloads;
+
+fn main() {
+    let evals = eval_group(&ci_workloads(), &eval_config_max_l1d(), true);
+    print_normalized_figure(
+        "Fig. 8: normalized execution time, CI group (max. L1D)",
+        &evals,
+    );
+    let mistuned: Vec<&str> = evals
+        .iter()
+        .filter(|e| e.catt_transformed)
+        .map(|e| e.abbrev)
+        .collect();
+    if mistuned.is_empty() {
+        println!("CATT left every CI application untouched (as the paper requires).");
+    } else {
+        println!("WARNING: CATT transformed CI apps: {mistuned:?}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 1 — GPU specifications of the (simulated) Titan V.
+
+use catt_sim::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::titan_v();
+    println!("Table 1: GPU specifications (simulated Nvidia Titan V)");
+    let rows = vec![
+        vec!["GPU".to_string(), "Titan V (simulated)".to_string()],
+        vec!["Architecture".to_string(), "Volta".to_string()],
+        vec!["SMs".to_string(), c.num_sms.to_string()],
+        vec![
+            "Register file / SM".to_string(),
+            format!("{} KB", c.regfile_bytes_per_sm / 1024),
+        ],
+        vec![
+            "L1 cache / SM".to_string(),
+            format!(
+                "{}-{} KB (configurable)",
+                (c.onchip_bytes_per_sm - 96 * 1024) / 1024,
+                c.onchip_bytes_per_sm / 1024
+            ),
+        ],
+        vec![
+            "Shared memory / SM".to_string(),
+            "0-96 KB (configurable)".to_string(),
+        ],
+        vec![
+            "Warp schedulers / SM".to_string(),
+            c.schedulers_per_sm.to_string(),
+        ],
+        vec![
+            "Max warps / SM".to_string(),
+            c.max_warps_per_sm.to_string(),
+        ],
+    ];
+    catt_bench::print_table(&["parameter", "value"], &rows);
+}

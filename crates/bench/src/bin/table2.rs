@@ -1,0 +1,25 @@
+//! Table 2 — GPGPU workload description (the registry, at sim scale).
+
+use catt_workloads::registry::all_workloads;
+
+fn main() {
+    println!("Table 2: GPGPU workload description (inputs at simulator scale)");
+    let rows: Vec<Vec<String>> = all_workloads()
+        .iter()
+        .map(|w| {
+            vec![
+                w.group.label().to_string(),
+                w.abbrev.to_string(),
+                w.name.to_string(),
+                w.suite.to_string(),
+                format!("{:.2}", w.smem_kb),
+                w.input.to_string(),
+                w.launches.len().to_string(),
+            ]
+        })
+        .collect();
+    catt_bench::print_table(
+        &["group", "abbr.", "application", "suite", "SMEM (KB)", "input", "kernels"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 3 — TLP `(#warps_TB, #TBs)` per kernel/loop selected by the
+//! baseline and by CATT's static analysis, at the 32 KB and maximum L1D
+//! configurations, for the CS group. (BFTT's per-application pick is shown
+//! by `fig9`/`fig7`; it requires the full exhaustive sweep.)
+
+use catt_core::pipeline::Pipeline;
+use catt_workloads::harness::{eval_config_32kb_l1d, eval_config_max_l1d};
+use catt_workloads::registry::cs_workloads;
+
+fn main() {
+    println!("Table 3: TLP (#warps_TB, #TBs) per loop — baseline vs CATT");
+    let mut rows = Vec::new();
+    for w in cs_workloads() {
+        let kernels = w.kernels();
+        for (i, k) in kernels.iter().enumerate() {
+            // Compile under both cache configurations.
+            let compile = |cfg| {
+                Pipeline::new(cfg)
+                    .compile_kernel(k, w.launch(i))
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.abbrev))
+            };
+            let at32 = compile(eval_config_32kb_l1d());
+            let atmax = compile(eval_config_max_l1d());
+            let a32 = &at32.analysis;
+            let amax = &atmax.analysis;
+            if amax.loops.is_empty() {
+                rows.push(vec![
+                    w.abbrev.to_string(),
+                    format!("#{}", i + 1),
+                    "-".to_string(),
+                    format!("{:?}", amax.baseline_tlp()),
+                    format!("{:?}", a32.baseline_tlp()),
+                    format!("{:?}", amax.baseline_tlp()),
+                ]);
+            }
+            for (l32, lmax) in a32.loops.iter().zip(&amax.loops) {
+                rows.push(vec![
+                    w.abbrev.to_string(),
+                    format!("#{}", i + 1),
+                    (lmax.loop_id + 1).to_string(),
+                    format!("{:?}", amax.baseline_tlp()),
+                    format!("{:?}", l32.tlp(a32.warps_per_tb, a32.plan.resident_tbs)),
+                    format!("{:?}", lmax.tlp(amax.warps_per_tb, amax.plan.resident_tbs)),
+                ]);
+            }
+        }
+    }
+    catt_bench::print_table(
+        &["app", "kernel", "loop", "baseline", "CATT 32KB", "CATT max L1D"],
+        &rows,
+    );
+}

@@ -1,0 +1,243 @@
+//! Best-fixed thread throttling (BFTT) — the paper's strongest software
+//! baseline (§5): exhaustively try every `(warps, TBs)` combination for an
+//! application, measure each on the simulator, and keep the fastest. One
+//! fixed setting per application, in contrast to CATT's per-loop settings.
+
+use crate::pipeline::apply_uniform;
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{max_resident_tbs, GpuConfig, LaunchStats};
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct BfttCandidate {
+    /// Warp divisor tried.
+    pub n: u32,
+    /// TB reduction tried.
+    pub m: u32,
+    /// Active warps per block this candidate runs (`#Warps_TB / n`).
+    pub warps: u32,
+    /// Resident blocks per SM this candidate runs.
+    pub tbs: u32,
+    /// Measured statistics of the whole application.
+    pub stats: LaunchStats,
+}
+
+/// Result of a BFTT sweep.
+#[derive(Debug, Clone)]
+pub struct BfttResult {
+    /// All candidates, in sweep order (`(n=1, m=0)` first — the baseline).
+    pub candidates: Vec<BfttCandidate>,
+    /// Index of the fastest candidate.
+    pub best: usize,
+}
+
+impl BfttResult {
+    /// The fastest candidate.
+    pub fn best_candidate(&self) -> &BfttCandidate {
+        &self.candidates[self.best]
+    }
+
+    /// The baseline (untransformed) candidate.
+    pub fn baseline(&self) -> &BfttCandidate {
+        &self.candidates[0]
+    }
+
+    /// Speedup of the best candidate over the baseline.
+    pub fn best_speedup(&self) -> f64 {
+        self.baseline().stats.cycles as f64 / self.best_candidate().stats.cycles as f64
+    }
+}
+
+/// Candidate `(n, m)` grid for an application whose kernels run
+/// `warps_per_tb` warps per block with `resident_tbs` blocks per SM:
+/// `n` over the divisors of `warps_per_tb` (so groups partition evenly),
+/// `m` from 0 (only combined with `n = warps_per_tb`, mirroring the
+/// paper's search order: warps first, then blocks).
+pub fn candidate_grid(warps_per_tb: u32, resident_tbs: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for n in 1..=warps_per_tb {
+        if warps_per_tb % n == 0 {
+            out.push((n, 0));
+        }
+    }
+    for m in 1..resident_tbs {
+        out.push((warps_per_tb, m));
+    }
+    out
+}
+
+/// Exhaustive sweep. `run` executes the application end to end with the
+/// given (transformed) kernels on `config` and returns its total
+/// statistics; it is called once per candidate, in parallel.
+///
+/// All kernels must share one block geometry (true of every workload in
+/// the paper's Table 2; mixed-geometry applications would need a
+/// per-kernel grid, which BFTT by definition does not have).
+pub fn sweep<F>(
+    kernels: &[Kernel],
+    launch: LaunchConfig,
+    config: &GpuConfig,
+    run: F,
+) -> BfttResult
+where
+    F: Fn(&[Kernel], &GpuConfig) -> LaunchStats + Sync,
+{
+    let warps_per_tb = launch.warps_per_block();
+    // Occupancy of the *least occupied* kernel bounds the M axis.
+    let resident_tbs = kernels
+        .iter()
+        .map(|k| {
+            let regs = catt_sim::lower(k).map(|p| p.num_regs as u32).unwrap_or(32);
+            max_resident_tbs(
+                config,
+                k.shared_mem_bytes(),
+                regs,
+                launch.threads_per_block(),
+            )
+            .resident_tbs()
+        })
+        .min()
+        .unwrap_or(1)
+        .max(1);
+    let grid = candidate_grid(warps_per_tb, resident_tbs);
+
+    let mut candidates: Vec<Option<BfttCandidate>> = Vec::new();
+    candidates.resize_with(grid.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, &(n, m)) in candidates.iter_mut().zip(&grid) {
+            let run = &run;
+            scope.spawn(move || {
+                let transformed: Vec<Kernel> = kernels
+                    .iter()
+                    .map(|k| apply_uniform(k, n, m, warps_per_tb, resident_tbs, config.smem_carveout_bytes))
+                    .collect();
+                let stats = run(&transformed, config);
+                *slot = Some(BfttCandidate {
+                    n,
+                    m,
+                    warps: warps_per_tb / n,
+                    tbs: resident_tbs - m,
+                    stats,
+                });
+            });
+        }
+    });
+    let candidates: Vec<BfttCandidate> = candidates.into_iter().map(|c| c.expect("sweep thread completed")).collect();
+    let best = candidates
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| c.stats.cycles)
+        .map(|(i, _)| i)
+        .expect("non-empty candidate grid");
+    BfttResult { candidates, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catt_frontend::parse_kernel;
+    use catt_sim::{Arg, GlobalMem, Gpu};
+
+    #[test]
+    fn grid_shape() {
+        let g = candidate_grid(8, 4);
+        assert_eq!(g, vec![(1, 0), (2, 0), (4, 0), (8, 0), (8, 1), (8, 2), (8, 3)]);
+        let g = candidate_grid(6, 2);
+        assert_eq!(g, vec![(1, 0), (2, 0), (3, 0), (6, 0), (6, 1)]);
+    }
+
+    /// On a cache-thrashing kernel, BFTT must find a throttled setting
+    /// faster than the baseline.
+    #[test]
+    fn sweep_finds_throttled_optimum_on_contended_kernel() {
+        let n = 256usize;
+        let src = format!(
+            "#define N {n}
+             __global__ void mv(float *A, float *B, float *tmp) {{
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (i < N) {{
+                     for (int j = 0; j < N; j++) {{
+                         tmp[i] += A[i * N + j] * B[j];
+                     }}
+                 }}
+             }}"
+        );
+        let kernel = parse_kernel(&src).unwrap();
+        let launch = LaunchConfig::d1(1, 256);
+        let mut config = GpuConfig::titan_v_1sm();
+        config.l1_cap_bytes = Some(32 * 1024);
+        let result = sweep(
+            std::slice::from_ref(&kernel),
+            launch,
+            &config,
+            |kernels, cfg| {
+                let mut mem = GlobalMem::new();
+                let a = mem.alloc_f32(&vec![1.0; n * n]);
+                let b = mem.alloc_f32(&vec![1.0; n]);
+                let tmp = mem.alloc_zeroed(n as u32);
+                let mut gpu = Gpu::new(cfg.clone());
+                let stats = gpu
+                    .launch(&kernels[0], launch, &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)], &mut mem)
+                    .unwrap();
+                assert!(mem.read_f32(tmp).iter().all(|&v| v == n as f32));
+                stats
+            },
+        );
+        assert_eq!(result.baseline().n, 1);
+        let best = result.best_candidate();
+        assert!(
+            best.n > 1 || best.m > 0,
+            "contended kernel must prefer throttling (best: n={} m={})",
+            best.n,
+            best.m
+        );
+        assert!(result.best_speedup() > 1.2, "speedup {:.2}", result.best_speedup());
+    }
+
+    /// On a cache-insensitive kernel, the baseline must win (or tie):
+    /// BFTT never "mis-throttles" because it measures.
+    #[test]
+    fn sweep_keeps_baseline_on_insensitive_kernel() {
+        let n = 4096usize;
+        let src = "
+            __global__ void stream(float *a, float *b, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n) { b[i] = a[i] * 2.0f; }
+            }";
+        let kernel = parse_kernel(src).unwrap();
+        let launch = LaunchConfig::d1(16, 256);
+        let config = GpuConfig::titan_v_1sm();
+        let result = sweep(
+            std::slice::from_ref(&kernel),
+            launch,
+            &config,
+            |kernels, cfg| {
+                let mut mem = GlobalMem::new();
+                let a = mem.alloc_f32(&vec![1.0; n]);
+                let b = mem.alloc_zeroed(n as u32);
+                let mut gpu = Gpu::new(cfg.clone());
+                gpu.launch(
+                    &kernels[0],
+                    launch,
+                    &[Arg::Buf(a), Arg::Buf(b), Arg::I32(n as i32)],
+                    &mut mem,
+                )
+                .unwrap()
+            },
+        );
+        let best = result.best_candidate();
+        let base = result.baseline();
+        assert!(
+            best.stats.cycles <= base.stats.cycles,
+            "sweep must never return something slower than what it measured"
+        );
+        // The baseline should be at or near the optimum for a streaming
+        // kernel: best is within 5% of baseline.
+        assert!(
+            base.stats.cycles as f64 <= best.stats.cycles as f64 * 1.05,
+            "baseline {} vs best {} — throttling should not help a stream",
+            base.stats.cycles,
+            best.stats.cycles
+        );
+    }
+}

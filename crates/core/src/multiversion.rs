@@ -1,0 +1,190 @@
+//! Kernel multi-versioning (paper §4.3, last paragraph): "for
+//! applications whose kernel function parameters (i.e., grid size, thread
+//! block size, shared memory size) are unknown at compile time, the
+//! modified kernel function is duplicated with different thread
+//! throttling factors. The kernel function is then selectively invoked
+//! according to the dynamically determined values."
+//!
+//! [`Pipeline::compile_multi`] compiles one throttled variant per
+//! candidate launch configuration (deduplicating identical code), renames
+//! the duplicates so they can coexist in one translation unit, and
+//! [`MultiVersioned::select`] is the runtime dispatch that the host-side
+//! launcher performs.
+
+use crate::pipeline::{CompiledKernel, Pipeline, PipelineError};
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_ir::printer;
+
+/// One compiled variant with the launch configurations it serves.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Launches this variant was compiled for (several launches often
+    /// yield the same throttled code and share a variant).
+    pub launches: Vec<LaunchConfig>,
+    /// The compiled kernel; its name carries a `__catt_v<i>` suffix when
+    /// more than one distinct variant exists.
+    pub compiled: CompiledKernel,
+}
+
+/// A multi-versioned kernel: variants plus the runtime dispatch table.
+#[derive(Debug, Clone)]
+pub struct MultiVersioned {
+    /// Original kernel name.
+    pub name: String,
+    /// Distinct variants, in candidate order.
+    pub variants: Vec<Variant>,
+}
+
+impl MultiVersioned {
+    /// Runtime dispatch: the variant compiled for `launch`. Falls back to
+    /// a variant with the same *block* geometry (throttling factors
+    /// depend on the block, not the grid, except through the resident-TB
+    /// clamp), and `None` if nothing matches.
+    pub fn select(&self, launch: LaunchConfig) -> Option<&CompiledKernel> {
+        if let Some(v) = self
+            .variants
+            .iter()
+            .find(|v| v.launches.contains(&launch))
+        {
+            return Some(&v.compiled);
+        }
+        self.variants
+            .iter()
+            .find(|v| v.launches.iter().any(|l| l.block == launch.block))
+            .map(|v| &v.compiled)
+    }
+
+    /// Emit all variants as one translation unit (what the source-to-
+    /// source compiler writes out next to the dispatch code).
+    pub fn emitted_source(&self) -> String {
+        let mut out = String::new();
+        for v in &self.variants {
+            out.push_str(&printer::kernel_to_string(&v.compiled.transformed));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Pipeline {
+    /// Compile `kernel` for every candidate launch configuration,
+    /// deduplicating variants whose throttled code is identical (§4.3).
+    pub fn compile_multi(
+        &self,
+        kernel: &Kernel,
+        candidates: &[LaunchConfig],
+    ) -> Result<MultiVersioned, PipelineError> {
+        if candidates.is_empty() {
+            return Err(PipelineError {
+                message: format!("`{}`: no candidate launch configurations", kernel.name),
+            });
+        }
+        let mut variants: Vec<Variant> = Vec::new();
+        for &launch in candidates {
+            let compiled = self.compile_kernel(kernel, launch)?;
+            match variants
+                .iter_mut()
+                .find(|v| v.compiled.transformed == compiled.transformed)
+            {
+                Some(v) => v.launches.push(launch),
+                None => variants.push(Variant {
+                    launches: vec![launch],
+                    compiled,
+                }),
+            }
+        }
+        // Rename duplicates so they can coexist in one translation unit.
+        if variants.len() > 1 {
+            for (i, v) in variants.iter_mut().enumerate() {
+                let name = format!("{}__catt_v{}", kernel.name, i);
+                v.compiled.transformed.name = name;
+                v.compiled.emitted_source =
+                    printer::kernel_to_string(&v.compiled.transformed);
+            }
+        }
+        Ok(MultiVersioned {
+            name: kernel.name.clone(),
+            variants,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catt_frontend::parse_kernel;
+    use catt_sim::GpuConfig;
+
+    fn divergent_kernel() -> Kernel {
+        parse_kernel(
+            "#define N 4096
+             __global__ void walk(float *A, float *tmp) {
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (i < N) {
+                     for (int j = 0; j < 256; j++) {
+                         tmp[i] += A[i * 256 + j];
+                     }
+                 }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn variants_differ_across_launch_shapes() {
+        let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
+        let candidates = [
+            LaunchConfig::d1(1, 256),  // 1 TB: light contention
+            LaunchConfig::d1(8, 256),  // 8 TBs: heavy contention
+            LaunchConfig::d1(16, 256), // saturated: same residency as 8
+        ];
+        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        assert!(
+            mv.variants.len() >= 2,
+            "different launches must yield different throttling: {} variant(s)",
+            mv.variants.len()
+        );
+        // Dispatch returns the variant compiled for each candidate.
+        for &l in &candidates {
+            let c = mv.select(l).expect("dispatch");
+            assert!(c.emitted_source.starts_with("__global__"));
+        }
+        // Unknown grid with a known block shape falls back by block.
+        let fallback = mv.select(LaunchConfig::d1(999, 256));
+        assert!(fallback.is_some());
+        // Totally unknown block: no match.
+        assert!(mv.select(LaunchConfig::d1(4, 64)).is_none());
+    }
+
+    #[test]
+    fn identical_variants_are_deduplicated_and_unrenamed() {
+        let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
+        // Same residency either way → identical code → one variant.
+        let candidates = [LaunchConfig::d1(8, 256), LaunchConfig::d1(16, 256)];
+        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        if mv.variants.len() == 1 {
+            assert_eq!(mv.variants[0].launches.len(), 2);
+            assert_eq!(mv.variants[0].compiled.transformed.name, "walk");
+        }
+    }
+
+    #[test]
+    fn emitted_unit_contains_all_variants_and_parses() {
+        let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
+        let candidates = [LaunchConfig::d1(1, 256), LaunchConfig::d1(8, 256)];
+        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        let unit = mv.emitted_source();
+        let module = catt_frontend::parse_module(&unit).unwrap();
+        assert_eq!(module.kernels.len(), mv.variants.len());
+        if mv.variants.len() > 1 {
+            assert!(unit.contains("__catt_v0"));
+            assert!(unit.contains("__catt_v1"));
+        }
+    }
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
+        assert!(pipe.compile_multi(&divergent_kernel(), &[]).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! L1D / shared-memory configuration (paper §4.1).
+//!
+//! Volta carves one 128 KB on-chip memory into shared memory and L1D. The
+//! compiler first computes the maximum TLP the kernel can sustain
+//! (Eq. 1–3, with the largest carve-out available to Eq. 1), then selects
+//! the *smallest* carve-out that covers the shared memory all those
+//! resident blocks demand (Eq. 4) — maximizing the L1D without giving up
+//! any thread-level parallelism.
+
+use catt_sim::{max_resident_tbs, GpuConfig, OccupancyLimits, SMEM_CONFIGS_KB};
+
+/// The chosen on-chip memory split for a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1SmemPlan {
+    /// Configuration with the carve-out applied.
+    pub config: GpuConfig,
+    /// Shared-memory carve-out selected, bytes.
+    pub smem_carveout_bytes: u32,
+    /// Resulting L1D capacity, bytes.
+    pub l1d_bytes: u32,
+    /// Concurrent thread blocks per SM under this plan (Eq. 3).
+    pub resident_tbs: u32,
+    /// Per-limiter breakdown (computed at the chosen carve-out).
+    pub limits: OccupancyLimits,
+}
+
+/// Choose the carve-out for a kernel using `smem_per_tb` bytes of shared
+/// memory, `regs_per_thread` registers and `threads_per_tb` threads per
+/// block (paper §4.1, Eq. 1–4).
+///
+/// Returns `None` if even the largest carve-out cannot hold one block.
+pub fn plan_l1_smem(
+    base: &GpuConfig,
+    smem_per_tb: u32,
+    regs_per_thread: u32,
+    threads_per_tb: u32,
+) -> Option<L1SmemPlan> {
+    // Step 1: maximum TLP, letting shared memory use the largest
+    // carve-out (Eq. 1 with SIZE_shm_SM = 96 KB).
+    let max_kb = *SMEM_CONFIGS_KB.last().expect("non-empty carve-out table");
+    let mut max_cfg = base.clone();
+    max_cfg.smem_carveout_bytes = max_kb * 1024;
+    let max_limits = max_resident_tbs(&max_cfg, smem_per_tb, regs_per_thread, threads_per_tb);
+    let resident = max_limits.resident_tbs();
+    if resident == 0 {
+        return None;
+    }
+
+    // Step 2 (Eq. 4): shared memory demanded by all resident blocks, and
+    // the smallest carve-out covering it.
+    let use_shm_sm = smem_per_tb * resident;
+    let kb = SMEM_CONFIGS_KB
+        .iter()
+        .copied()
+        .find(|kb| kb * 1024 >= use_shm_sm)?;
+    let mut config = base.clone();
+    config.smem_carveout_bytes = kb * 1024;
+    let limits = max_resident_tbs(&config, smem_per_tb, regs_per_thread, threads_per_tb);
+    debug_assert_eq!(limits.resident_tbs(), resident, "carve-out choice must not cost TLP");
+    Some(L1SmemPlan {
+        l1d_bytes: config.l1d_bytes(),
+        smem_carveout_bytes: kb * 1024,
+        resident_tbs: limits.resident_tbs(),
+        limits,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_smem_gets_max_l1d() {
+        let plan = plan_l1_smem(&GpuConfig::titan_v(), 0, 32, 256).unwrap();
+        assert_eq!(plan.smem_carveout_bytes, 0);
+        assert_eq!(plan.l1d_bytes, 128 * 1024);
+        assert_eq!(plan.resident_tbs, 8); // 64 warps / 8 per block
+    }
+
+    /// Paper Table 2: PF uses 4 KB of shared memory per block. With 512
+    /// threads per block (16 warps), 4 blocks fit → 16 KB demand.
+    #[test]
+    fn pf_like_kernel_gets_16kb_carveout() {
+        let plan = plan_l1_smem(&GpuConfig::titan_v(), 4 * 1024, 32, 512).unwrap();
+        assert_eq!(plan.resident_tbs, 4);
+        assert_eq!(plan.smem_carveout_bytes, 16 * 1024);
+        assert_eq!(plan.l1d_bytes, 112 * 1024);
+    }
+
+    #[test]
+    fn tlp_is_never_sacrificed_for_l1d() {
+        // 8 KB per block, 2-warp blocks: warp limit allows 32, HW allows
+        // 32, shared memory allows 96/8 = 12 → 12 blocks, 96 KB carve-out.
+        let plan = plan_l1_smem(&GpuConfig::titan_v(), 8 * 1024, 32, 64).unwrap();
+        assert_eq!(plan.resident_tbs, 12);
+        assert_eq!(plan.smem_carveout_bytes, 96 * 1024);
+        assert_eq!(plan.l1d_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn huge_smem_kernel_single_block() {
+        // 40 KB per block → 2 blocks fit in 96 KB; demand 80 KB → 96 KB
+        // carve-out.
+        let plan = plan_l1_smem(&GpuConfig::titan_v(), 40 * 1024, 32, 256).unwrap();
+        assert_eq!(plan.resident_tbs, 2);
+        assert_eq!(plan.smem_carveout_bytes, 96 * 1024);
+    }
+
+    #[test]
+    fn impossible_smem_returns_none() {
+        assert!(plan_l1_smem(&GpuConfig::titan_v(), 97 * 1024, 32, 256).is_none());
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        // 128 regs/thread × 512 threads = 64 K regs → 1 block per SM.
+        let plan = plan_l1_smem(&GpuConfig::titan_v(), 1024, 128, 512).unwrap();
+        assert_eq!(plan.resident_tbs, 1);
+        assert_eq!(plan.smem_carveout_bytes, 8 * 1024);
+    }
+}

@@ -1,0 +1,345 @@
+//! End-to-end CATT driver: `parse → analyze → transform → emit`.
+
+use crate::analysis::{analyze_kernel, search_factors, KernelAnalysis};
+use crate::transform::{tb_throttle, warp_throttle};
+use catt_frontend::parse_module;
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_ir::printer;
+use catt_sim::{GpuConfig, SMEM_CONFIGS_KB};
+use std::fmt;
+
+/// Pipeline error (parse or lowering failure, or an unlaunchable kernel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineError {
+    pub message: String,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CATT pipeline: {}", self.message)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// One compiled (analyzed + transformed) kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Kernel as parsed.
+    pub original: Kernel,
+    /// Kernel with CATT's throttling code inserted (identical to
+    /// `original` when nothing needed throttling).
+    pub transformed: Kernel,
+    /// Launch configuration the analysis assumed.
+    pub launch: LaunchConfig,
+    /// Full analysis record (Table 3 data).
+    pub analysis: KernelAnalysis,
+    /// Re-emitted CUDA source of the transformed kernel.
+    pub emitted_source: String,
+}
+
+impl CompiledKernel {
+    /// Whether CATT changed this kernel.
+    pub fn is_transformed(&self) -> bool {
+        self.original != self.transformed
+    }
+}
+
+/// A compiled application: all kernels of a translation unit.
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    pub kernels: Vec<CompiledKernel>,
+}
+
+impl CompiledApp {
+    /// The transformed kernels, in order (convenience for runners).
+    pub fn transformed_kernels(&self) -> Vec<Kernel> {
+        self.kernels.iter().map(|k| k.transformed.clone()).collect()
+    }
+
+    /// The original kernels, in order.
+    pub fn original_kernels(&self) -> Vec<Kernel> {
+        self.kernels.iter().map(|k| k.original.clone()).collect()
+    }
+}
+
+/// The CATT compiler pipeline, parameterized by the target GPU.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    base_config: GpuConfig,
+}
+
+impl Pipeline {
+    /// A pipeline targeting `config` (e.g. [`GpuConfig::titan_v`]).
+    pub fn new(base_config: GpuConfig) -> Pipeline {
+        Pipeline { base_config }
+    }
+
+    /// The target configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.base_config
+    }
+
+    /// Compile a whole translation unit. `launches` pairs each kernel name
+    /// with the launch configuration the host uses (the compile-time-known
+    /// launch parameters of §4.3).
+    pub fn compile_source(
+        &self,
+        src: &str,
+        launches: &[(&str, LaunchConfig)],
+    ) -> Result<CompiledApp, PipelineError> {
+        let module = parse_module(src).map_err(|e| PipelineError {
+            message: e.to_string(),
+        })?;
+        let mut kernels = Vec::new();
+        for k in &module.kernels {
+            let launch = launches
+                .iter()
+                .find(|(n, _)| *n == k.name)
+                .map(|(_, l)| *l)
+                .ok_or_else(|| PipelineError {
+                    message: format!("no launch configuration for kernel `{}`", k.name),
+                })?;
+            kernels.push(self.compile_kernel(k, launch)?);
+        }
+        Ok(CompiledApp { kernels })
+    }
+
+    /// Compile one kernel.
+    pub fn compile_kernel(
+        &self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+    ) -> Result<CompiledKernel, PipelineError> {
+        let program = catt_sim::lower(kernel).map_err(|e| PipelineError {
+            message: e.to_string(),
+        })?;
+        let mut analysis = analyze_kernel(
+            kernel,
+            launch,
+            &self.base_config,
+            program.num_regs as u32,
+        )
+        .ok_or_else(|| PipelineError {
+            message: format!("kernel `{}` cannot launch on the target", kernel.name),
+        })?;
+
+        // When any loop needs TB-level throttling on a kernel without free
+        // shared-memory space, the carve-out must be reconfigured (§4.3).
+        // Follow the paper's Fig. 5 setting: largest carve-out, 32 KB L1D,
+        // and re-run the factor search against that capacity.
+        if analysis.tb_throttle_m() > 0 && analysis.plan.smem_carveout_bytes == 0 {
+            let max_kb = *SMEM_CONFIGS_KB.last().expect("carve-out table");
+            let mut cfg = self.base_config.clone();
+            cfg.smem_carveout_bytes = max_kb * 1024;
+            let l1d_lines = (cfg.l1d_bytes() / cfg.l1_line_bytes) as u64;
+            for l in &mut analysis.loops {
+                if l.decision.m > 0 {
+                    let per_round: u64 =
+                        l.accesses.iter().map(|a| a.req_warp as u64).sum();
+                    l.decision = search_factors(
+                        per_round,
+                        analysis.warps_per_tb,
+                        analysis.plan.resident_tbs,
+                        l1d_lines,
+                    );
+                }
+            }
+            analysis.plan.config = cfg;
+            analysis.plan.smem_carveout_bytes = max_kb * 1024;
+            analysis.plan.l1d_bytes = analysis.plan.config.l1d_bytes();
+        }
+
+        let transformed = apply_decisions(kernel, &analysis);
+        let emitted_source = printer::kernel_to_string(&transformed);
+        Ok(CompiledKernel {
+            original: kernel.clone(),
+            transformed,
+            launch,
+            analysis,
+            emitted_source,
+        })
+    }
+}
+
+/// Apply the analysis decisions to a kernel: per-loop warp throttling for
+/// every outermost resolved loop (descendants of a throttled loop are
+/// skipped — splitting nested loops would interleave barrier sites), then
+/// one kernel-wide TB throttle for the largest `M`.
+pub fn apply_decisions(kernel: &Kernel, analysis: &KernelAnalysis) -> Kernel {
+    let mut out = kernel.clone();
+    // Select loops: resolved, n > 1, no barrier, and no throttled ancestor.
+    let throttled: Vec<&crate::analysis::LoopAnalysis> = analysis
+        .loops
+        .iter()
+        .filter(|l| l.decision.is_throttled() && l.decision.n > 1 && !l.has_barrier)
+        .collect();
+    let selected: Vec<(usize, u32)> = throttled
+        .iter()
+        .filter(|l| {
+            // Walk ancestors; drop if any ancestor is itself selected.
+            let mut p = l.parent;
+            while let Some(pid) = p {
+                if throttled.iter().any(|t| t.loop_id == pid) {
+                    return false;
+                }
+                p = analysis.loops.iter().find(|x| x.loop_id == pid).and_then(|x| x.parent);
+            }
+            true
+        })
+        .map(|l| (l.loop_id, l.decision.n))
+        .collect();
+
+    // Apply from the highest loop id down so earlier ids stay valid while
+    // later subtrees get duplicated.
+    let mut ordered = selected;
+    ordered.sort_by(|a, b| b.0.cmp(&a.0));
+    for (id, n) in ordered {
+        if let Some(t) = warp_throttle(&out, id, n, analysis.warps_per_tb) {
+            out = t;
+        }
+    }
+
+    let m = analysis.tb_throttle_m();
+    if m > 0 && m < analysis.plan.resident_tbs {
+        let target = analysis.plan.resident_tbs - m;
+        if let Some(t) = tb_throttle(
+            &out,
+            target,
+            analysis.plan.config.smem_carveout_bytes,
+            kernel.shared_mem_bytes(),
+        ) {
+            out = t;
+        }
+    }
+    out
+}
+
+/// Apply a *uniform* `(n, m)` throttling to a kernel — the BFTT baseline's
+/// transform: the same warp factor on every eligible outermost loop and
+/// one TB reduction, regardless of per-loop analysis.
+pub fn apply_uniform(
+    kernel: &Kernel,
+    n: u32,
+    m: u32,
+    warps_per_tb: u32,
+    resident_tbs: u32,
+    carveout_bytes: u32,
+) -> Kernel {
+    let mut out = kernel.clone();
+    if n > 1 {
+        let mut loops = crate::transform::eligible_loops(kernel);
+        loops.sort_by(|a, b| b.cmp(a));
+        for id in loops {
+            if let Some(t) = warp_throttle(&out, id, n, warps_per_tb) {
+                out = t;
+            }
+        }
+    }
+    if m > 0 && m < resident_tbs {
+        let carveout = if carveout_bytes == 0 {
+            // Reconfigure like Fig. 5 when no shared space exists.
+            96 * 1024
+        } else {
+            carveout_bytes
+        };
+        if let Some(t) = tb_throttle(&out, resident_tbs - m, carveout, kernel.shared_mem_bytes())
+        {
+            out = t;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ATAX_SRC: &str = "
+        #define NX 4096
+        __global__ void atax1(float *A, float *B, float *tmp) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < NX) {
+                for (int j = 0; j < NX; j++) {
+                    tmp[i] += A[i * NX + j] * B[j];
+                }
+            }
+        }
+        __global__ void atax2(float *A, float *tmp, float *y) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < NX) {
+                for (int j = 0; j < NX; j++) {
+                    y[i] += A[j * NX + i] * tmp[j];
+                }
+            }
+        }";
+
+    #[test]
+    fn compiles_atax_throttling_only_kernel1() {
+        let pipe = Pipeline::new(GpuConfig::titan_v());
+        let launch = LaunchConfig::d1(640, 256);
+        let app = pipe
+            .compile_source(ATAX_SRC, &[("atax1", launch), ("atax2", launch)])
+            .unwrap();
+        assert_eq!(app.kernels.len(), 2);
+        let k1 = &app.kernels[0];
+        let k2 = &app.kernels[1];
+        assert!(k1.is_transformed(), "kernel 1 has the divergent loop");
+        assert!(
+            !k2.is_transformed(),
+            "kernel 2 is coalesced and must be untouched (the CATT-vs-BFTT case)"
+        );
+        assert!(k1.emitted_source.contains("__syncthreads();"));
+        // The emitted source re-parses.
+        assert!(catt_frontend::parse_kernel(&k1.emitted_source).is_ok());
+    }
+
+    #[test]
+    fn missing_launch_is_an_error() {
+        let pipe = Pipeline::new(GpuConfig::titan_v());
+        let err = pipe
+            .compile_source(ATAX_SRC, &[("atax1", LaunchConfig::d1(640, 256))])
+            .unwrap_err();
+        assert!(err.message.contains("atax2"));
+    }
+
+    #[test]
+    fn uniform_transform_throttles_every_eligible_loop() {
+        let k = catt_frontend::parse_kernel(ATAX_SRC).unwrap();
+        let t = apply_uniform(&k, 2, 0, 8, 8, 0);
+        let src = printer::kernel_to_string(&t);
+        assert_eq!(src.matches("__syncthreads();").count(), 2);
+        // n=1, m=0 is the identity.
+        let id = apply_uniform(&k, 1, 0, 8, 8, 0);
+        assert_eq!(id, k);
+    }
+
+    #[test]
+    fn uniform_tb_throttle_reconfigures_carveout() {
+        let k = catt_frontend::parse_kernel(ATAX_SRC).unwrap();
+        let t = apply_uniform(&k, 1, 6, 8, 8, 0);
+        // 8-6=2 TBs on the reconfigured 96 KB carve-out → 48 KB dummy.
+        assert_eq!(t.shared_mem_bytes(), 48 * 1024);
+    }
+
+    #[test]
+    fn tb_decision_triggers_carveout_reconfiguration() {
+        // Force TB throttling by shrinking the L1D cap so even one warp
+        // group overflows at full TB count.
+        let mut cfg = GpuConfig::titan_v();
+        cfg.l1_cap_bytes = Some(8 * 1024); // 64 lines
+        let pipe = Pipeline::new(cfg);
+        let app = pipe
+            .compile_source(ATAX_SRC, &[
+                ("atax1", LaunchConfig::d1(640, 256)),
+                ("atax2", LaunchConfig::d1(640, 256)),
+            ])
+            .unwrap();
+        let k1 = &app.kernels[0];
+        let m = k1.analysis.tb_throttle_m();
+        if m > 0 {
+            assert!(k1.analysis.plan.smem_carveout_bytes > 0);
+            assert!(k1.transformed.shared_mem_bytes() > 0);
+        }
+    }
+}

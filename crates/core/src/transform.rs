@@ -1,0 +1,353 @@
+//! Source-to-source throttling transformations (paper §4.3).
+
+use catt_ir::expr::{Builtin, Expr};
+use catt_ir::kernel::Kernel;
+use catt_ir::stmt::Stmt;
+use catt_ir::types::DType;
+
+/// Warp size used in the generated guards (`WS` in paper Fig. 4).
+pub const WARP_SIZE: i64 = 32;
+
+/// Name of the dummy shared array inserted by TB-level throttling
+/// (paper Fig. 5 calls it `dummy_shared`).
+pub const DUMMY_SHARED: &str = "catt_dummy_shared";
+
+/// Apply **warp-level throttling** (paper Fig. 4) to the loop with
+/// pre-order index `loop_id`: replace it with `n` copies, each guarded so
+/// that only one group of `#Warps_TB / n` warps executes it, separated by
+/// `__syncthreads()` so the groups run one after another.
+///
+/// Returns the transformed kernel, or `None` when `loop_id` does not
+/// exist, `n` does not evenly divide the block's warps, or `n <= 1`.
+pub fn warp_throttle(
+    kernel: &Kernel,
+    loop_id: usize,
+    n: u32,
+    warps_per_tb: u32,
+) -> Option<Kernel> {
+    if n <= 1 || warps_per_tb % n != 0 || n > warps_per_tb {
+        return None;
+    }
+    let group = (warps_per_tb / n) as i64;
+    let mut counter = 0usize;
+    let mut found = false;
+    let mut out = kernel.clone();
+    out.body = rewrite(&out.body, &mut counter, loop_id, &mut found, &|loop_stmt| {
+        let mut seq = Vec::with_capacity(2 * n as usize);
+        for k in 0..n as i64 {
+            // if (threadIdx.x / WS >= k*g && threadIdx.x / WS < (k+1)*g)
+            let wid = Expr::Builtin(Builtin::ThreadIdxX).div(Expr::int(WARP_SIZE));
+            let guard = wid
+                .clone()
+                .ge(Expr::int(k * group))
+                .and(wid.lt(Expr::int((k + 1) * group)));
+            seq.push(Stmt::if_then(guard, vec![loop_stmt.clone()]));
+            seq.push(Stmt::SyncThreads);
+        }
+        seq
+    });
+    found.then_some(out)
+}
+
+/// Replace the `loop_id`-th loop (pre-order over `for`/`while`) using
+/// `make`, which maps the loop statement to its replacement sequence.
+fn rewrite(
+    stmts: &[Stmt],
+    counter: &mut usize,
+    target: usize,
+    found: &mut bool,
+    make: &dyn Fn(&Stmt) -> Vec<Stmt>,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::For { .. } | Stmt::While { .. } => {
+                let id = *counter;
+                *counter += 1;
+                if id == target {
+                    *found = true;
+                    out.extend(make(s));
+                } else {
+                    // Recurse into the body for nested targets.
+                    match s {
+                        Stmt::For {
+                            var,
+                            decl,
+                            init,
+                            cond_op,
+                            bound,
+                            step,
+                            body,
+                        } => out.push(Stmt::For {
+                            var: var.clone(),
+                            decl: *decl,
+                            init: init.clone(),
+                            cond_op: *cond_op,
+                            bound: bound.clone(),
+                            step: step.clone(),
+                            body: rewrite(body, counter, target, found, make),
+                        }),
+                        Stmt::While { cond, body } => out.push(Stmt::While {
+                            cond: cond.clone(),
+                            body: rewrite(body, counter, target, found, make),
+                        }),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            Stmt::If { cond, then, els } => out.push(Stmt::If {
+                cond: cond.clone(),
+                then: rewrite(then, counter, target, found, make),
+                els: rewrite(els, counter, target, found, make),
+            }),
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Apply **TB-level throttling** (paper Fig. 5): insert a dummy
+/// `__shared__` array sized so that only `target_tbs` blocks stay resident
+/// per SM, plus a store so the allocation is not dead.
+///
+/// `carveout_bytes` is the SM's shared-memory carve-out and
+/// `current_smem` the kernel's existing static shared usage. Returns
+/// `None` when `target_tbs` is 0 or no dummy size can reach the target
+/// (e.g. it already holds).
+pub fn tb_throttle(
+    kernel: &Kernel,
+    target_tbs: u32,
+    carveout_bytes: u32,
+    current_smem: u32,
+) -> Option<Kernel> {
+    if target_tbs == 0 {
+        return None;
+    }
+    // Want: carveout / smem' == target  ⇒  smem' = carveout / target
+    // (integer floor keeps exactly `target` blocks resident).
+    let per_tb = carveout_bytes / target_tbs;
+    if per_tb <= current_smem {
+        return None; // cannot reach the target by adding shared memory
+    }
+    let dummy_bytes = per_tb - current_smem;
+    let len = dummy_bytes / 4;
+    if len == 0 {
+        return None;
+    }
+    let mut out = kernel.clone();
+    let mut prologue = vec![
+        Stmt::DeclShared {
+            name: DUMMY_SHARED.into(),
+            elem: DType::F32,
+            len,
+        },
+        // Keep the allocation alive (paper: "a simple write command ...
+        // so that the compiler does not remove the allocation").
+        Stmt::store(
+            DUMMY_SHARED,
+            Expr::Builtin(Builtin::ThreadIdxX).rem(Expr::int(len as i64)),
+            Expr::Float(0.0),
+        ),
+    ];
+    prologue.extend(out.body);
+    out.body = prologue;
+    Some(out)
+}
+
+/// Loops that warp-level throttling may legally split: *outermost* loops
+/// (splitting a loop nested inside another split loop would interleave
+/// barrier sites, which `__syncthreads` arrival counting cannot keep
+/// apart — on real hardware as much as here) whose bodies contain no
+/// `__syncthreads()`.
+pub fn eligible_loops(kernel: &Kernel) -> Vec<usize> {
+    fn go(stmts: &[Stmt], counter: &mut usize, depth: u32, out: &mut Vec<usize>) {
+        for s in stmts {
+            match s {
+                Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                    let id = *counter;
+                    *counter += 1;
+                    if depth == 0 {
+                        let mut has_barrier = false;
+                        catt_ir::visit::walk_stmts(body, &mut |x| {
+                            has_barrier |= matches!(x, Stmt::SyncThreads);
+                        });
+                        if !has_barrier {
+                            out.push(id);
+                        }
+                    }
+                    go(body, counter, depth + 1, out);
+                }
+                Stmt::If { then, els, .. } => {
+                    go(then, counter, depth, out);
+                    go(els, counter, depth, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(&kernel.body, &mut 0, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catt_frontend::parse_kernel;
+    use catt_ir::printer::kernel_to_string;
+
+    fn atax() -> Kernel {
+        parse_kernel(
+            "#define NX 40960
+             __global__ void atax1(float *A, float *B, float *tmp) {
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (i < NX) {
+                     for (int j = 0; j < NX; j++) {
+                         tmp[i] += A[i * NX + j] * B[j];
+                     }
+                 }
+             }",
+        )
+        .unwrap()
+    }
+
+    /// The transform reproduces the paper's Fig. 4 for N = 2 on an
+    /// 8-warp block: two guarded loop copies, two barriers.
+    #[test]
+    fn warp_throttle_matches_fig4() {
+        let k = warp_throttle(&atax(), 0, 2, 8).unwrap();
+        let src = kernel_to_string(&k);
+        assert!(src.contains("threadIdx.x / 32 >= 0 && threadIdx.x / 32 < 4"));
+        assert!(src.contains("threadIdx.x / 32 >= 4 && threadIdx.x / 32 < 8"));
+        assert_eq!(src.matches("__syncthreads();").count(), 2);
+        assert_eq!(src.matches("for (int j = 0; j < 40960; j++)").count(), 2);
+        // Still parses (round-trip through the frontend).
+        let reparsed = parse_kernel(&src).unwrap();
+        assert_eq!(reparsed, k);
+    }
+
+    #[test]
+    fn warp_throttle_n4_makes_four_groups() {
+        let k = warp_throttle(&atax(), 0, 4, 8).unwrap();
+        let src = kernel_to_string(&k);
+        assert_eq!(src.matches("__syncthreads();").count(), 4);
+        for g in 0..4 {
+            let lo = g * 2;
+            let hi = lo + 2;
+            assert!(
+                src.contains(&format!(
+                    "threadIdx.x / 32 >= {lo} && threadIdx.x / 32 < {hi}"
+                )),
+                "missing group {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn warp_throttle_rejects_bad_factors() {
+        assert!(warp_throttle(&atax(), 0, 1, 8).is_none(), "n=1 is a no-op");
+        assert!(warp_throttle(&atax(), 0, 3, 8).is_none(), "3 ∤ 8");
+        assert!(warp_throttle(&atax(), 0, 16, 8).is_none(), "n > warps");
+        assert!(warp_throttle(&atax(), 7, 2, 8).is_none(), "no loop 7");
+    }
+
+    #[test]
+    fn warp_throttle_targets_correct_nested_loop() {
+        let k = parse_kernel(
+            "__global__ void k(float *A, int n) {
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 for (int a = 0; a < 4; a++) {
+                     A[i + a] = 0.0f;
+                 }
+                 for (int b = 0; b < n; b++) {
+                     A[i * n + b] += 1.0f;
+                 }
+             }",
+        )
+        .unwrap();
+        let t = warp_throttle(&k, 1, 2, 8).unwrap();
+        let src = kernel_to_string(&t);
+        // Loop 0 (over a) untouched, loop 1 (over b) split.
+        assert_eq!(src.matches("for (int a = 0").count(), 1);
+        assert_eq!(src.matches("for (int b = 0").count(), 2);
+    }
+
+    /// Fig. 5: 96 KB carve-out, target 2 TBs → 48 KB dummy = 12288 floats.
+    #[test]
+    fn tb_throttle_matches_fig5() {
+        let k = tb_throttle(&atax(), 2, 96 * 1024, 0).unwrap();
+        assert_eq!(k.shared_mem_bytes(), 48 * 1024);
+        let src = kernel_to_string(&k);
+        assert!(src.contains("__shared__ float catt_dummy_shared[12288];"));
+        assert!(src.contains("catt_dummy_shared[threadIdx.x % 12288] = 0.0f;"));
+        // Round-trips.
+        assert_eq!(parse_kernel(&src).unwrap(), k);
+    }
+
+    #[test]
+    fn tb_throttle_accounts_for_existing_smem() {
+        let k = parse_kernel(
+            "__global__ void k(float *A) {
+                 __shared__ float buf[1024];
+                 buf[threadIdx.x % 1024] = 0.0f;
+                 A[threadIdx.x] = buf[0];
+             }",
+        )
+        .unwrap();
+        // Existing 4 KB; target 4 TBs on 96 KB → 24 KB per TB → 20 KB dummy.
+        let t = tb_throttle(&k, 4, 96 * 1024, 4 * 1024).unwrap();
+        assert_eq!(t.shared_mem_bytes(), 24 * 1024);
+    }
+
+    #[test]
+    fn tb_throttle_rejects_unreachable_targets() {
+        assert!(tb_throttle(&atax(), 0, 96 * 1024, 0).is_none());
+        // Target 4 TBs but existing smem already implies ≤ 4.
+        assert!(tb_throttle(&atax(), 4, 96 * 1024, 32 * 1024).is_none());
+    }
+
+    #[test]
+    fn transformed_kernel_preserves_semantics_in_sim() {
+        use catt_ir::LaunchConfig;
+        use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig};
+        let n = 128usize;
+        let src = format!(
+            "#define N {n}
+             __global__ void mv(float *A, float *B, float *tmp) {{
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (i < N) {{
+                     for (int j = 0; j < N; j++) {{
+                         tmp[i] += A[i * N + j] * B[j];
+                     }}
+                 }}
+             }}"
+        );
+        let base = parse_kernel(&src).unwrap();
+        let variants = [
+            base.clone(),
+            warp_throttle(&base, 0, 2, 4).unwrap(),
+            warp_throttle(&base, 0, 4, 4).unwrap(),
+            tb_throttle(&base, 1, 96 * 1024, 0).unwrap(),
+        ];
+        let mut reference: Option<Vec<f32>> = None;
+        for k in &variants {
+            let mut mem = GlobalMem::new();
+            let a = mem.alloc_f32(&(0..n * n).map(|v| (v % 13) as f32).collect::<Vec<_>>());
+            let b = mem.alloc_f32(&(0..n).map(|v| (v % 7) as f32).collect::<Vec<_>>());
+            let tmp = mem.alloc_zeroed(n as u32);
+            let mut gpu = Gpu::new(GpuConfig::titan_v_1sm());
+            gpu.launch(
+                k,
+                LaunchConfig::d1(1, 128),
+                &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)],
+                &mut mem,
+            )
+            .unwrap();
+            let out = mem.read_f32(tmp);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "variant `{}` diverged", k.name),
+            }
+        }
+    }
+}

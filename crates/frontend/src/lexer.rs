@@ -1,0 +1,455 @@
+//! Tokenizer for the CUDA-C subset.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (`1.5`, `1.0f`, `1e-3`).
+    Float(f64),
+    /// Punctuation / operator, one of the fixed spellings below.
+    Punct(&'static str),
+    /// `#define` directive marker (the lexer keeps preprocessor lines as
+    /// tokens so the parser can interpret them).
+    HashDefine,
+    /// End of input.
+    Eof,
+}
+
+/// All multi- and single-character operator spellings, longest first so the
+/// lexer is maximal-munch.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "->", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*",
+    "/", "%", "<", ">", "=", "!", "&", "|", "^", "?", ":", ".", "~",
+];
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::HashDefine => write!(f, "`#define`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexer error (unexpected character / malformed literal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenize the entire input (convenience for the parser), appending a
+    /// final `Eof` token.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next_token()?;
+            let is_eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    line,
+                                    col,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+            });
+        };
+
+        // Preprocessor: only `#define` is meaningful; `#include` and
+        // `#pragma` lines are skipped entirely.
+        if c == b'#' {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if !c.is_ascii_alphanumeric() && c != b'#' {
+                    break;
+                }
+                self.bump();
+            }
+            let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            match word {
+                "#define" => {
+                    return Ok(Token {
+                        kind: TokenKind::HashDefine,
+                        line,
+                        col,
+                    })
+                }
+                _ => {
+                    // Skip the rest of the directive line and re-lex.
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    return self.next_token();
+                }
+            }
+        }
+
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            return Ok(Token {
+                kind: TokenKind::Ident(s),
+                line,
+                col,
+            });
+        }
+
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            return self.lex_number(line, col);
+        }
+
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                    col,
+                });
+            }
+        }
+
+        Err(LexError {
+            message: format!("unexpected character `{}`", c as char),
+            line,
+            col,
+        })
+    }
+
+    fn lex_number(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
+        let start = self.pos;
+        let mut is_float = false;
+        // Hex literals.
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hstart = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
+            let v = i64::from_str_radix(text, 16).map_err(|_| LexError {
+                message: "malformed hex literal".into(),
+                line,
+                col,
+            })?;
+            return Ok(Token {
+                kind: TokenKind::Int(v),
+                line,
+                col,
+            });
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && self.peek2() != Some(b'.') {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier suffix).
+                self.pos = save.0;
+                self.line = save.1;
+                self.col = save.2;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        // Trailing f/F (float) or u/U/l/L suffixes.
+        let mut suffix_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'f' | b'F' => {
+                    suffix_float = true;
+                    self.bump();
+                }
+                b'u' | b'U' | b'l' | b'L' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if is_float || suffix_float {
+            let v: f64 = text.parse().map_err(|_| LexError {
+                message: format!("malformed float literal `{text}`"),
+                line,
+                col,
+            })?;
+            Ok(Token {
+                kind: TokenKind::Float(v),
+                line,
+                col,
+            })
+        } else {
+            let v: i64 = text.parse().map_err(|_| LexError {
+                message: format!("malformed integer literal `{text}`"),
+                line,
+                col,
+            })?;
+            Ok(Token {
+                kind: TokenKind::Int(v),
+                line,
+                col,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_ints() {
+        let ks = kinds("int x = 42;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats_with_suffix() {
+        assert_eq!(kinds("1.5f")[0], TokenKind::Float(1.5));
+        assert_eq!(kinds("0.0f")[0], TokenKind::Float(0.0));
+        assert_eq!(kinds("2.f")[0], TokenKind::Float(2.0));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Float(1e-3));
+        assert_eq!(kinds("3f")[0], TokenKind::Float(3.0));
+    }
+
+    #[test]
+    fn int_with_unsigned_suffix() {
+        assert_eq!(kinds("42u")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0x1F")[0], TokenKind::Int(31));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let ks = kinds("a <<= b << c <= d < e");
+        let puncts: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["<<=", "<<", "<=", "<"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // comment\n /* multi\nline */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn define_token_and_skipped_directives() {
+        let ks = kinds("#include <stdio.h>\n#define NX 40960\nx");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::HashDefine,
+                TokenKind::Ident("NX".into()),
+                TokenKind::Int(40960),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = Lexer::tokenize("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn member_access_dots() {
+        let ks = kinds("threadIdx.x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("threadIdx".into()),
+                TokenKind::Punct("."),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = Lexer::tokenize("a @ b").unwrap_err();
+        assert!(e.message.contains('@'));
+        assert_eq!(e.line, 1);
+        assert_eq!(e.col, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # catt-frontend — CUDA-C subset parser
+//!
+//! The paper implements its static analyzer and source-to-source compiler
+//! on top of Antlr's C parser (§4). This crate plays that role: a
+//! hand-written lexer and recursive-descent parser that turn CUDA-C kernel
+//! source into the [`catt_ir`] module representation.
+//!
+//! Supported subset (everything the paper's Polybench/Rodinia workloads
+//! need):
+//!
+//! * `#define NAME <int>` constants, `//` and `/* */` comments;
+//! * `__global__ void k(float *A, int n, ...) { ... }` definitions
+//!   (`const` / `__restrict__` qualifiers are accepted and ignored);
+//! * declarations `int/float/unsigned int x [= e];`,
+//!   `__shared__ float buf[N];`;
+//! * assignments `x = e;`, `x op= e;`, `x++;`, array stores `A[e] = ...`;
+//! * structured control flow: `if`/`else`, canonical `for`, `while`,
+//!   `break`, `return`, `__syncthreads();`;
+//! * expressions with the usual C precedence, the ternary operator,
+//!   builtin variables (`threadIdx.x` ...), casts, and math intrinsics.
+//!
+//! Errors carry line/column positions.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_kernel, parse_module, ParseError};

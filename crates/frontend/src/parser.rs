@@ -1,0 +1,973 @@
+//! Recursive-descent parser producing `catt-ir`.
+
+use crate::lexer::{Lexer, Token, TokenKind};
+use catt_ir::expr::{BinOp, Builtin, Expr, Intrinsic, UnOp};
+use catt_ir::kernel::{Kernel, Module, Param, ParamTy};
+use catt_ir::stmt::{LValue, Stmt};
+use catt_ir::types::DType;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a translation unit (defines + kernels).
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let tokens = Lexer::tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    Parser::new(tokens).module()
+}
+
+/// Parse a module and return its single / first kernel.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let m = parse_module(src)?;
+    m.kernels.into_iter().next().ok_or(ParseError {
+        message: "no kernel found in source".into(),
+        line: 1,
+        col: 1,
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    defines: HashMap<String, i64>,
+    define_order: Vec<(String, i64)>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            defines: HashMap::new(),
+            define_order: Vec::new(),
+        }
+    }
+
+    fn cur(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn kind(&self) -> &TokenKind {
+        &self.cur().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.cur().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.cur();
+        Err(ParseError {
+            message: msg.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.kind(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.kind()))
+        }
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.kind(), TokenKind::Ident(i) if i == s)
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    // ----- types -------------------------------------------------------
+
+    /// If the current tokens start a type, consume and return it.
+    fn try_type(&mut self) -> Option<DType> {
+        // Skip qualifiers.
+        loop {
+            if self.at_ident("const") || self.at_ident("volatile") || self.at_ident("__restrict__")
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.at_ident("unsigned") {
+            self.bump();
+            // optional `int`
+            self.eat_ident("int");
+            return Some(DType::U32);
+        }
+        for (name, ty) in [
+            ("int", DType::I32),
+            ("float", DType::F32),
+            ("bool", DType::Bool),
+            ("size_t", DType::U32),
+            ("long", DType::I32),
+        ] {
+            if self.at_ident(name) {
+                self.bump();
+                if name == "long" {
+                    self.eat_ident("int");
+                }
+                return Some(ty);
+            }
+        }
+        None
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.kind(), TokenKind::Ident(s) if matches!(
+            s.as_str(),
+            "int" | "float" | "unsigned" | "bool" | "const" | "size_t" | "long"
+        ))
+    }
+
+    // ----- module ------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut kernels = Vec::new();
+        loop {
+            match self.kind().clone() {
+                TokenKind::Eof => break,
+                TokenKind::HashDefine => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let val_expr = self.expr()?;
+                    let Some(v) = val_expr.const_int() else {
+                        return self.err(format!("#define {name}: value must be an integer constant"));
+                    };
+                    self.defines.insert(name.clone(), v);
+                    self.define_order.push((name, v));
+                }
+                TokenKind::Ident(s) if s == "__global__" => {
+                    kernels.push(self.kernel()?);
+                }
+                TokenKind::Ident(s) if s == "extern" => {
+                    // `extern "C"` — not in subset; treat as error for now.
+                    return self.err("`extern` declarations are not supported");
+                }
+                other => return self.err(format!("expected `__global__` or `#define`, found {other}")),
+            }
+        }
+        Ok(Module {
+            defines: self.define_order.clone(),
+            kernels,
+        })
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        if !self.eat_ident("__global__") {
+            return self.err("expected `__global__`");
+        }
+        if !self.eat_ident("void") {
+            return self.err("kernels must return `void`");
+        }
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.at_punct(")") {
+            loop {
+                let Some(ty) = self.try_type() else {
+                    return self.err("expected parameter type");
+                };
+                let is_ptr = self.eat_punct("*");
+                // Skip post-* qualifiers (`__restrict__`, `const`).
+                while self.at_ident("__restrict__") || self.at_ident("const") {
+                    self.bump();
+                }
+                let pname = self.expect_ident()?;
+                params.push(Param {
+                    name: pname,
+                    ty: if is_ptr {
+                        ParamTy::Ptr(ty)
+                    } else {
+                        ParamTy::Scalar(ty)
+                    },
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let body = self.block_body()?;
+        Ok(Kernel::new(name, params, body))
+    }
+
+    // ----- statements --------------------------------------------------
+
+    /// Parse statements until the matching `}` (which is consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.kind(), TokenKind::Eof) {
+                return self.err("unexpected end of input inside block");
+            }
+            self.stmt_into(&mut out)?;
+        }
+        self.expect_punct("}")?;
+        Ok(out)
+    }
+
+    /// A single statement or `{ ... }` block, as a statement list.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat_punct("{") {
+            self.block_body()
+        } else {
+            let mut v = Vec::new();
+            self.stmt_into(&mut v)?;
+            Ok(v)
+        }
+    }
+
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        // Empty statement.
+        if self.eat_punct(";") {
+            return Ok(());
+        }
+        if self.at_ident("__shared__") {
+            self.bump();
+            let Some(elem) = self.try_type() else {
+                return self.err("expected element type after `__shared__`");
+            };
+            let name = self.expect_ident()?;
+            self.expect_punct("[")?;
+            let len_expr = self.expr()?;
+            let Some(len) = len_expr.const_int() else {
+                return self.err("__shared__ array length must be a constant");
+            };
+            if len <= 0 {
+                return self.err("__shared__ array length must be positive");
+            }
+            self.expect_punct("]")?;
+            self.expect_punct(";")?;
+            out.push(Stmt::DeclShared {
+                name,
+                elem,
+                len: len as u32,
+            });
+            return Ok(());
+        }
+        if self.at_ident("__syncthreads") {
+            self.bump();
+            self.expect_punct("(")?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            out.push(Stmt::SyncThreads);
+            return Ok(());
+        }
+        if self.at_ident("if") {
+            self.bump();
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.stmt_or_block()?;
+            let els = if self.eat_ident("else") {
+                self.stmt_or_block()?
+            } else {
+                vec![]
+            };
+            out.push(Stmt::If { cond, then, els });
+            return Ok(());
+        }
+        if self.at_ident("for") {
+            out.push(self.for_stmt()?);
+            return Ok(());
+        }
+        if self.at_ident("while") {
+            self.bump();
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.stmt_or_block()?;
+            out.push(Stmt::While { cond, body });
+            return Ok(());
+        }
+        if self.at_ident("break") {
+            self.bump();
+            self.expect_punct(";")?;
+            out.push(Stmt::Break);
+            return Ok(());
+        }
+        if self.at_ident("return") {
+            self.bump();
+            self.expect_punct(";")?;
+            out.push(Stmt::Return);
+            return Ok(());
+        }
+        if self.is_type_start() {
+            // Scalar declaration(s), possibly comma-separated.
+            let Some(ty) = self.try_type() else {
+                return self.err("expected type");
+            };
+            loop {
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                out.push(Stmt::DeclScalar {
+                    name,
+                    ty,
+                    init,
+                });
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(";")?;
+            return Ok(());
+        }
+        // Assignment / increment.
+        out.push(self.assign_stmt(true)?);
+        Ok(())
+    }
+
+    /// Assignment, `x++`, `x--`; `with_semi` controls whether the trailing
+    /// `;` is required (the `for`-update reuses this without it).
+    fn assign_stmt(&mut self, with_semi: bool) -> Result<Stmt, ParseError> {
+        // Prefix increment/decrement.
+        if self.at_punct("++") || self.at_punct("--") {
+            let TokenKind::Punct(op) = self.bump().kind else {
+                unreachable!()
+            };
+            let name = self.expect_ident()?;
+            if with_semi {
+                self.expect_punct(";")?;
+            }
+            let delta = if op == "++" { 1 } else { -1 };
+            return Ok(Stmt::Assign {
+                lhs: LValue::Var(name),
+                op: Some(BinOp::Add),
+                rhs: Expr::int(delta),
+            });
+        }
+        let name = self.expect_ident()?;
+        let lhs = if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            LValue::Elem(name, idx)
+        } else {
+            LValue::Var(name)
+        };
+        let stmt = if self.eat_punct("++") {
+            Stmt::Assign {
+                lhs,
+                op: Some(BinOp::Add),
+                rhs: Expr::int(1),
+            }
+        } else if self.eat_punct("--") {
+            Stmt::Assign {
+                lhs,
+                op: Some(BinOp::Add),
+                rhs: Expr::int(-1),
+            }
+        } else {
+            let op = if self.eat_punct("=") {
+                None
+            } else if self.eat_punct("+=") {
+                Some(BinOp::Add)
+            } else if self.eat_punct("-=") {
+                Some(BinOp::Sub)
+            } else if self.eat_punct("*=") {
+                Some(BinOp::Mul)
+            } else if self.eat_punct("/=") {
+                Some(BinOp::Div)
+            } else if self.eat_punct("%=") {
+                Some(BinOp::Rem)
+            } else if self.eat_punct("&=") {
+                Some(BinOp::BitAnd)
+            } else if self.eat_punct("|=") {
+                Some(BinOp::BitOr)
+            } else if self.eat_punct("^=") {
+                Some(BinOp::BitXor)
+            } else {
+                return self.err(format!("expected assignment operator, found {}", self.kind()));
+            };
+            let rhs = self.expr()?;
+            Stmt::Assign { lhs, op, rhs }
+        };
+        if with_semi {
+            self.expect_punct(";")?;
+        }
+        Ok(stmt)
+    }
+
+    /// Canonical `for` loop.
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.bump(); // `for`
+        self.expect_punct("(")?;
+        let decl = self.is_type_start();
+        if decl {
+            let Some(ty) = self.try_type() else {
+                return self.err("expected type in for-init");
+            };
+            if ty != DType::I32 && ty != DType::U32 {
+                return self.err("for-loop iterator must be an integer");
+            }
+        }
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let init = self.expr()?;
+        self.expect_punct(";")?;
+        // Guard must compare the iterator.
+        let guard_var = self.expect_ident()?;
+        if guard_var != var {
+            return self.err(format!(
+                "non-canonical for loop: guard tests `{guard_var}` but iterator is `{var}`"
+            ));
+        }
+        let cond_op = if self.eat_punct("<") {
+            BinOp::Lt
+        } else if self.eat_punct("<=") {
+            BinOp::Le
+        } else if self.eat_punct(">") {
+            BinOp::Gt
+        } else if self.eat_punct(">=") {
+            BinOp::Ge
+        } else if self.eat_punct("!=") {
+            BinOp::Ne
+        } else {
+            return self.err("expected comparison operator in for guard");
+        };
+        let bound = self.expr()?;
+        self.expect_punct(";")?;
+        // Update: var++, ++var, var--, var += e, var -= e, var = var + e.
+        let step = self.for_update(&var)?;
+        self.expect_punct(")")?;
+        let body = self.stmt_or_block()?;
+        Ok(Stmt::For {
+            var,
+            decl,
+            init,
+            cond_op,
+            bound,
+            step,
+            body,
+        })
+    }
+
+    fn for_update(&mut self, var: &str) -> Result<Expr, ParseError> {
+        let upd = self.assign_stmt(false)?;
+        match upd {
+            Stmt::Assign {
+                lhs: LValue::Var(n),
+                op,
+                rhs,
+            } if n == var => match op {
+                Some(BinOp::Add) => Ok(rhs),
+                Some(BinOp::Sub) => Ok(Expr::Unary(UnOp::Neg, Box::new(rhs))),
+                None => {
+                    // var = var + c  or  var = var - c
+                    match rhs {
+                        Expr::Binary(BinOp::Add, a, b) if *a == Expr::var(var) => Ok(*b),
+                        Expr::Binary(BinOp::Sub, a, b) if *a == Expr::var(var) => {
+                            Ok(Expr::Unary(UnOp::Neg, b))
+                        }
+                        Expr::Binary(BinOp::Mul, _, _) | Expr::Binary(BinOp::Shl, _, _) => {
+                            self.err("multiplicative for-updates are not supported")
+                        }
+                        _ => self.err("non-canonical for-update expression"),
+                    }
+                }
+                _ => self.err("unsupported compound operator in for-update"),
+            },
+            _ => self.err(format!("for-update must assign the iterator `{var}`")),
+        }
+    }
+
+    // ----- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let c = self.binary(0)?;
+        if self.eat_punct("?") {
+            let a = self.expr()?;
+            self.expect_punct(":")?;
+            let b = self.ternary()?;
+            Ok(Expr::Select(Box::new(c), Box::new(a), Box::new(b)))
+        } else {
+            Ok(c)
+        }
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let TokenKind::Punct(p) = self.kind() else {
+            return None;
+        };
+        let op = match *p {
+            "*" => BinOp::Mul,
+            "/" => BinOp::Div,
+            "%" => BinOp::Rem,
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "<<" => BinOp::Shl,
+            ">>" => BinOp::Shr,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            ">=" => BinOp::Ge,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "&" => BinOp::BitAnd,
+            "^" => BinOp::BitXor,
+            "|" => BinOp::BitOr,
+            "&&" => BinOp::And,
+            "||" => BinOp::Or,
+            _ => return None,
+        };
+        Some((op, op.precedence()))
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("+") {
+            return self.unary();
+        }
+        // Cast: `(` type `)` unary — disambiguate from parenthesized expr.
+        if self.at_punct("(") {
+            let save = self.pos;
+            self.bump();
+            if let Some(ty) = self.try_type() {
+                if self.eat_punct(")") {
+                    let inner = self.unary()?;
+                    return Ok(Expr::Cast(ty, Box::new(inner)));
+                }
+            }
+            self.pos = save;
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.at_punct("[") {
+                let Expr::Var(name) = e else {
+                    return self.err("only named arrays can be indexed");
+                };
+                self.bump();
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(name, Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Builtin member access.
+                if matches!(name.as_str(), "threadIdx" | "blockIdx" | "blockDim" | "gridDim") {
+                    self.expect_punct(".")?;
+                    let member = self.expect_ident()?;
+                    let axis = match member.as_str() {
+                        "x" => 0,
+                        "y" => 1,
+                        "z" => 2,
+                        _ => return self.err(format!("unknown member `.{member}`")),
+                    };
+                    let b = match (name.as_str(), axis) {
+                        ("threadIdx", 0) => Builtin::ThreadIdxX,
+                        ("threadIdx", 1) => Builtin::ThreadIdxY,
+                        ("threadIdx", 2) => Builtin::ThreadIdxZ,
+                        ("blockIdx", 0) => Builtin::BlockIdxX,
+                        ("blockIdx", 1) => Builtin::BlockIdxY,
+                        ("blockIdx", 2) => Builtin::BlockIdxZ,
+                        ("blockDim", 0) => Builtin::BlockDimX,
+                        ("blockDim", 1) => Builtin::BlockDimY,
+                        ("blockDim", 2) => Builtin::BlockDimZ,
+                        ("gridDim", 0) => Builtin::GridDimX,
+                        ("gridDim", 1) => Builtin::GridDimY,
+                        ("gridDim", 2) => Builtin::GridDimZ,
+                        _ => unreachable!(),
+                    };
+                    return Ok(Expr::Builtin(b));
+                }
+                // Intrinsic call.
+                if self.at_punct("(") {
+                    let Some(intr) = Intrinsic::from_name(&name) else {
+                        return self.err(format!("unknown function `{name}`"));
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    if args.len() != intr.arity() {
+                        return self.err(format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            intr.arity(),
+                            args.len()
+                        ));
+                    }
+                    return Ok(Expr::Call(intr, args));
+                }
+                // #define constant substitution.
+                if let Some(v) = self.defines.get(&name) {
+                    return Ok(Expr::Int(*v));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catt_ir::printer;
+
+    /// The paper's Fig. 1 kernel parses, with `#define` substitution.
+    #[test]
+    fn parses_atax_fig1() {
+        let src = r#"
+            #define NX 40960
+            // L1 cache size: 32KB, shared memory size: 96KB
+            __global__ void atax_kernel1(float *A, float *B, float *tmp) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < NX) {
+                    for (int j = 0; j < NX; j++) {
+                        tmp[i] += A[i * NX + j] * B[j];
+                    }
+                }
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.defines, vec![("NX".to_string(), 40960)]);
+        let k = &m.kernels[0];
+        assert_eq!(k.name, "atax_kernel1");
+        assert_eq!(k.params.len(), 3);
+        // NX was substituted.
+        let printed = printer::kernel_to_string(k);
+        assert!(printed.contains("i < 40960"));
+        assert!(printed.contains("tmp[i] += A[i * 40960 + j] * B[j];"));
+    }
+
+    /// The paper's Fig. 4 warp-throttled kernel parses.
+    #[test]
+    fn parses_fig4_warp_throttled() {
+        let src = r#"
+            #define NX 40960
+            #define WS 32
+            __global__ void atax_kernel1(float *A, float *B, float *tmp) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < NX) {
+                    if (threadIdx.x / WS >= 0 && threadIdx.x / WS < 4) {
+                        for (int j = 0; j < NX; j++) {
+                            tmp[i] += A[i * NX + j] * B[j];
+                        }
+                    }
+                    __syncthreads();
+                    if (threadIdx.x / WS >= 4 && threadIdx.x / WS < 8) {
+                        for (int j = 0; j < NX; j++) {
+                            tmp[i] += A[i * NX + j] * B[j];
+                        }
+                    }
+                    __syncthreads();
+                }
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let syncs = {
+            let mut n = 0;
+            catt_ir::visit::walk_stmts(&k.body, &mut |s| {
+                if matches!(s, Stmt::SyncThreads) {
+                    n += 1;
+                }
+            });
+            n
+        };
+        assert_eq!(syncs, 2);
+    }
+
+    /// The paper's Fig. 5 TB-throttled kernel parses.
+    #[test]
+    fn parses_fig5_tb_throttled() {
+        let src = r#"
+            __global__ void atax_kernel1(float *A, float *B, float *tmp) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                __shared__ float dummy_shared[12288];
+                dummy_shared[threadIdx.x] = 0.0f;
+                if (i < 40960) {
+                    for (int j = 0; j < 40960; j++) {
+                        tmp[i] += A[i * 40960 + j] * B[j];
+                    }
+                }
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.shared_mem_bytes(), 48 * 1024);
+        assert!(k.is_shared_array("dummy_shared"));
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let src = r#"
+            __global__ void k(float *A, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                float acc = 0.0f;
+                for (int j = 0; j < n; j += 2) {
+                    if (j % 4 == 0) {
+                        acc += A[i * n + j];
+                    } else {
+                        acc -= A[j];
+                    }
+                }
+                A[i] = acc;
+            }
+        "#;
+        let k1 = parse_kernel(src).unwrap();
+        let printed = printer::kernel_to_string(&k1);
+        let k2 = parse_kernel(&printed).unwrap();
+        assert_eq!(k1, k2, "parse → print → parse must be a fixed point");
+    }
+
+    #[test]
+    fn parses_while_and_break() {
+        let src = r#"
+            __global__ void bfs(int *frontier, int *next, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                int j = 0;
+                while (j < n) {
+                    if (frontier[j] == i) {
+                        next[j] = 1;
+                        break;
+                    }
+                    j++;
+                }
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let mut has_while = false;
+        let mut has_break = false;
+        catt_ir::visit::walk_stmts(&k.body, &mut |s| {
+            has_while |= matches!(s, Stmt::While { .. });
+            has_break |= matches!(s, Stmt::Break);
+        });
+        assert!(has_while && has_break);
+    }
+
+    #[test]
+    fn parses_casts_and_intrinsics() {
+        let src = r#"
+            __global__ void k(float *A) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                A[i] = sqrtf(fabsf(A[i])) + (float)i;
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        let printed = printer::kernel_to_string(&k);
+        assert!(printed.contains("sqrtf(fabsf(A[i]))"));
+        assert!(printed.contains("(float)i"));
+    }
+
+    #[test]
+    fn parses_ternary() {
+        let src = r#"
+            __global__ void k(float *A, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                A[i] = i < n ? A[i] : 0.0f;
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        assert!(printer::kernel_to_string(&k).contains('?'));
+    }
+
+    #[test]
+    fn for_update_variants() {
+        for upd in ["j++", "++j", "j += 3", "j = j + 3"] {
+            let src = format!(
+                "__global__ void k(float *A) {{ for (int j = 0; j < 8; {upd}) {{ A[j] = 0.0f; }} }}"
+            );
+            let k = parse_kernel(&src).unwrap();
+            match &k.body[0] {
+                Stmt::For { step, .. } => {
+                    let s = step.const_int().unwrap();
+                    assert!(s == 1 || s == 3, "{upd}: step {s}");
+                }
+                other => panic!("expected for, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn downward_loop() {
+        let src =
+            "__global__ void k(float *A) { for (int j = 7; j >= 0; j--) { A[j] = 0.0f; } }";
+        let k = parse_kernel(&src).unwrap();
+        match &k.body[0] {
+            Stmt::For { cond_op, step, .. } => {
+                assert_eq!(*cond_op, BinOp::Ge);
+                assert_eq!(step.const_int(), Some(-1));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_canonical_for() {
+        let src = "__global__ void k(float *A) { for (int j = 0; k < 8; j++) { A[j] = 0.0f; } }";
+        assert!(parse_kernel(src).is_err());
+        let src = "__global__ void k(float *A) { for (int j = 0; j < 8; j *= 2) { A[j] = 0.0f; } }";
+        assert!(parse_kernel(src).is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let src = "__global__ void k(float *A) {\n  A[0] = @;\n}";
+        let e = parse_module(src).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let src = "__global__ void k(float *A) { A[0] = frobnicate(1); }";
+        let e = parse_kernel(src).unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn braceless_if_and_for_bodies() {
+        let src = r#"
+            __global__ void k(float *A, int n) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                if (i < n)
+                    for (int j = 0; j < n; j++)
+                        A[i] += 1.0f;
+            }
+        "#;
+        let k = parse_kernel(src).unwrap();
+        match &k.body[1] {
+            Stmt::If { then, .. } => assert!(matches!(then[0], Stmt::For { .. })),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_declarator_statement() {
+        let src = "__global__ void k(float *A) { int i = 0, j = 1; A[i] = (float)j; }";
+        let k = parse_kernel(src).unwrap();
+        assert!(matches!(&k.body[0], Stmt::DeclScalar { name, .. } if name == "i"));
+        assert!(matches!(&k.body[1], Stmt::DeclScalar { name, .. } if name == "j"));
+    }
+
+    #[test]
+    fn const_restrict_qualifiers_ignored() {
+        let src = "__global__ void k(const float * __restrict__ A, float *B) { B[0] = A[0]; }";
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.params.len(), 2);
+        assert!(matches!(k.params[0].ty, ParamTy::Ptr(DType::F32)));
+    }
+
+    #[test]
+    fn define_arithmetic_folds() {
+        let src = "#define N 1024\n#define M N * 2\n__global__ void k(float *A) { A[M] = 0.0f; }";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.defines[1], ("M".to_string(), 2048));
+    }
+}

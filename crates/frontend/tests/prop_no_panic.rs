@@ -1,0 +1,76 @@
+//! Robustness: the front end must never panic — malformed input produces
+//! `Err`, not a crash. Exercised with adversarial mutations of valid
+//! source and with raw noise.
+
+use proptest::prelude::*;
+
+const SEED_SRC: &str = "
+#define NX 4096
+__global__ void k(float *A, float *B, float *tmp, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    __shared__ float buf[64];
+    if (i < NX) {
+        for (int j = 0; j < n; j++) {
+            tmp[i] += A[i * NX + j] * B[j];
+        }
+        buf[threadIdx.x % 64] = tmp[i];
+        __syncthreads();
+        while (i > 0) { break; }
+        tmp[i] = buf[0] > 0.5f ? 1.0f : -1.0f;
+    }
+}
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncating valid source anywhere yields Ok or Err, never a panic.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..SEED_SRC.len()) {
+        // Cut on a char boundary.
+        let mut cut = cut;
+        while !SEED_SRC.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = catt_frontend::parse_module(&SEED_SRC[..cut]);
+    }
+
+    /// Random single-byte substitutions never panic.
+    #[test]
+    fn mutation_never_panics(pos in 0usize..SEED_SRC.len(), byte in 0u8..128) {
+        let mut bytes = SEED_SRC.as_bytes().to_vec();
+        let idx = pos.min(bytes.len() - 1);
+        bytes[idx] = byte;
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = catt_frontend::parse_module(s);
+        }
+    }
+
+    /// Raw printable noise never panics.
+    #[test]
+    fn noise_never_panics(s in "[ -~\\n]{0,200}") {
+        let _ = catt_frontend::parse_module(&s);
+    }
+
+    /// Token soup assembled from real lexemes never panics, and if it
+    /// happens to parse, lowering it must not panic either.
+    #[test]
+    fn token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "__global__", "void", "k", "(", ")", "{", "}", "[", "]", ";",
+                "float", "int", "*", "A", "i", "=", "+", "for", "if", "else",
+                "while", "break", "return", "1", "0.5f", "<", "threadIdx", ".",
+                "x", "__syncthreads", "__shared__", "#define", "N", ",", "%",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        if let Ok(module) = catt_frontend::parse_module(&src) {
+            for k in &module.kernels {
+                let _ = catt_sim::lower(k);
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Affine index-form extraction (paper §4.2, Eq. 5).
+//!
+//! CATT models every array index expression inside a loop as
+//!
+//! ```text
+//! C_tid * tid + C_i * i + c
+//! ```
+//!
+//! where `tid` is the linearized thread id and `i` the loop iterator.
+//! `C_i` (the *intra-thread distance*) decides whether a fetched line is
+//! reused by the next iteration (Eq. 6); `C_tid` (the *inter-thread
+//! distance*) decides how many cache lines one warp's coalesced accesses
+//! span (Eq. 7).
+//!
+//! The extraction evaluates the expression symbolically as a linear
+//! polynomial over a small set of symbols (`threadIdx.x/y`, `blockIdx.x/y`,
+//! the loop iterator, and any other scalar variables). Multiplication is
+//! only linear when one side is a constant; anything else — including
+//! indirect indexing through another array load — makes the form
+//! *non-affine*, which CATT treats conservatively (`C_tid := 1`, §4.2).
+
+use crate::expr::{BinOp, Builtin, Expr, UnOp};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Symbols a linear polynomial can range over.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// `threadIdx.{x,y,z}` (0 = x, 1 = y, 2 = z).
+    ThreadIdx(u8),
+    /// `blockIdx.{x,y,z}`.
+    BlockIdx(u8),
+    /// A named scalar variable (loop iterator or other local/parameter).
+    Var(String),
+}
+
+/// A linear polynomial `Σ cᵢ·symᵢ + c0` with i64 coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    /// Coefficients per symbol; zero coefficients are never stored.
+    pub terms: BTreeMap<Sym, i64>,
+    /// Constant term.
+    pub c0: i64,
+}
+
+impl Poly {
+    /// The constant polynomial `v`.
+    pub fn constant(v: i64) -> Poly {
+        Poly {
+            terms: BTreeMap::new(),
+            c0: v,
+        }
+    }
+
+    /// The polynomial `1 * sym`.
+    pub fn sym(sym: Sym) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(sym, 1);
+        Poly { terms, c0: 0 }
+    }
+
+    /// Whether the polynomial is a constant.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of a symbol (0 if absent).
+    pub fn coeff(&self, sym: &Sym) -> i64 {
+        self.terms.get(sym).copied().unwrap_or(0)
+    }
+
+    fn add(mut self, rhs: &Poly) -> Poly {
+        for (s, c) in &rhs.terms {
+            let e = self.terms.entry(s.clone()).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                self.terms.remove(s);
+            }
+        }
+        self.c0 += rhs.c0;
+        self
+    }
+
+    fn neg(mut self) -> Poly {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.c0 = -self.c0;
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Poly {
+        if k == 0 {
+            return Poly::constant(0);
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.c0 *= k;
+        self
+    }
+}
+
+/// Environment used during extraction: maps local scalar variables to the
+/// polynomials they were assigned (forward substitution), so that
+/// `int i = blockIdx.x * blockDim.x + threadIdx.x;` makes `i` a
+/// tid-dependent symbol later on.
+#[derive(Debug, Clone, Default)]
+pub struct AffineEnv {
+    /// Known linear bindings of scalar variables.
+    bindings: HashMap<String, Poly>,
+    /// Variables assigned something non-affine (or reassigned in loops):
+    /// referencing them poisons the form.
+    opaque: std::collections::HashSet<String>,
+    /// `blockDim.x` value if the launch configuration is known; without it
+    /// `blockIdx.x * blockDim.x` cannot be linearized.
+    pub block_dim: Option<(u32, u32, u32)>,
+    /// `gridDim` value if known.
+    pub grid_dim: Option<(u32, u32, u32)>,
+}
+
+impl AffineEnv {
+    /// Environment with a known launch configuration.
+    pub fn with_launch(block: (u32, u32, u32), grid: (u32, u32, u32)) -> AffineEnv {
+        AffineEnv {
+            block_dim: Some(block),
+            grid_dim: Some(grid),
+            ..AffineEnv::default()
+        }
+    }
+
+    /// Record `name := poly`.
+    pub fn bind(&mut self, name: &str, poly: Poly) {
+        self.opaque.remove(name);
+        self.bindings.insert(name.to_string(), poly);
+    }
+
+    /// Record that `name` has an unanalyzable value.
+    pub fn poison(&mut self, name: &str) {
+        self.bindings.remove(name);
+        self.opaque.insert(name.to_string());
+    }
+
+    /// Look up a binding.
+    pub fn lookup(&self, name: &str) -> Option<&Poly> {
+        self.bindings.get(name)
+    }
+
+    /// Whether the variable has been poisoned.
+    pub fn is_opaque(&self, name: &str) -> bool {
+        self.opaque.contains(name)
+    }
+}
+
+/// Try to evaluate `e` as a linear polynomial under `env`.
+///
+/// Returns `None` when the expression is non-affine: non-linear
+/// multiplication, division/modulo by non-constants with symbolic
+/// numerators, indirect array loads, intrinsic calls, selects, or
+/// references to poisoned variables.
+pub fn eval_poly(e: &Expr, env: &AffineEnv) -> Option<Poly> {
+    match e {
+        Expr::Int(v) => Some(Poly::constant(*v)),
+        Expr::Float(_) => None,
+        Expr::Var(name) => {
+            if env.is_opaque(name) {
+                return None;
+            }
+            if let Some(p) = env.lookup(name) {
+                Some(p.clone())
+            } else {
+                // Unbound scalar (e.g. a scalar kernel parameter): treat as
+                // an opaque but *loop-invariant, thread-invariant* symbol.
+                Some(Poly::sym(Sym::Var(name.clone())))
+            }
+        }
+        Expr::Builtin(b) => match b {
+            Builtin::ThreadIdxX => Some(Poly::sym(Sym::ThreadIdx(0))),
+            Builtin::ThreadIdxY => Some(Poly::sym(Sym::ThreadIdx(1))),
+            Builtin::ThreadIdxZ => Some(Poly::sym(Sym::ThreadIdx(2))),
+            Builtin::BlockIdxX => Some(Poly::sym(Sym::BlockIdx(0))),
+            Builtin::BlockIdxY => Some(Poly::sym(Sym::BlockIdx(1))),
+            Builtin::BlockIdxZ => Some(Poly::sym(Sym::BlockIdx(2))),
+            Builtin::BlockDimX => {
+                env.block_dim.map(|d| Poly::constant(d.0 as i64))
+            }
+            Builtin::BlockDimY => {
+                env.block_dim.map(|d| Poly::constant(d.1 as i64))
+            }
+            Builtin::BlockDimZ => {
+                env.block_dim.map(|d| Poly::constant(d.2 as i64))
+            }
+            Builtin::GridDimX => env.grid_dim.map(|d| Poly::constant(d.0 as i64)),
+            Builtin::GridDimY => env.grid_dim.map(|d| Poly::constant(d.1 as i64)),
+            Builtin::GridDimZ => env.grid_dim.map(|d| Poly::constant(d.2 as i64)),
+        },
+        Expr::Unary(UnOp::Neg, a) => Some(eval_poly(a, env)?.neg()),
+        Expr::Unary(UnOp::Not, _) => None,
+        Expr::Binary(op, a, b) => {
+            let pa = eval_poly(a, env)?;
+            let pb = eval_poly(b, env)?;
+            match op {
+                BinOp::Add => Some(pa.add(&pb)),
+                BinOp::Sub => Some(pa.add(&pb.neg())),
+                BinOp::Mul => {
+                    if pa.is_const() {
+                        Some(pb.scale(pa.c0))
+                    } else if pb.is_const() {
+                        Some(pa.scale(pb.c0))
+                    } else {
+                        None // non-linear
+                    }
+                }
+                BinOp::Div => {
+                    // Only constant / constant stays linear in general.
+                    if pa.is_const() && pb.is_const() && pb.c0 != 0 {
+                        Some(Poly::constant(pa.c0 / pb.c0))
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Shl => {
+                    if pb.is_const() && (0..63).contains(&pb.c0) {
+                        Some(pa.scale(1i64 << pb.c0))
+                    } else {
+                        None
+                    }
+                }
+                _ => {
+                    if pa.is_const() && pb.is_const() {
+                        // Fold remaining integer ops on constants.
+                        let (l, r) = (pa.c0, pb.c0);
+                        let v = match op {
+                            BinOp::Rem if r != 0 => l % r,
+                            BinOp::Shr => l >> (r & 63),
+                            BinOp::BitAnd => l & r,
+                            BinOp::BitOr => l | r,
+                            BinOp::BitXor => l ^ r,
+                            _ => return None,
+                        };
+                        Some(Poly::constant(v))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        Expr::Cast(dt, a) if dt.is_integral() => eval_poly(a, env),
+        Expr::Cast(_, _) => None,
+        // Indirect load, intrinsic call, select: non-affine.
+        Expr::Index(_, _) | Expr::Call(_, _) | Expr::Select(_, _, _) => None,
+    }
+}
+
+/// The affine index form of one array access with respect to one loop
+/// (paper Eq. 5), in units of *array elements*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexForm {
+    /// `C_tid` — coefficient of `threadIdx.x`. `None` when the index is
+    /// non-affine/irregular (paper: treat conservatively).
+    pub c_tid: Option<i64>,
+    /// Coefficient of `threadIdx.y` — needed to enumerate the addresses of
+    /// a warp's lanes for multidimensional thread blocks (paper §4.2:
+    /// "we examine every address accessed by each thread in a warp").
+    pub c_tid_y: Option<i64>,
+    /// `C_i` — coefficient of the loop iterator. `None` when non-affine.
+    pub c_iter: Option<i64>,
+}
+
+impl IndexForm {
+    /// The fully irregular form.
+    pub const IRREGULAR: IndexForm = IndexForm {
+        c_tid: None,
+        c_tid_y: None,
+        c_iter: None,
+    };
+}
+
+/// Extract `(C_tid, C_i)` for index expression `idx` inside a loop whose
+/// iterator is `iter_var`, under `env` (which must contain the linear
+/// bindings of preceding scalar declarations such as
+/// `int i = blockIdx.x * blockDim.x + threadIdx.x`).
+///
+/// The linearized thread id is `blockIdx.x * blockDim.x + threadIdx.x`, so
+/// with a known `blockDim.x = B` the polynomial coefficient of `tid` is the
+/// coefficient of `threadIdx.x` — provided it is consistent with the
+/// coefficient of `blockIdx.x` (which must equal `C_tid * B`). Within an
+/// SM only `threadIdx` varies across concurrently resident threads of a
+/// block, and across blocks `blockIdx` shifts the base; for footprint
+/// purposes (lines touched per warp) the `threadIdx.x` coefficient is the
+/// inter-thread distance — exactly the quantity Eq. 7 needs. 2-D blocks
+/// fold `threadIdx.y` in via `C_tid_y * blockDim.x`-style terms; we take
+/// the x coefficient since warps are formed along x first.
+pub fn index_form(idx: &Expr, iter_var: Option<&str>, env: &AffineEnv) -> IndexForm {
+    let Some(p) = eval_poly(idx, env) else {
+        return IndexForm::IRREGULAR;
+    };
+    let c_tid = p.coeff(&Sym::ThreadIdx(0));
+    let c_tid_y = p.coeff(&Sym::ThreadIdx(1));
+    let c_iter = match iter_var {
+        Some(v) => p.coeff(&Sym::Var(v.to_string())),
+        None => 0,
+    };
+    IndexForm {
+        c_tid: Some(c_tid),
+        c_tid_y: Some(c_tid_y),
+        c_iter: Some(c_iter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn env_256() -> AffineEnv {
+        let mut env = AffineEnv::with_launch((256, 1, 1), (320, 1, 1));
+        // int i = blockIdx.x * blockDim.x + threadIdx.x;
+        let p = eval_poly(&Expr::linear_tid(), &env).unwrap();
+        env.bind("i", p);
+        env
+    }
+
+    #[test]
+    fn linear_tid_poly() {
+        let env = env_256();
+        let p = env.lookup("i").unwrap();
+        assert_eq!(p.coeff(&Sym::ThreadIdx(0)), 1);
+        assert_eq!(p.coeff(&Sym::BlockIdx(0)), 256);
+        assert_eq!(p.c0, 0);
+    }
+
+    /// The paper's running example (Fig. 1): `tmp[i]`, `A[i*NX+j]`, `B[j]`.
+    #[test]
+    fn atax_example_forms() {
+        let env = env_256();
+        let nx = 40960;
+
+        // tmp[i]: C_tid = 1, C_i = 0  (inter-thread locality, intra dist 0)
+        let f = index_form(&Expr::var("i"), Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(0) });
+
+        // A[i * NX + j]: C_tid = NX, C_i = 1
+        let idx = Expr::var("i").mul(Expr::int(nx)).add(Expr::var("j"));
+        let f = index_form(&idx, Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(nx), c_tid_y: Some(0), c_iter: Some(1) });
+
+        // B[j]: C_tid = 0, C_i = 1
+        let f = index_form(&Expr::var("j"), Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+    }
+
+    #[test]
+    fn transposed_access_form() {
+        // A[j * N + i] (column-major walk): C_tid = 1, C_i = N.
+        let env = env_256();
+        let idx = Expr::var("j").mul(Expr::int(1024)).add(Expr::var("i"));
+        let f = index_form(&idx, Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(1024) });
+    }
+
+    #[test]
+    fn indirect_access_is_irregular() {
+        // x[cols[j]]
+        let env = env_256();
+        let idx = Expr::Index("cols".into(), Box::new(Expr::var("j")));
+        assert_eq!(index_form(&idx, Some("j"), &env), IndexForm::IRREGULAR);
+    }
+
+    #[test]
+    fn nonlinear_mul_is_irregular() {
+        let env = env_256();
+        let idx = Expr::var("i").mul(Expr::var("j"));
+        assert_eq!(index_form(&idx, Some("j"), &env), IndexForm::IRREGULAR);
+    }
+
+    #[test]
+    fn poisoned_var_is_irregular() {
+        let mut env = env_256();
+        env.poison("k");
+        assert_eq!(index_form(&Expr::var("k"), Some("j"), &env), IndexForm::IRREGULAR);
+    }
+
+    #[test]
+    fn shift_scales_coefficient() {
+        let env = env_256();
+        // i << 3 has C_tid = 8.
+        let idx = Expr::Binary(
+            BinOp::Shl,
+            Box::new(Expr::var("i")),
+            Box::new(Expr::int(3)),
+        );
+        let f = index_form(&idx, Some("j"), &env);
+        assert_eq!(f.c_tid, Some(8));
+    }
+
+    #[test]
+    fn unknown_scalar_param_is_loop_invariant_symbol() {
+        // A[base + j] where `base` is a scalar parameter: C_tid = 0, C_i = 1.
+        let env = env_256();
+        let idx = Expr::var("base").add(Expr::var("j"));
+        let f = index_form(&idx, Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+    }
+
+    #[test]
+    fn subtraction_cancels_terms() {
+        let env = env_256();
+        // (i + j) - i  ==> C_tid = 0, C_i = 1
+        let idx = Expr::var("i").add(Expr::var("j")).sub(Expr::var("i"));
+        let f = index_form(&idx, Some("j"), &env);
+        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+        // And the zero-coefficient entry is dropped from the map.
+        let p = eval_poly(&Expr::var("i").sub(Expr::var("i")), &env).unwrap();
+        assert!(p.terms.is_empty());
+    }
+
+    #[test]
+    fn blockdim_requires_launch_info() {
+        let env = AffineEnv::default();
+        assert!(eval_poly(&Expr::linear_tid(), &env).is_none());
+    }
+
+    #[test]
+    fn no_loop_iterator_means_zero_c_iter() {
+        let env = env_256();
+        let f = index_form(&Expr::var("i"), None, &env);
+        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(0) });
+    }
+}

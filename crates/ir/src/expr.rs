@@ -1,0 +1,442 @@
+//! Expressions of the CUDA-C subset.
+
+use crate::types::DType;
+use std::fmt;
+
+/// GPU builtin variables (`threadIdx.x`, `blockDim.y`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    ThreadIdxX,
+    ThreadIdxY,
+    ThreadIdxZ,
+    BlockIdxX,
+    BlockIdxY,
+    BlockIdxZ,
+    BlockDimX,
+    BlockDimY,
+    BlockDimZ,
+    GridDimX,
+    GridDimY,
+    GridDimZ,
+}
+
+impl Builtin {
+    /// CUDA spelling of the builtin.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            Builtin::ThreadIdxX => "threadIdx.x",
+            Builtin::ThreadIdxY => "threadIdx.y",
+            Builtin::ThreadIdxZ => "threadIdx.z",
+            Builtin::BlockIdxX => "blockIdx.x",
+            Builtin::BlockIdxY => "blockIdx.y",
+            Builtin::BlockIdxZ => "blockIdx.z",
+            Builtin::BlockDimX => "blockDim.x",
+            Builtin::BlockDimY => "blockDim.y",
+            Builtin::BlockDimZ => "blockDim.z",
+            Builtin::GridDimX => "gridDim.x",
+            Builtin::GridDimY => "gridDim.y",
+            Builtin::GridDimZ => "gridDim.z",
+        }
+    }
+
+    /// All builtins, for iteration in tests.
+    pub const ALL: [Builtin; 12] = [
+        Builtin::ThreadIdxX,
+        Builtin::ThreadIdxY,
+        Builtin::ThreadIdxZ,
+        Builtin::BlockIdxX,
+        Builtin::BlockIdxY,
+        Builtin::BlockIdxZ,
+        Builtin::BlockDimX,
+        Builtin::BlockDimY,
+        Builtin::BlockDimZ,
+        Builtin::GridDimX,
+        Builtin::GridDimY,
+        Builtin::GridDimZ,
+    ];
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+}
+
+impl BinOp {
+    /// The C spelling of the operator.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+        }
+    }
+
+    /// True for comparison / logical operators, whose result is `Bool`.
+    pub const fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
+        )
+    }
+
+    /// C-style precedence level (higher binds tighter), used by the
+    /// pretty-printer to decide where parentheses are required.
+    pub const fn precedence(self) -> u8 {
+        match self {
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+            BinOp::Add | BinOp::Sub => 9,
+            BinOp::Shl | BinOp::Shr => 8,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+            BinOp::Eq | BinOp::Ne => 6,
+            BinOp::BitAnd => 5,
+            BinOp::BitXor => 4,
+            BinOp::BitOr => 3,
+            BinOp::And => 2,
+            BinOp::Or => 1,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (`-x`).
+    Neg,
+    /// Logical not (`!x`).
+    Not,
+}
+
+/// Math intrinsics callable from kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sqrtf,
+    Expf,
+    Logf,
+    Fabsf,
+    Fminf,
+    Fmaxf,
+    Powf,
+    Sinf,
+    Cosf,
+    Min,
+    Max,
+    Abs,
+}
+
+impl Intrinsic {
+    /// CUDA spelling.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrtf => "sqrtf",
+            Intrinsic::Expf => "expf",
+            Intrinsic::Logf => "logf",
+            Intrinsic::Fabsf => "fabsf",
+            Intrinsic::Fminf => "fminf",
+            Intrinsic::Fmaxf => "fmaxf",
+            Intrinsic::Powf => "powf",
+            Intrinsic::Sinf => "sinf",
+            Intrinsic::Cosf => "cosf",
+            Intrinsic::Min => "min",
+            Intrinsic::Max => "max",
+            Intrinsic::Abs => "abs",
+        }
+    }
+
+    /// Parse a CUDA intrinsic name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrtf" | "sqrt" => Intrinsic::Sqrtf,
+            "expf" | "exp" => Intrinsic::Expf,
+            "logf" | "log" => Intrinsic::Logf,
+            "fabsf" | "fabs" => Intrinsic::Fabsf,
+            "fminf" => Intrinsic::Fminf,
+            "fmaxf" => Intrinsic::Fmaxf,
+            "powf" | "pow" => Intrinsic::Powf,
+            "sinf" | "sin" => Intrinsic::Sinf,
+            "cosf" | "cos" => Intrinsic::Cosf,
+            "min" => Intrinsic::Min,
+            "max" => Intrinsic::Max,
+            "abs" => Intrinsic::Abs,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the intrinsic takes.
+    pub const fn arity(self) -> usize {
+        match self {
+            Intrinsic::Sqrtf
+            | Intrinsic::Expf
+            | Intrinsic::Logf
+            | Intrinsic::Fabsf
+            | Intrinsic::Sinf
+            | Intrinsic::Cosf
+            | Intrinsic::Abs => 1,
+            Intrinsic::Fminf
+            | Intrinsic::Fmaxf
+            | Intrinsic::Powf
+            | Intrinsic::Min
+            | Intrinsic::Max => 2,
+        }
+    }
+}
+
+/// The address space an array (pointer) lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Off-chip global memory, cached in the L1D — the memory whose
+    /// footprint CATT analyzes.
+    Global,
+    /// On-chip shared memory (`__shared__`), explicitly managed, not part
+    /// of the L1D footprint.
+    Shared,
+}
+
+/// Expressions. All expressions are side-effect free; array reads are
+/// expressions (`Index`) while array writes only appear in
+/// [`crate::stmt::LValue`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (stored as `f64`; evaluated in `f32`).
+    Float(f64),
+    /// Reference to a scalar local variable or scalar kernel parameter.
+    Var(String),
+    /// GPU builtin variable.
+    Builtin(Builtin),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Array element read: `array[index]`. `array` is a pointer kernel
+    /// parameter (global memory) or a `__shared__` array.
+    Index(String, Box<Expr>),
+    /// Intrinsic call.
+    Call(Intrinsic, Vec<Expr>),
+    /// Cast `(int)x` / `(float)x`.
+    Cast(DType, Box<Expr>),
+    /// Ternary conditional `c ? a : b`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods, not operator impls
+impl Expr {
+    /// Shorthand integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Shorthand variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs`
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self && rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// `array[self]` read with this expression as the index.
+    pub fn index_into(self, array: impl Into<String>) -> Expr {
+        Expr::Index(array.into(), Box::new(self))
+    }
+
+    /// The canonical linearized thread id
+    /// `blockIdx.x * blockDim.x + threadIdx.x`.
+    pub fn linear_tid() -> Expr {
+        Expr::Builtin(Builtin::BlockIdxX)
+            .mul(Expr::Builtin(Builtin::BlockDimX))
+            .add(Expr::Builtin(Builtin::ThreadIdxX))
+    }
+
+    /// If the expression is a compile-time integer constant, return it.
+    /// Performs constant folding over arithmetic on literals.
+    pub fn const_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Unary(UnOp::Neg, e) => e.const_int().map(|v| -v),
+            Expr::Binary(op, l, r) => {
+                let (l, r) = (l.const_int()?, r.const_int()?);
+                Some(match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l / r
+                    }
+                    BinOp::Rem => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l % r
+                    }
+                    BinOp::Shl => l << (r & 63),
+                    BinOp::Shr => l >> (r & 63),
+                    BinOp::BitAnd => l & r,
+                    BinOp::BitOr => l | r,
+                    BinOp::BitXor => l ^ r,
+                    _ => return None,
+                })
+            }
+            Expr::Cast(dt, e) if dt.is_integral() => e.const_int(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::expr_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_fold_arithmetic() {
+        let e = Expr::int(40).mul(Expr::int(1024)).add(Expr::int(576));
+        assert_eq!(e.const_int(), Some(40 * 1024 + 576));
+    }
+
+    #[test]
+    fn const_fold_div_by_zero_is_none() {
+        assert_eq!(Expr::int(1).div(Expr::int(0)).const_int(), None);
+        assert_eq!(Expr::int(1).rem(Expr::int(0)).const_int(), None);
+    }
+
+    #[test]
+    fn vars_are_not_const() {
+        assert_eq!(Expr::var("i").add(Expr::int(1)).const_int(), None);
+        assert_eq!(Expr::Builtin(Builtin::ThreadIdxX).const_int(), None);
+    }
+
+    #[test]
+    fn negation_folds() {
+        let e = Expr::Unary(UnOp::Neg, Box::new(Expr::int(7)));
+        assert_eq!(e.const_int(), Some(-7));
+    }
+
+    #[test]
+    fn intrinsic_roundtrip() {
+        for i in [Intrinsic::Sqrtf, Intrinsic::Min, Intrinsic::Fmaxf] {
+            assert_eq!(Intrinsic::from_name(i.c_name()), Some(i));
+        }
+        assert_eq!(Intrinsic::from_name("notafunc"), None);
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Lt.is_predicate());
+        assert!(BinOp::And.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+        assert!(!BinOp::Shl.is_predicate());
+    }
+}

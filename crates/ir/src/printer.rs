@@ -1,0 +1,347 @@
+//! CUDA-like pretty printer.
+//!
+//! CATT is a *source-to-source* transformation (paper §4): after inserting
+//! throttling code the compiler re-emits CUDA C. This module renders the
+//! IR back to compilable-looking CUDA source. The frontend parses the
+//! printer's output back to an identical module (round-trip property,
+//! tested in `catt-frontend`).
+
+use crate::expr::{Expr, UnOp};
+use crate::kernel::{Kernel, Module, Param, ParamTy};
+use crate::stmt::{LValue, Stmt};
+use std::fmt::Write;
+
+/// Render an expression as C source.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Float(v) => {
+            // Keep a decimal point / exponent so it re-parses as float.
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}f");
+            } else {
+                let _ = write!(out, "{v}f");
+            }
+        }
+        Expr::Var(n) => out.push_str(n),
+        Expr::Builtin(b) => out.push_str(b.c_name()),
+        Expr::Unary(op, a) => {
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            });
+            // `-(-1)` must not print as `--1` (which lexes as a
+            // decrement); parenthesize operands that start with `-`.
+            let starts_negative = matches!(
+                a.as_ref(),
+                Expr::Int(v) if *v < 0
+            ) || matches!(a.as_ref(), Expr::Float(v) if *v < 0.0)
+                || matches!(a.as_ref(), Expr::Unary(UnOp::Neg, _));
+            if *op == UnOp::Neg && starts_negative {
+                out.push('(');
+                write_expr(out, a, 0);
+                out.push(')');
+            } else {
+                write_expr(out, a, 11);
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let prec = op.precedence();
+            let need_paren = prec < parent_prec;
+            if need_paren {
+                out.push('(');
+            }
+            write_expr(out, a, prec);
+            let _ = write!(out, " {} ", op.c_name());
+            // +1: left-associative, so the right child needs parens at
+            // equal precedence (e.g. `a - (b - c)`).
+            write_expr(out, b, prec + 1);
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::Index(arr, idx) => {
+            out.push_str(arr);
+            out.push('[');
+            write_expr(out, idx, 0);
+            out.push(']');
+        }
+        Expr::Call(intr, args) => {
+            out.push_str(intr.c_name());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Cast(ty, a) => {
+            let _ = write!(out, "({})", ty.c_name());
+            write_expr(out, a, 11);
+        }
+        Expr::Select(c, a, b) => {
+            out.push('(');
+            write_expr(out, c, 1);
+            out.push_str(" ? ");
+            write_expr(out, a, 1);
+            out.push_str(" : ");
+            write_expr(out, b, 1);
+            out.push(')');
+        }
+    }
+}
+
+fn write_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    write_indent(out, depth);
+    match s {
+        Stmt::DeclScalar { name, ty, init } => {
+            let _ = write!(out, "{} {}", ty.c_name(), name);
+            if let Some(e) = init {
+                out.push_str(" = ");
+                write_expr(out, e, 0);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::DeclShared { name, elem, len } => {
+            let _ = writeln!(out, "__shared__ {} {}[{}];", elem.c_name(), name, len);
+        }
+        Stmt::Assign { lhs, op, rhs } => {
+            match lhs {
+                LValue::Var(n) => out.push_str(n),
+                LValue::Elem(n, idx) => {
+                    out.push_str(n);
+                    out.push('[');
+                    write_expr(out, idx, 0);
+                    out.push(']');
+                }
+            }
+            match op {
+                Some(o) => {
+                    let _ = write!(out, " {}= ", o.c_name());
+                }
+                None => out.push_str(" = "),
+            }
+            write_expr(out, rhs, 0);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then, els } => {
+            out.push_str("if (");
+            write_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for st in then {
+                write_stmt(out, st, depth + 1);
+            }
+            write_indent(out, depth);
+            if els.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for st in els {
+                    write_stmt(out, st, depth + 1);
+                }
+                write_indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::For {
+            var,
+            decl,
+            init,
+            cond_op,
+            bound,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            if *decl {
+                out.push_str("int ");
+            }
+            let _ = write!(out, "{var} = ");
+            write_expr(out, init, 0);
+            let _ = write!(out, "; {var} {} ", cond_op.c_name());
+            write_expr(out, bound, 0);
+            out.push_str("; ");
+            if step.const_int() == Some(1) {
+                let _ = write!(out, "{var}++");
+            } else {
+                let _ = write!(out, "{var} += ");
+                write_expr(out, step, 0);
+            }
+            out.push_str(") {\n");
+            for st in body {
+                write_stmt(out, st, depth + 1);
+            }
+            write_indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            out.push_str("while (");
+            write_expr(out, cond, 0);
+            out.push_str(") {\n");
+            for st in body {
+                write_stmt(out, st, depth + 1);
+            }
+            write_indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::SyncThreads => out.push_str("__syncthreads();\n"),
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Return => out.push_str("return;\n"),
+        Stmt::ExprStmt(e) => {
+            write_expr(out, e, 0);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn write_param(out: &mut String, p: &Param) {
+    match p.ty {
+        ParamTy::Ptr(elem) => {
+            let _ = write!(out, "{} *{}", elem.c_name(), p.name);
+        }
+        ParamTy::Scalar(ty) => {
+            let _ = write!(out, "{} {}", ty.c_name(), p.name);
+        }
+    }
+}
+
+/// Render one kernel as CUDA source.
+pub fn kernel_to_string(k: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "__global__ void {}(", k.name);
+    for (i, p) in k.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_param(&mut out, p);
+    }
+    out.push_str(") {\n");
+    for s in &k.body {
+        write_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole module (defines first, then kernels).
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for (name, val) in &m.defines {
+        let _ = writeln!(out, "#define {name} {val}");
+    }
+    if !m.defines.is_empty() {
+        out.push('\n');
+    }
+    for (i, k) in m.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&kernel_to_string(k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DType;
+
+    #[test]
+    fn atax_like_kernel_prints() {
+        // Mirror of the paper's Fig. 1.
+        let body = vec![
+            Stmt::decl_i32("i", Expr::linear_tid()),
+            Stmt::if_then(
+                Expr::var("i").lt(Expr::int(40960)),
+                vec![Stmt::for_up(
+                    "j",
+                    Expr::int(40960),
+                    vec![Stmt::store_acc(
+                        "tmp",
+                        Expr::var("i"),
+                        Expr::var("i")
+                            .mul(Expr::int(40960))
+                            .add(Expr::var("j"))
+                            .index_into("A")
+                            .mul(Expr::var("j").index_into("B")),
+                    )],
+                )],
+            ),
+        ];
+        let k = Kernel::new(
+            "atax_kernel1",
+            vec![
+                Param::ptr("A", DType::F32),
+                Param::ptr("B", DType::F32),
+                Param::ptr("tmp", DType::F32),
+            ],
+            body,
+        );
+        let s = kernel_to_string(&k);
+        assert!(s.contains("__global__ void atax_kernel1(float *A, float *B, float *tmp)"));
+        assert!(s.contains("int i = blockIdx.x * blockDim.x + threadIdx.x;"));
+        assert!(s.contains("for (int j = 0; j < 40960; j++)"));
+        assert!(s.contains("tmp[i] += A[i * 40960 + j] * B[j];"));
+    }
+
+    #[test]
+    fn parens_only_where_needed() {
+        // (a + b) * c needs parens; a + b * c does not.
+        let e = Expr::var("a").add(Expr::var("b")).mul(Expr::var("c"));
+        assert_eq!(expr_to_string(&e), "(a + b) * c");
+        let e = Expr::var("a").add(Expr::var("b").mul(Expr::var("c")));
+        assert_eq!(expr_to_string(&e), "a + b * c");
+    }
+
+    #[test]
+    fn left_assoc_subtraction_parens() {
+        // a - (b - c) must keep its parens.
+        let e = Expr::var("a").sub(Expr::var("b").sub(Expr::var("c")));
+        assert_eq!(expr_to_string(&e), "a - (b - c)");
+        // (a - b) - c prints without them.
+        let e = Expr::var("a").sub(Expr::var("b")).sub(Expr::var("c"));
+        assert_eq!(expr_to_string(&e), "a - b - c");
+    }
+
+    #[test]
+    fn float_literals_reparse_as_float() {
+        assert_eq!(expr_to_string(&Expr::Float(0.0)), "0.0f");
+        assert_eq!(expr_to_string(&Expr::Float(1.5)), "1.5f");
+    }
+
+    #[test]
+    fn shared_decl_prints() {
+        let s = Stmt::DeclShared {
+            name: "dummy_shared".into(),
+            elem: DType::F32,
+            len: 12288,
+        };
+        let mut out = String::new();
+        write_stmt(&mut out, &s, 0);
+        assert_eq!(out, "__shared__ float dummy_shared[12288];\n");
+    }
+
+    #[test]
+    fn comparison_inside_logical_and() {
+        let e = Expr::var("w")
+            .ge(Expr::int(0))
+            .and(Expr::var("w").lt(Expr::int(4)));
+        assert_eq!(expr_to_string(&e), "w >= 0 && w < 4");
+    }
+}

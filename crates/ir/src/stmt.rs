@@ -1,0 +1,200 @@
+//! Statements of the CUDA-C subset.
+
+use crate::expr::{BinOp, Expr};
+use crate::types::DType;
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar local variable.
+    Var(String),
+    /// An array element, `array[index]`.
+    Elem(String, Expr),
+}
+
+impl LValue {
+    /// The variable or array name being written.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) => n,
+            LValue::Elem(n, _) => n,
+        }
+    }
+}
+
+/// Statements. Control flow is structured: there is no `goto`, and
+/// `break`/`continue` bind to the innermost loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local scalar declaration: `int i = ...;` / `float acc;`
+    DeclScalar {
+        name: String,
+        ty: DType,
+        init: Option<Expr>,
+    },
+    /// Shared-memory array declaration: `__shared__ float buf[256];`
+    ///
+    /// `len` must be a compile-time constant: shared-memory usage must be
+    /// statically known both for occupancy computation (paper Eq. 1) and
+    /// for the TB-level throttling transform (paper Fig. 5).
+    DeclShared {
+        name: String,
+        elem: DType,
+        len: u32,
+    },
+    /// Assignment `lhs op= rhs` (`op == None` for plain `=`).
+    Assign {
+        lhs: LValue,
+        op: Option<BinOp>,
+        rhs: Expr,
+    },
+    /// `if (cond) { then } else { els }`
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
+    /// Canonical counted loop:
+    /// `for (var = init; var < bound (or <=,>,>=,!=); var += step) body`.
+    ///
+    /// Keeping loops canonical is what lets the affine analysis identify
+    /// the iterator variable and its stride directly; the parser rejects
+    /// non-canonical `for` headers.
+    For {
+        var: String,
+        /// Whether the header declares the variable (`for (int j = ...`).
+        decl: bool,
+        init: Expr,
+        /// Comparison op of the guard, one of `<, <=, >, >=, !=`.
+        cond_op: BinOp,
+        bound: Expr,
+        /// Signed stride added each iteration (`j += step`).
+        step: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `while (cond) body` — used by irregular workloads (e.g. BFS) whose
+    /// trip count is data-dependent.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `__syncthreads();` — thread-block barrier.
+    SyncThreads,
+    /// `break;`
+    Break,
+    /// `return;` (kernels return `void`).
+    Return,
+    /// Evaluate an expression for its side-free value and discard it
+    /// (kept for parser completeness; lowering drops it).
+    ExprStmt(Expr),
+}
+
+impl Stmt {
+    /// Plain assignment to a scalar variable.
+    pub fn assign(name: impl Into<String>, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs: LValue::Var(name.into()),
+            op: None,
+            rhs,
+        }
+    }
+
+    /// Plain store to an array element.
+    pub fn store(array: impl Into<String>, index: Expr, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs: LValue::Elem(array.into(), index),
+            op: None,
+            rhs,
+        }
+    }
+
+    /// Compound store `array[index] += rhs`.
+    pub fn store_acc(array: impl Into<String>, index: Expr, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            lhs: LValue::Elem(array.into(), index),
+            op: Some(BinOp::Add),
+            rhs,
+        }
+    }
+
+    /// `int name = init;`
+    pub fn decl_i32(name: impl Into<String>, init: Expr) -> Stmt {
+        Stmt::DeclScalar {
+            name: name.into(),
+            ty: DType::I32,
+            init: Some(init),
+        }
+    }
+
+    /// `float name = init;`
+    pub fn decl_f32(name: impl Into<String>, init: Expr) -> Stmt {
+        Stmt::DeclScalar {
+            name: name.into(),
+            ty: DType::F32,
+            init: Some(init),
+        }
+    }
+
+    /// Canonical `for (int var = 0; var < bound; var++) body`.
+    pub fn for_up(var: impl Into<String>, bound: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For {
+            var: var.into(),
+            decl: true,
+            init: Expr::int(0),
+            cond_op: BinOp::Lt,
+            bound,
+            step: Expr::int(1),
+            body,
+        }
+    }
+
+    /// `if (cond) { then }` with no else branch.
+    pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then,
+            els: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvalue_name() {
+        assert_eq!(LValue::Var("x".into()).name(), "x");
+        assert_eq!(LValue::Elem("A".into(), Expr::int(0)).name(), "A");
+    }
+
+    #[test]
+    fn for_up_shape() {
+        let s = Stmt::for_up("j", Expr::int(10), vec![]);
+        match s {
+            Stmt::For {
+                var,
+                decl,
+                init,
+                cond_op,
+                bound,
+                step,
+                body,
+            } => {
+                assert_eq!(var, "j");
+                assert!(decl);
+                assert_eq!(init, Expr::int(0));
+                assert_eq!(cond_op, BinOp::Lt);
+                assert_eq!(bound, Expr::int(10));
+                assert_eq!(step, Expr::int(1));
+                assert!(body.is_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_acc_is_compound() {
+        match Stmt::store_acc("A", Expr::int(1), Expr::int(2)) {
+            Stmt::Assign { op, .. } => assert_eq!(op, Some(BinOp::Add)),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Scalar data types of the CUDA-C subset.
+
+use std::fmt;
+
+/// Scalar element/value types supported by the IR.
+///
+/// Arrays are always flat (`float *A` indexed with a single linearized
+/// index), matching the paper's analysis of "linearized arrays on a
+/// linearized thread grid" (§4.2). All scalar types are 32-bit wide, which
+/// is what the coalescing analysis assumes (a fully diverged warp touches
+/// 32 distinct 128-byte lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (`float`).
+    F32,
+    /// 32-bit signed integer (`int`).
+    I32,
+    /// 32-bit unsigned integer (`unsigned int`).
+    U32,
+    /// Boolean (predicate); storage-wise a 32-bit 0/1 value.
+    Bool,
+}
+
+impl DType {
+    /// Size of a value of this type in bytes (always 4 in this subset;
+    /// `Bool` is stored widened).
+    pub const fn size_bytes(self) -> u32 {
+        4
+    }
+
+    /// The CUDA-C spelling of the type.
+    pub const fn c_name(self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::I32 => "int",
+            DType::U32 => "unsigned int",
+            DType::Bool => "bool",
+        }
+    }
+
+    /// Whether the type is one of the integer types (including `Bool`).
+    pub const fn is_integral(self) -> bool {
+        matches!(self, DType::I32 | DType::U32 | DType::Bool)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_word_sized() {
+        for t in [DType::F32, DType::I32, DType::U32, DType::Bool] {
+            assert_eq!(t.size_bytes(), 4);
+        }
+    }
+
+    #[test]
+    fn c_names() {
+        assert_eq!(DType::F32.to_string(), "float");
+        assert_eq!(DType::I32.to_string(), "int");
+        assert_eq!(DType::U32.to_string(), "unsigned int");
+    }
+
+    #[test]
+    fn integral_classification() {
+        assert!(!DType::F32.is_integral());
+        assert!(DType::I32.is_integral());
+        assert!(DType::U32.is_integral());
+        assert!(DType::Bool.is_integral());
+    }
+}

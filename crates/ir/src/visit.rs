@@ -1,0 +1,242 @@
+//! Recursive walkers over statements and expressions.
+//!
+//! The analyses in `catt-core` and the lowering in `catt-sim` both need to
+//! enumerate nested statements / expressions; these helpers centralize the
+//! recursion so each client only writes the per-node logic.
+
+use crate::expr::Expr;
+use crate::stmt::{LValue, Stmt};
+
+/// Call `f` on every statement in `stmts`, pre-order, recursing into
+/// `if`/`for`/`while` bodies.
+pub fn walk_stmts<F: FnMut(&Stmt)>(stmts: &[Stmt], f: &mut F) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then, els, .. } => {
+                walk_stmts(then, f);
+                walk_stmts(els, f);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Mutable pre-order walk over statements.
+pub fn walk_stmts_mut<F: FnMut(&mut Stmt)>(stmts: &mut [Stmt], f: &mut F) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then, els, .. } => {
+                walk_stmts_mut(then, f);
+                walk_stmts_mut(els, f);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => walk_stmts_mut(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Call `f` on every expression appearing in a statement (conditions,
+/// bounds, initializers, assignment sources, and index expressions of
+/// lvalues), recursing into sub-statements and sub-expressions.
+pub fn walk_exprs_in_stmts<F: FnMut(&Expr)>(stmts: &[Stmt], f: &mut F) {
+    walk_stmts(stmts, &mut |s| {
+        match s {
+            Stmt::DeclScalar { init: Some(e), .. } => walk_expr(e, f),
+            Stmt::Assign { lhs, rhs, .. } => {
+                if let LValue::Elem(_, idx) = lhs {
+                    walk_expr(idx, f);
+                }
+                walk_expr(rhs, f);
+            }
+            Stmt::If { cond, .. } => walk_expr(cond, f),
+            Stmt::For {
+                init, bound, step, ..
+            } => {
+                walk_expr(init, f);
+                walk_expr(bound, f);
+                walk_expr(step, f);
+            }
+            Stmt::While { cond, .. } => walk_expr(cond, f),
+            Stmt::ExprStmt(e) => walk_expr(e, f),
+            _ => {}
+        };
+    });
+}
+
+/// Call `f` on `e` and every sub-expression, pre-order.
+pub fn walk_expr<F: FnMut(&Expr)>(e: &Expr, f: &mut F) {
+    f(e);
+    match e {
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Index(_, a) => walk_expr(a, f),
+        Expr::Binary(_, a, b) => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Select(c, a, b) => {
+            walk_expr(c, f);
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+    }
+}
+
+/// Collect every global-memory access (array name, index expression,
+/// `is_store`) appearing in `stmts`, recursing into nested statements.
+/// `is_global` filters out `__shared__` arrays.
+pub fn collect_accesses<'a>(
+    stmts: &'a [Stmt],
+    is_global: &dyn Fn(&str) -> bool,
+) -> Vec<(&'a str, &'a Expr, bool)> {
+    fn loads<'a>(
+        e: &'a Expr,
+        is_global: &dyn Fn(&str) -> bool,
+        out: &mut Vec<(&'a str, &'a Expr, bool)>,
+    ) {
+        if let Expr::Index(name, idx) = e {
+            if is_global(name) {
+                out.push((name.as_str(), idx.as_ref(), false));
+            }
+        }
+        match e {
+            Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Index(_, a) => loads(a, is_global, out),
+            Expr::Binary(_, a, b) => {
+                loads(a, is_global, out);
+                loads(b, is_global, out);
+            }
+            Expr::Select(c, a, b) => {
+                loads(c, is_global, out);
+                loads(a, is_global, out);
+                loads(b, is_global, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    loads(a, is_global, out);
+                }
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+        }
+    }
+
+    fn go<'a>(
+        stmts: &'a [Stmt],
+        is_global: &dyn Fn(&str) -> bool,
+        out: &mut Vec<(&'a str, &'a Expr, bool)>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::DeclScalar { init: Some(e), .. } => loads(e, is_global, out),
+                Stmt::Assign { lhs, op, rhs } => {
+                    if let LValue::Elem(name, idx) = lhs {
+                        // Index sub-expressions may themselves load
+                        // (indirect addressing, e.g. `x[cols[j]]`).
+                        loads(idx, is_global, out);
+                        if is_global(name) {
+                            out.push((name.as_str(), idx, true));
+                            // A compound assignment (`+=`) also reads the
+                            // element before writing it back.
+                            if op.is_some() {
+                                out.push((name.as_str(), idx, false));
+                            }
+                        }
+                    }
+                    loads(rhs, is_global, out);
+                }
+                Stmt::If { cond, then, els } => {
+                    loads(cond, is_global, out);
+                    go(then, is_global, out);
+                    go(els, is_global, out);
+                }
+                Stmt::For {
+                    init,
+                    bound,
+                    step,
+                    body,
+                    ..
+                } => {
+                    loads(init, is_global, out);
+                    loads(bound, is_global, out);
+                    loads(step, is_global, out);
+                    go(body, is_global, out);
+                }
+                Stmt::While { cond, body } => {
+                    loads(cond, is_global, out);
+                    go(body, is_global, out);
+                }
+                Stmt::ExprStmt(e) => loads(e, is_global, out),
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    go(stmts, is_global, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn walk_counts_nested_stmts() {
+        let stmts = vec![Stmt::for_up(
+            "j",
+            Expr::int(4),
+            vec![Stmt::if_then(Expr::int(1), vec![Stmt::SyncThreads])],
+        )];
+        let mut n = 0;
+        walk_stmts(&stmts, &mut |_| n += 1);
+        assert_eq!(n, 3); // for, if, sync
+    }
+
+    #[test]
+    fn collect_finds_loads_and_stores() {
+        // tmp[i] += A[i * 4 + j] * B[j];
+        let i = Expr::var("i");
+        let j = Expr::var("j");
+        let stmts = vec![Stmt::store_acc(
+            "tmp",
+            i.clone(),
+            Expr::Index("A".into(), Box::new(i.mul(Expr::int(4)).add(j.clone())))
+                .mul(Expr::Index("B".into(), Box::new(j))),
+        )];
+        let acc = collect_accesses(&stmts, &|_| true);
+        let names: Vec<(&str, bool)> = acc.iter().map(|(n, _, s)| (*n, *s)).collect();
+        assert!(names.contains(&("tmp", true)));
+        assert!(names.contains(&("tmp", false))); // compound read
+        assert!(names.contains(&("A", false)));
+        assert!(names.contains(&("B", false)));
+        assert_eq!(acc.len(), 4);
+    }
+
+    #[test]
+    fn collect_respects_is_global_filter() {
+        let stmts = vec![Stmt::store("shmem", Expr::int(0), Expr::int(1))];
+        let acc = collect_accesses(&stmts, &|n| n != "shmem");
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn collect_finds_indirect_index_loads() {
+        // x[cols[j]]
+        let e = Expr::Index(
+            "x".into(),
+            Box::new(Expr::Index("cols".into(), Box::new(Expr::var("j")))),
+        );
+        let stmts = vec![Stmt::assign("v", e)];
+        let acc = collect_accesses(&stmts, &|_| true);
+        let names: Vec<&str> = acc.iter().map(|(n, _, _)| *n).collect();
+        assert!(names.contains(&"x"));
+        assert!(names.contains(&"cols"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the affine index-form extraction: build random
+//! affine expressions with *known* coefficients, obfuscate their shape
+//! (association, subtraction, distribution), and require the analysis to
+//! recover exactly `(C_tid, C_i)` — plus numeric agreement between the
+//! extracted polynomial and direct expression evaluation.
+
+use catt_ir::affine::{eval_poly, index_form, AffineEnv, Sym};
+use catt_ir::expr::{BinOp, Builtin, Expr};
+use proptest::prelude::*;
+
+fn env() -> AffineEnv {
+    let mut e = AffineEnv::with_launch((256, 1, 1), (64, 1, 1));
+    let p = eval_poly(&Expr::linear_tid(), &e).unwrap();
+    e.bind("i", p);
+    e
+}
+
+/// Random structural variants of `c_tid*i + c_iter*j + c0`.
+fn affine_expr(c_tid: i64, c_iter: i64, c0: i64, shape: u8) -> Expr {
+    let i = Expr::var("i");
+    let j = Expr::var("j");
+    let t1 = i.clone().mul(Expr::int(c_tid));
+    let t2 = j.clone().mul(Expr::int(c_iter));
+    let t3 = Expr::int(c0);
+    match shape % 6 {
+        0 => t1.add(t2).add(t3),
+        1 => t3.add(t2).add(t1),
+        2 => t2.add(t1.add(t3)),
+        // Distribute: (i + j) * c + i*(c_tid - c) + j*(c_iter - c) + c0
+        3 => {
+            let c = 2;
+            i.clone()
+                .add(j.clone())
+                .mul(Expr::int(c))
+                .add(i.mul(Expr::int(c_tid - c)))
+                .add(j.mul(Expr::int(c_iter - c)))
+                .add(t3)
+        }
+        // Subtraction: i*(c_tid+5) + j*c_iter + c0 - i*5
+        4 => i
+            .clone()
+            .mul(Expr::int(c_tid + 5))
+            .add(t2)
+            .add(t3)
+            .sub(i.mul(Expr::int(5))),
+        // Constant-folded multiplier: i * (2 * (c_tid/2)) + rem…
+        _ => {
+            let half = c_tid / 2;
+            let rest = c_tid - half;
+            i.clone()
+                .mul(Expr::int(half))
+                .add(i.mul(Expr::int(rest)))
+                .add(t2)
+                .add(t3)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn recovers_exact_coefficients(
+        c_tid in -4096i64..4096,
+        c_iter in -128i64..128,
+        c0 in -1000i64..1000,
+        shape in 0u8..6,
+    ) {
+        let e = affine_expr(c_tid, c_iter, c0, shape);
+        let f = index_form(&e, Some("j"), &env());
+        prop_assert_eq!(f.c_tid, Some(c_tid));
+        prop_assert_eq!(f.c_iter, Some(c_iter));
+    }
+
+    /// The polynomial evaluates to the same value as the expression under
+    /// random assignments of threadIdx/blockIdx/j.
+    #[test]
+    fn polynomial_agrees_with_direct_evaluation(
+        c_tid in -64i64..64,
+        c_iter in -64i64..64,
+        c0 in -100i64..100,
+        shape in 0u8..6,
+        tx in 0i64..256,
+        bx in 0i64..64,
+        j in 0i64..512,
+    ) {
+        let e = affine_expr(c_tid, c_iter, c0, shape);
+        let env = env();
+        let p = eval_poly(&e, &env).unwrap();
+        // Direct: i = bx*256 + tx.
+        let i = bx * 256 + tx;
+        let direct = c_tid * i + c_iter * j + c0;
+        let from_poly = p.coeff(&Sym::ThreadIdx(0)) * tx
+            + p.coeff(&Sym::BlockIdx(0)) * bx
+            + p.coeff(&Sym::Var("j".into())) * j
+            + p.c0;
+        prop_assert_eq!(direct, from_poly);
+    }
+
+    /// Anything containing an indirect load is irregular, no matter how
+    /// it is wrapped in affine arithmetic.
+    #[test]
+    fn indirection_always_poisons(
+        c in -64i64..64,
+        wrap in 0u8..3,
+    ) {
+        let gather = Expr::Index("cols".into(), Box::new(Expr::var("j")));
+        let e = match wrap {
+            0 => gather.add(Expr::int(c)),
+            1 => Expr::var("i").mul(Expr::int(c)).add(gather),
+            _ => gather.mul(Expr::int(1)).add(Expr::var("j")),
+        };
+        let f = index_form(&e, Some("j"), &env());
+        prop_assert_eq!(f.c_tid, None);
+        prop_assert_eq!(f.c_iter, None);
+    }
+
+    /// Multiplying two thread-dependent terms is never affine.
+    #[test]
+    fn nonlinear_products_are_rejected(scale in 1i64..100) {
+        let e = Expr::var("i").mul(Expr::var("j")).mul(Expr::int(scale));
+        let env = env();
+        prop_assert!(eval_poly(&e, &env).is_none());
+    }
+
+    /// Builtin shifts: using threadIdx.y in the index contributes to the
+    /// y-coefficient, never to the x one.
+    #[test]
+    fn y_dimension_does_not_leak_into_x(c in 1i64..64) {
+        let e = Expr::Builtin(Builtin::ThreadIdxY).mul(Expr::int(c)).add(Expr::var("j"));
+        let f = index_form(&e, Some("j"), &env());
+        prop_assert_eq!(f.c_tid, Some(0));
+        prop_assert_eq!(f.c_iter, Some(1));
+    }
+
+    /// Shifting left by k equals multiplying by 2^k in the extracted form.
+    #[test]
+    fn shl_matches_mul(k in 0u32..8, c_iter in -16i64..16) {
+        let shifted = Expr::Binary(
+            BinOp::Shl,
+            Box::new(Expr::var("i")),
+            Box::new(Expr::int(k as i64)),
+        )
+        .add(Expr::var("j").mul(Expr::int(c_iter)));
+        let f = index_form(&shifted, Some("j"), &env());
+        prop_assert_eq!(f.c_tid, Some(1 << k));
+        prop_assert_eq!(f.c_iter, Some(c_iter));
+    }
+}

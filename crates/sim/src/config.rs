@@ -1,0 +1,284 @@
+//! Simulated GPU configuration (geometry, capacities, latencies).
+
+/// The shared-memory carve-out options per SM on Volta, in KB (paper §4.1:
+/// "The Nvidia Volta GPU can configure the size of shared memory to be 0,
+/// 8, 16, 32, 64, or 96 KB per SM"). The L1D receives the remainder of the
+/// 128 KB unified on-chip memory.
+pub const SMEM_CONFIGS_KB: [u32; 6] = [0, 8, 16, 32, 64, 96];
+
+/// L1 data-cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes (128 on Nvidia hardware; the unit the paper's
+    /// footprint analysis counts in).
+    pub line_bytes: u32,
+    /// Set associativity.
+    pub assoc: u32,
+}
+
+impl L1Config {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        (self.size_bytes / self.line_bytes / self.assoc).max(1)
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// Latency model, in SM cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// ALU dependent-use latency.
+    pub alu: u64,
+    /// Special-function (sqrt/exp/...) latency.
+    pub sfu: u64,
+    /// L1D hit latency.
+    pub l1_hit: u64,
+    /// L1D miss service latency (L2 hit; we fold L2/DRAM into one
+    /// off-chip latency — the contention effect comes from the miss *rate*
+    /// and the off-chip bandwidth limit, not the precise split).
+    pub offchip: u64,
+    /// Shared-memory access latency.
+    pub shared: u64,
+    /// Cycles the off-chip port is occupied per 128-byte request: the
+    /// inverse per-SM off-chip bandwidth. This is what makes thrashing
+    /// hurt beyond raw latency — divergent misses queue behind each
+    /// other. 8 cycles/128 B = 16 B/cycle/SM, between Volta's per-SM L2
+    /// bandwidth and its DRAM share (a thrashing working set spills past
+    /// the L2).
+    pub offchip_port: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            alu: 4,
+            sfu: 16,
+            l1_hit: 28,
+            offchip: 380,
+            shared: 24,
+            offchip_port: 8,
+        }
+    }
+}
+
+/// Full simulated-GPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Warp size (32 on all Nvidia architectures).
+    pub warp_size: u32,
+    /// Maximum resident warps per SM (64 on Volta).
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM (32 on Volta).
+    pub max_tbs_per_sm: u32,
+    /// Warp schedulers per SM (4 on Volta).
+    pub schedulers_per_sm: u32,
+    /// Register file per SM in bytes (256 KB on Volta).
+    pub regfile_bytes_per_sm: u32,
+    /// Unified on-chip memory per SM in bytes (128 KB on Volta), split
+    /// between shared memory and L1D.
+    pub onchip_bytes_per_sm: u32,
+    /// Shared-memory carve-out in bytes (one of [`SMEM_CONFIGS_KB`] × 1024).
+    pub smem_carveout_bytes: u32,
+    /// Optional cap on the L1D size in bytes, *below* what the carve-out
+    /// would leave. Used for the paper's 32 KB-L1D sensitivity study
+    /// (§5.1.3) where the L1D is fixed at 32 KB regardless of carve-out.
+    pub l1_cap_bytes: Option<u32>,
+    /// L1D line size in bytes.
+    pub l1_line_bytes: u32,
+    /// L1D associativity.
+    pub l1_assoc: u32,
+    /// Latency model.
+    pub latencies: Latencies,
+    /// Record the per-instruction off-chip request trace (paper Fig. 2).
+    /// Costs memory; off by default.
+    pub trace_requests: bool,
+    /// Enable DYNCTA-style *dynamic* thread-block throttling (the
+    /// hardware-monitoring baseline of paper §2.2): the SM samples its
+    /// stall behaviour and raises/lowers the number of schedulable
+    /// resident blocks at run time. `None` = plain hardware.
+    pub dyncta: Option<DynctaConfig>,
+}
+
+/// Parameters of the DYNCTA-style dynamic throttler (Kayiran et al.,
+/// PACT'13, as summarized in the paper's §2.2): sample the fraction of
+/// issue slots lost to stalls over a window; if the SM looks
+/// memory-congested, pause one resident block, and if it looks
+/// underutilized, resume one. This is the *reactive* scheme CATT's
+/// compile-time decisions are contrasted against — it needs warm-up
+/// windows before converging and re-converges on every phase change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynctaConfig {
+    /// Sampling window in cycles.
+    pub window: u64,
+    /// Stall fraction above which a block is paused (memory congestion).
+    pub t_high: f64,
+    /// Stall fraction below which a paused block is resumed.
+    pub t_low: f64,
+}
+
+impl Default for DynctaConfig {
+    fn default() -> DynctaConfig {
+        DynctaConfig {
+            window: 4096,
+            t_high: 0.7,
+            t_low: 0.3,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Titan V (Volta)-like preset, the paper's Table 1: 80 SMs, 256 KB
+    /// register file per SM, 128 KB unified on-chip memory per SM.
+    pub fn titan_v() -> GpuConfig {
+        GpuConfig {
+            num_sms: 80,
+            warp_size: 32,
+            max_warps_per_sm: 64,
+            max_tbs_per_sm: 32,
+            schedulers_per_sm: 4,
+            regfile_bytes_per_sm: 256 * 1024,
+            onchip_bytes_per_sm: 128 * 1024,
+            smem_carveout_bytes: 0,
+            l1_cap_bytes: None,
+            l1_line_bytes: 128,
+            l1_assoc: 4,
+            latencies: Latencies::default(),
+            trace_requests: false,
+            dyncta: None,
+        }
+    }
+
+    /// A single-SM Titan V, the default evaluation vehicle: cache
+    /// contention is a per-SM phenomenon, and simulating one SM with the
+    /// thread blocks it would receive reproduces it at a fraction of the
+    /// cost (see DESIGN.md "Substitutions").
+    pub fn titan_v_1sm() -> GpuConfig {
+        GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::titan_v()
+        }
+    }
+
+    /// A deliberately small GPU for unit tests: 1 SM, 8 warp slots,
+    /// 4 KB L1D — so tests can provoke capacity effects with tiny inputs.
+    pub fn small() -> GpuConfig {
+        GpuConfig {
+            num_sms: 1,
+            warp_size: 32,
+            max_warps_per_sm: 8,
+            max_tbs_per_sm: 4,
+            schedulers_per_sm: 2,
+            regfile_bytes_per_sm: 256 * 1024,
+            onchip_bytes_per_sm: 128 * 1024,
+            smem_carveout_bytes: 0,
+            l1_cap_bytes: Some(4 * 1024),
+            l1_line_bytes: 128,
+            l1_assoc: 4,
+            latencies: Latencies::default(),
+            trace_requests: false,
+            dyncta: None,
+        }
+    }
+
+    /// Configure the shared-memory carve-out to the smallest option (in
+    /// [`SMEM_CONFIGS_KB`]) that still provides `needed_bytes` of shared
+    /// memory, maximizing the L1D with the rest (paper §4.1, Eq. 4's
+    /// consumer). Returns `None` if the requirement exceeds 96 KB.
+    pub fn with_smem_for(mut self, needed_bytes: u32) -> Option<GpuConfig> {
+        let kb = SMEM_CONFIGS_KB
+            .iter()
+            .copied()
+            .find(|kb| kb * 1024 >= needed_bytes)?;
+        self.smem_carveout_bytes = kb * 1024;
+        Some(self)
+    }
+
+    /// The L1D capacity in bytes implied by the carve-out (and the
+    /// optional explicit cap).
+    pub fn l1d_bytes(&self) -> u32 {
+        let from_carveout = self.onchip_bytes_per_sm - self.smem_carveout_bytes;
+        match self.l1_cap_bytes {
+            Some(cap) => cap.min(from_carveout),
+            None => from_carveout,
+        }
+    }
+
+    /// L1D geometry.
+    pub fn l1_config(&self) -> L1Config {
+        L1Config {
+            size_bytes: self.l1d_bytes(),
+            line_bytes: self.l1_line_bytes,
+            assoc: self.l1_assoc,
+        }
+    }
+
+    /// Register file capacity in 32-bit registers per SM.
+    pub fn regs_per_sm(&self) -> u32 {
+        self.regfile_bytes_per_sm / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_v_matches_table1() {
+        let c = GpuConfig::titan_v();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.regfile_bytes_per_sm, 256 * 1024);
+        // 0 KB smem → max 128 KB L1D; 96 KB smem → 32 KB L1D.
+        assert_eq!(c.l1d_bytes(), 128 * 1024);
+        let c96 = c.clone().with_smem_for(96 * 1024).unwrap();
+        assert_eq!(c96.l1d_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn smem_carveout_picks_smallest_fit() {
+        let c = GpuConfig::titan_v();
+        assert_eq!(c.clone().with_smem_for(0).unwrap().smem_carveout_bytes, 0);
+        assert_eq!(
+            c.clone().with_smem_for(1).unwrap().smem_carveout_bytes,
+            8 * 1024
+        );
+        assert_eq!(
+            c.clone().with_smem_for(8 * 1024).unwrap().smem_carveout_bytes,
+            8 * 1024
+        );
+        assert_eq!(
+            c.clone()
+                .with_smem_for(8 * 1024 + 1)
+                .unwrap()
+                .smem_carveout_bytes,
+            16 * 1024
+        );
+        assert!(c.clone().with_smem_for(97 * 1024).is_none());
+    }
+
+    #[test]
+    fn l1_cap_clamps() {
+        let mut c = GpuConfig::titan_v();
+        c.l1_cap_bytes = Some(32 * 1024);
+        assert_eq!(c.l1d_bytes(), 32 * 1024);
+        // Cap never *raises* the size.
+        c.smem_carveout_bytes = 96 * 1024;
+        c.l1_cap_bytes = Some(64 * 1024);
+        assert_eq!(c.l1d_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let c = GpuConfig::small();
+        let l1 = c.l1_config();
+        assert_eq!(l1.num_lines(), 32);
+        assert_eq!(l1.num_sets(), 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulated global (off-chip) memory and kernel arguments.
+
+/// Handle to a device buffer in [`GlobalMem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buffer {
+    /// Byte address of the first element in the flat device address space.
+    pub addr: u32,
+    /// Length in 32-bit elements.
+    pub len: u32,
+}
+
+/// A kernel launch argument; must match the kernel parameter list
+/// positionally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// Pointer argument.
+    Buf(Buffer),
+    /// Scalar `int`.
+    I32(i32),
+    /// Scalar `unsigned int`.
+    U32(u32),
+    /// Scalar `float`.
+    F32(f32),
+}
+
+impl Arg {
+    /// The 32-bit register image of the argument (base address for
+    /// buffers, bit pattern for scalars).
+    pub fn register_image(&self) -> u32 {
+        match self {
+            Arg::Buf(b) => b.addr,
+            Arg::I32(v) => *v as u32,
+            Arg::U32(v) => *v,
+            Arg::F32(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Flat simulated device memory. All buffers live in one 32-bit byte
+/// address space; allocation is a bump allocator with 256-byte alignment
+/// (mirroring `cudaMalloc`'s alignment guarantees, and ensuring distinct
+/// buffers never share a cache line).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMem {
+    /// Backing store, indexed by word (byte address / 4).
+    words: Vec<u32>,
+}
+
+const ALIGN_BYTES: u32 = 256;
+
+impl GlobalMem {
+    /// Empty memory.
+    pub fn new() -> GlobalMem {
+        GlobalMem::default()
+    }
+
+    fn alloc_words(&mut self, len: u32) -> Buffer {
+        let addr_bytes = (self.words.len() as u32 * 4).next_multiple_of(ALIGN_BYTES);
+        let start_word = (addr_bytes / 4) as usize;
+        self.words.resize(start_word + len as usize, 0);
+        Buffer {
+            addr: addr_bytes,
+            len,
+        }
+    }
+
+    /// Allocate and initialize a float buffer.
+    pub fn alloc_f32(&mut self, data: &[f32]) -> Buffer {
+        let b = self.alloc_words(data.len() as u32);
+        for (i, v) in data.iter().enumerate() {
+            self.words[b.addr as usize / 4 + i] = v.to_bits();
+        }
+        b
+    }
+
+    /// Allocate and initialize an int buffer.
+    pub fn alloc_i32(&mut self, data: &[i32]) -> Buffer {
+        let b = self.alloc_words(data.len() as u32);
+        for (i, v) in data.iter().enumerate() {
+            self.words[b.addr as usize / 4 + i] = *v as u32;
+        }
+        b
+    }
+
+    /// Allocate a zero-filled float buffer of `len` elements.
+    pub fn alloc_zeroed(&mut self, len: u32) -> Buffer {
+        self.alloc_words(len)
+    }
+
+    /// Read a buffer back as floats.
+    pub fn read_f32(&self, b: Buffer) -> Vec<f32> {
+        let start = b.addr as usize / 4;
+        self.words[start..start + b.len as usize]
+            .iter()
+            .map(|w| f32::from_bits(*w))
+            .collect()
+    }
+
+    /// Read a buffer back as ints.
+    pub fn read_i32(&self, b: Buffer) -> Vec<i32> {
+        let start = b.addr as usize / 4;
+        self.words[start..start + b.len as usize]
+            .iter()
+            .map(|w| *w as i32)
+            .collect()
+    }
+
+    /// Overwrite a buffer's contents with floats (must fit).
+    pub fn write_f32(&mut self, b: Buffer, data: &[f32]) {
+        assert!(data.len() as u32 <= b.len, "write exceeds buffer length");
+        let start = b.addr as usize / 4;
+        for (i, v) in data.iter().enumerate() {
+            self.words[start + i] = v.to_bits();
+        }
+    }
+
+    /// Overwrite a buffer's contents with ints (must fit).
+    pub fn write_i32(&mut self, b: Buffer, data: &[i32]) {
+        assert!(data.len() as u32 <= b.len, "write exceeds buffer length");
+        let start = b.addr as usize / 4;
+        for (i, v) in data.iter().enumerate() {
+            self.words[start + i] = *v as u32;
+        }
+    }
+
+    /// Load a word by byte address. Out-of-bounds reads return 0 (the
+    /// simulator's equivalent of reading unmapped memory without faulting;
+    /// workloads are written to stay in bounds and tests assert on data).
+    #[inline]
+    pub fn load(&self, byte_addr: u32) -> u32 {
+        self.words.get(byte_addr as usize / 4).copied().unwrap_or(0)
+    }
+
+    /// Store a word by byte address. Out-of-bounds writes are dropped.
+    #[inline]
+    pub fn store(&mut self, byte_addr: u32, value: u32) {
+        if let Some(w) = self.words.get_mut(byte_addr as usize / 4) {
+            *w = value;
+        }
+    }
+
+    /// Total allocated footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_line_aligned_and_disjoint() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_f32(&[1.0; 3]);
+        let b = m.alloc_f32(&[2.0; 5]);
+        assert_eq!(a.addr % ALIGN_BYTES, 0);
+        assert_eq!(b.addr % ALIGN_BYTES, 0);
+        assert!(b.addr >= a.addr + 3 * 4);
+        assert_eq!(m.read_f32(a), vec![1.0; 3]);
+        assert_eq!(m.read_f32(b), vec![2.0; 5]);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_zeroed(4);
+        m.store(a.addr + 8, 7);
+        assert_eq!(m.load(a.addr + 8), 7);
+        assert_eq!(m.read_i32(a), vec![0, 0, 7, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_benign() {
+        let mut m = GlobalMem::new();
+        assert_eq!(m.load(1 << 30), 0);
+        m.store(1 << 30, 42); // dropped
+        assert_eq!(m.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn arg_register_images() {
+        assert_eq!(Arg::I32(-1).register_image(), u32::MAX);
+        assert_eq!(Arg::F32(1.0).register_image(), 1.0f32.to_bits());
+        let b = Buffer { addr: 512, len: 4 };
+        assert_eq!(Arg::Buf(b).register_image(), 512);
+    }
+
+    #[test]
+    fn write_f32_overwrites() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_zeroed(3);
+        m.write_f32(a, &[1.0, 2.0, 3.0]);
+        assert_eq!(m.read_f32(a), vec![1.0, 2.0, 3.0]);
+    }
+}

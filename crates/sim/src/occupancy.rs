@@ -1,0 +1,110 @@
+//! Occupancy model: maximum resident thread blocks per SM (paper Eq. 1–3).
+//!
+//! The same equations drive both the simulator's thread-block dispatcher
+//! and CATT's static analysis in `catt-core`, so decisions and simulated
+//! behaviour agree by construction.
+
+use crate::config::GpuConfig;
+
+/// Per-limiter breakdown of the occupancy computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyLimits {
+    /// Eq. 1: `#TB_shm = SIZE_shm_SM / USE_shm_TB` (`u32::MAX` when the
+    /// kernel uses no shared memory).
+    pub tb_shm: u32,
+    /// Eq. 2: `#TB_reg = SIZE_reg_SM / USE_reg_TB`.
+    pub tb_reg: u32,
+    /// Warp-slot limit: `max_warps_per_sm / #Warps_TB`.
+    pub tb_warps: u32,
+    /// Hardware TB limit per SM.
+    pub tb_hw: u32,
+}
+
+impl OccupancyLimits {
+    /// Eq. 3: `#TB_SM = Min(...)`.
+    pub fn resident_tbs(&self) -> u32 {
+        self.tb_shm
+            .min(self.tb_reg)
+            .min(self.tb_warps)
+            .min(self.tb_hw)
+    }
+}
+
+/// Compute the occupancy limits for a kernel with `smem_per_tb` bytes of
+/// shared memory, `regs_per_thread` registers, and `threads_per_tb`
+/// threads per block, on `config`.
+///
+/// Returns blocks-per-SM of 0 when a single block cannot fit (e.g. its
+/// shared memory exceeds the carve-out) — an invalid launch.
+pub fn max_resident_tbs(
+    config: &GpuConfig,
+    smem_per_tb: u32,
+    regs_per_thread: u32,
+    threads_per_tb: u32,
+) -> OccupancyLimits {
+    let tb_shm = if smem_per_tb == 0 {
+        u32::MAX
+    } else {
+        config.smem_carveout_bytes / smem_per_tb
+    };
+    let regs_per_tb = regs_per_thread.max(1) * threads_per_tb.max(1);
+    let tb_reg = config.regs_per_sm() / regs_per_tb;
+    let warps_per_tb = threads_per_tb.max(1).div_ceil(config.warp_size);
+    let tb_warps = config.max_warps_per_sm / warps_per_tb;
+    OccupancyLimits {
+        tb_shm,
+        tb_reg,
+        tb_warps,
+        tb_hw: config.max_tbs_per_sm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_smem_unlimited_by_eq1() {
+        let c = GpuConfig::titan_v();
+        let l = max_resident_tbs(&c, 0, 32, 256);
+        assert_eq!(l.tb_shm, u32::MAX);
+        // 64 warps / 8 warps per TB = 8 resident blocks.
+        assert_eq!(l.tb_warps, 8);
+        assert_eq!(l.resident_tbs(), 8);
+    }
+
+    /// Paper Fig. 5: 48 KB dummy shared per TB on a 96 KB carve-out
+    /// limits the SM to 2 resident blocks.
+    #[test]
+    fn fig5_dummy_smem_limits_to_two_tbs() {
+        let c = GpuConfig::titan_v().with_smem_for(96 * 1024).unwrap();
+        let l = max_resident_tbs(&c, 48 * 1024, 32, 256);
+        assert_eq!(l.tb_shm, 2);
+        assert_eq!(l.resident_tbs(), 2);
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let c = GpuConfig::titan_v();
+        // 256 regs/thread × 256 threads = 65536 regs = whole file → 1 TB.
+        let l = max_resident_tbs(&c, 0, 256, 256);
+        assert_eq!(l.tb_reg, 1);
+        assert_eq!(l.resident_tbs(), 1);
+    }
+
+    #[test]
+    fn smem_larger_than_carveout_gives_zero() {
+        let c = GpuConfig::titan_v().with_smem_for(8 * 1024).unwrap();
+        let l = max_resident_tbs(&c, 64 * 1024, 16, 128);
+        assert_eq!(l.resident_tbs(), 0);
+    }
+
+    #[test]
+    fn hw_limit_caps_small_blocks() {
+        let c = GpuConfig::titan_v();
+        // 32-thread blocks: warp limit allows 64, HW caps at 32.
+        let l = max_resident_tbs(&c, 0, 16, 32);
+        assert_eq!(l.tb_warps, 64);
+        assert_eq!(l.resident_tbs(), 32);
+    }
+}

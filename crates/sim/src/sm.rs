@@ -1,0 +1,916 @@
+//! The streaming-multiprocessor execution engine.
+//!
+//! Each SM owns: warp slots filled by the occupancy-limited thread-block
+//! dispatcher, per-scheduler greedy-then-oldest (GTO) warp arbitration, a
+//! scoreboard per warp (register-ready cycles), one L1D port that accepts
+//! one 128-byte transaction per cycle, an off-chip port modelling per-SM
+//! L2/DRAM bandwidth, and the L1D tag store from [`crate::cache`].
+//!
+//! Timing model summary (per issued warp-instruction):
+//! * ALU: result ready after `latencies.alu` (transcendental: `sfu`);
+//! * global load: addresses coalesce into 128-byte lines; transactions
+//!   serialize on the L1D port; each miss occupies the off-chip port for
+//!   `offchip_port` cycles and completes after `offchip` more; the
+//!   destination register becomes ready when the slowest transaction
+//!   completes;
+//! * global store: write-through, consumes L1D + off-chip port bandwidth,
+//!   does not block the warp;
+//! * shared memory: fixed `shared` latency, one L1D-port cycle
+//!   (bank conflicts are not modelled — see DESIGN.md);
+//! * `__syncthreads`: the warp parks until every non-finished warp of its
+//!   block is parked (arrival-count semantics, so warps that exited early
+//!   never deadlock the block).
+
+use crate::bytecode::{builtin_reg, CmpOp, FBinOp, FUnOp, IBinOp, Op, Program};
+use crate::cache::L1Cache;
+use crate::config::GpuConfig;
+use crate::mem::{Arg, GlobalMem};
+use crate::metrics::LaunchStats;
+use crate::occupancy::max_resident_tbs;
+use crate::warp::{Frame, Warp, WarpState};
+use catt_ir::expr::Builtin;
+use catt_ir::LaunchConfig;
+use std::collections::VecDeque;
+
+/// Execute a full launch: distribute blocks round-robin over SMs and run
+/// each SM to completion. SMs interact only through (functional) global
+/// memory; timing-wise each has its own L1D and off-chip port, so they are
+/// simulated independently and total `cycles` is the maximum over SMs.
+pub fn run_launch(
+    config: &GpuConfig,
+    program: &Program,
+    launch: LaunchConfig,
+    args: &[Arg],
+    mem: &mut GlobalMem,
+) -> LaunchStats {
+    assert_eq!(
+        args.len(),
+        program.param_regs.len(),
+        "kernel `{}` takes {} argument(s), {} given",
+        program.name,
+        program.param_regs.len(),
+        args.len()
+    );
+    // Like the CUDA driver, auto-raise the shared-memory carve-out when
+    // the kernel's static shared memory exceeds the configured one.
+    let auto_cfg;
+    let config = if program.smem_bytes > config.smem_carveout_bytes {
+        auto_cfg = config
+            .clone()
+            .with_smem_for(program.smem_bytes)
+            .unwrap_or_else(|| {
+                panic!(
+                    "kernel `{}` declares {} B of shared memory, above the largest carve-out",
+                    program.name, program.smem_bytes
+                )
+            });
+        &auto_cfg
+    } else {
+        config
+    };
+    let occ = max_resident_tbs(
+        config,
+        program.smem_bytes,
+        program.num_regs as u32,
+        launch.threads_per_block(),
+    );
+    let resident = occ.resident_tbs();
+    assert!(
+        resident > 0,
+        "kernel `{}` cannot launch: a single block exceeds SM resources \
+         (smem {} B, {} regs/thread, {} threads/block)",
+        program.name,
+        program.smem_bytes,
+        program.num_regs,
+        launch.threads_per_block()
+    );
+
+    let num_blocks = launch.num_blocks();
+    let mut total = LaunchStats {
+        resident_tbs_per_sm: resident,
+        ..LaunchStats::default()
+    };
+    if num_blocks == 0 {
+        return total;
+    }
+
+    // Round-robin distribution of linear block ids over SMs.
+    let num_sms = config.num_sms.max(1);
+    for sm_id in 0..num_sms {
+        let blocks: VecDeque<u32> = (0..num_blocks).filter(|b| b % num_sms == sm_id).collect();
+        if blocks.is_empty() {
+            continue;
+        }
+        let trace_this_sm = config.trace_requests && sm_id == 0;
+        let mut sm = Sm::new(config, program, launch, args, mem, resident, trace_this_sm);
+        let stats = sm.run(blocks);
+        total.instructions += stats.instructions;
+        total.l1_accesses += stats.l1_accesses;
+        total.l1_hits += stats.l1_hits;
+        total.offchip_requests += stats.offchip_requests;
+        total.tbs += stats.tbs;
+        total.warps += stats.warps;
+        total.cycles = total.cycles.max(stats.cycles);
+        if trace_this_sm {
+            total.trace = stats.trace;
+        }
+    }
+    total
+}
+
+struct TbSlot {
+    /// Linear block id currently resident, if any.
+    block: Option<u32>,
+    /// Shared-memory segment for this block.
+    smem: Vec<u32>,
+}
+
+struct Sm<'a> {
+    config: &'a GpuConfig,
+    program: &'a Program,
+    launch: LaunchConfig,
+    args: &'a [Arg],
+    mem: &'a mut GlobalMem,
+    cache: L1Cache,
+    /// Next cycle the L1D port is free (1 transaction / cycle).
+    l1_port_free: u64,
+    /// Next cycle the off-chip port is free.
+    offchip_free: u64,
+    cycle: u64,
+    warps: Vec<Warp>,
+    tbs: Vec<TbSlot>,
+    warps_per_tb: u32,
+    /// Lower bound on each warp's next issue cycle — a cheap filter so the
+    /// scheduler only decodes a warp's next instruction when its last
+    /// known stall has elapsed.
+    stall_until: Vec<u64>,
+    /// Per-scheduler last-issued warp (greedy part of GTO).
+    last_issued: Vec<Option<usize>>,
+    dispatch_age: u64,
+    /// DYNCTA: number of resident-TB slots currently allowed to issue
+    /// (slots at or beyond the limit are paused). Always `tbs.len()` when
+    /// dynamic throttling is off.
+    active_tb_limit: usize,
+    /// DYNCTA sampling-window state: (window start cycle, busy cycles).
+    dyncta_window: (u64, u64),
+    trace: bool,
+    stats: LaunchStats,
+}
+
+impl<'a> Sm<'a> {
+    fn new(
+        config: &'a GpuConfig,
+        program: &'a Program,
+        launch: LaunchConfig,
+        args: &'a [Arg],
+        mem: &'a mut GlobalMem,
+        resident: u32,
+        trace: bool,
+    ) -> Sm<'a> {
+        let warps_per_tb = launch.warps_per_block();
+        let nwarps = (resident * warps_per_tb) as usize;
+        let warps = (0..nwarps)
+            .map(|_| Warp::idle(program.num_regs as usize))
+            .collect();
+        let tbs = (0..resident)
+            .map(|_| TbSlot {
+                block: None,
+                smem: vec![0; (program.smem_bytes as usize).div_ceil(4)],
+            })
+            .collect();
+        Sm {
+            config,
+            program,
+            launch,
+            args,
+            mem,
+            cache: L1Cache::new(config.l1_config()),
+            l1_port_free: 0,
+            offchip_free: 0,
+            cycle: 0,
+            stall_until: vec![0; nwarps],
+            warps,
+            tbs,
+            warps_per_tb,
+            last_issued: vec![None; config.schedulers_per_sm as usize],
+            dispatch_age: 0,
+            active_tb_limit: resident as usize,
+            dyncta_window: (0, 0),
+            trace,
+            stats: LaunchStats::default(),
+        }
+    }
+
+    /// DYNCTA-style dynamic adjustment (paper §2.2): at each sampling
+    /// window boundary, compare the fraction of issue slots lost to
+    /// stalls against the thresholds and pause/resume one resident block.
+    /// This is the reactive baseline — it pays a warm-up window before
+    /// reacting and re-converges after every phase change, which is
+    /// exactly the lag CATT's compile-time decisions avoid.
+    fn dyncta_tick(&mut self, issued: bool) {
+        let Some(cfg) = self.config.dyncta else {
+            return;
+        };
+        if issued {
+            self.dyncta_window.1 += 1;
+        }
+        let elapsed = self.cycle - self.dyncta_window.0;
+        if elapsed < cfg.window {
+            return;
+        }
+        let busy = self.dyncta_window.1 as f64 / elapsed as f64;
+        let stall = 1.0 - busy;
+        if stall > cfg.t_high && self.active_tb_limit > 1 {
+            self.active_tb_limit -= 1;
+        } else if stall < cfg.t_low && self.active_tb_limit < self.tbs.len() {
+            self.active_tb_limit += 1;
+        }
+        self.dyncta_window = (self.cycle, 0);
+    }
+
+    fn run(&mut self, mut pending: VecDeque<u32>) -> LaunchStats {
+        loop {
+            self.release_barriers();
+            self.retire_and_refill(&mut pending);
+            if pending.is_empty() && self.tbs.iter().all(|t| t.block.is_none()) {
+                break;
+            }
+            let mut issued = false;
+            for sched in 0..self.last_issued.len() {
+                if let Some(w) = self.pick(sched) {
+                    self.issue(w);
+                    self.stall_until[w] = self.cycle;
+                    self.last_issued[sched] = Some(w);
+                    issued = true;
+                }
+            }
+            self.cycle += 1;
+            self.dyncta_tick(issued);
+            if !issued {
+                match self.earliest_wakeup() {
+                    Some(t) => self.cycle = self.cycle.max(t),
+                    None => {
+                        if self.active_tb_limit < self.tbs.len() {
+                            // Everything schedulable is done but paused
+                            // blocks remain: resume them.
+                            self.active_tb_limit = self.tbs.len();
+                            continue;
+                        }
+                        // No Ready warp can ever issue. Barriers release at
+                        // the top of the loop; reaching here with parked
+                        // warps means a real deadlock (a bug).
+                        let parked = self
+                            .warps
+                            .iter()
+                            .filter(|w| w.state == WarpState::AtBarrier)
+                            .count();
+                        assert!(
+                            parked == 0,
+                            "simulator deadlock in `{}`: {} warp(s) parked at a barrier with no runnable peer",
+                            self.program.name,
+                            parked
+                        );
+                    }
+                }
+            }
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = self.cycle;
+        stats.l1_accesses = self.cache.accesses;
+        stats.l1_hits = self.cache.hits + self.cache.mshr_merges;
+        stats.offchip_requests = self.cache.offchip_requests;
+        stats
+    }
+
+    // ----- dispatch ------------------------------------------------------
+
+    fn retire_and_refill(&mut self, pending: &mut VecDeque<u32>) {
+        for slot in 0..self.tbs.len() {
+            if self.tbs[slot].block.is_some() {
+                let lo = slot * self.warps_per_tb as usize;
+                let hi = lo + self.warps_per_tb as usize;
+                if self.warps[lo..hi].iter().all(|w| w.state == WarpState::Done) {
+                    self.tbs[slot].block = None;
+                    for w in &mut self.warps[lo..hi] {
+                        w.state = WarpState::Idle;
+                    }
+                }
+            }
+            if self.tbs[slot].block.is_none() {
+                if let Some(block) = pending.pop_front() {
+                    self.dispatch(slot, block);
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, slot: usize, block: u32) {
+        self.tbs[slot].block = Some(block);
+        self.tbs[slot].smem.fill(0);
+        self.stats.tbs += 1;
+        let (gx, gy) = (self.launch.grid.x, self.launch.grid.y);
+        let (bx, by) = (self.launch.block.x, self.launch.block.y);
+        let bix = block % gx;
+        let biy = (block / gx) % gy;
+        let biz = block / (gx * gy);
+        let threads = self.launch.threads_per_block();
+        let lo = slot * self.warps_per_tb as usize;
+        for wi in 0..self.warps_per_tb {
+            let w = &mut self.warps[lo + wi as usize];
+            let base_lin = wi * 32;
+            let mut valid = 0u32;
+            for lane in 0..32u32 {
+                if base_lin + lane < threads {
+                    valid |= 1 << lane;
+                }
+            }
+            self.dispatch_age += 1;
+            w.reset(valid, slot as u32, self.dispatch_age);
+            self.stall_until[lo + wi as usize] = 0;
+            self.stats.warps += 1;
+            // Builtin registers.
+            for lane in 0..32u32 {
+                let lin = base_lin + lane;
+                let tx = lin % bx;
+                let ty = (lin / bx) % by;
+                let tz = lin / (bx * by);
+                let l = lane as usize;
+                w.regs[builtin_reg(Builtin::ThreadIdxX) as usize][l] = tx;
+                w.regs[builtin_reg(Builtin::ThreadIdxY) as usize][l] = ty;
+                w.regs[builtin_reg(Builtin::ThreadIdxZ) as usize][l] = tz;
+                w.regs[builtin_reg(Builtin::BlockIdxX) as usize][l] = bix;
+                w.regs[builtin_reg(Builtin::BlockIdxY) as usize][l] = biy;
+                w.regs[builtin_reg(Builtin::BlockIdxZ) as usize][l] = biz;
+                w.regs[builtin_reg(Builtin::BlockDimX) as usize][l] = self.launch.block.x;
+                w.regs[builtin_reg(Builtin::BlockDimY) as usize][l] = self.launch.block.y;
+                w.regs[builtin_reg(Builtin::BlockDimZ) as usize][l] = self.launch.block.z;
+                w.regs[builtin_reg(Builtin::GridDimX) as usize][l] = self.launch.grid.x;
+                w.regs[builtin_reg(Builtin::GridDimY) as usize][l] = self.launch.grid.y;
+                w.regs[builtin_reg(Builtin::GridDimZ) as usize][l] = self.launch.grid.z;
+            }
+            // Parameter registers (uniform).
+            for (p, arg) in self.program.param_regs.iter().zip(self.args) {
+                w.regs[*p as usize] = [arg.register_image(); 32];
+            }
+        }
+    }
+
+    fn release_barriers(&mut self) {
+        for slot in 0..self.tbs.len() {
+            if self.tbs[slot].block.is_none() {
+                continue;
+            }
+            let lo = slot * self.warps_per_tb as usize;
+            let hi = lo + self.warps_per_tb as usize;
+            let ws = &mut self.warps[lo..hi];
+            let any_parked = ws.iter().any(|w| w.state == WarpState::AtBarrier);
+            let all_arrived = ws
+                .iter()
+                .all(|w| matches!(w.state, WarpState::AtBarrier | WarpState::Done));
+            if any_parked && all_arrived {
+                for (off, w) in ws.iter_mut().enumerate() {
+                    if w.state == WarpState::AtBarrier {
+                        w.state = WarpState::Ready;
+                        self.stall_until[lo + off] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- scheduling ----------------------------------------------------
+
+    /// Earliest cycle at which warp `w` could issue its next instruction,
+    /// or `None` if it is not in the Ready state.
+    fn issue_time(&self, w: &Warp) -> Option<u64> {
+        if w.state != WarpState::Ready {
+            return None;
+        }
+        let op = &self.program.ops[w.pc as usize];
+        let mut t = self.cycle;
+        for r in op.reads().into_iter().flatten() {
+            t = t.max(w.ready[r as usize]);
+        }
+        if let Some(d) = op.writes() {
+            t = t.max(w.ready[d as usize]);
+        }
+        if matches!(
+            op,
+            Op::Ldg { .. } | Op::Stg { .. } | Op::Lds { .. } | Op::Sts { .. }
+        ) {
+            t = t.max(self.l1_port_free);
+        }
+        Some(t)
+    }
+
+    /// GTO pick for one scheduler: keep issuing the last warp while it is
+    /// ready; otherwise the oldest ready warp. `stall_until` filters out
+    /// warps whose last computed stall has not elapsed, so the (costlier)
+    /// decode in `issue_time` runs once per stall instead of every cycle.
+    fn pick(&mut self, sched: usize) -> Option<usize> {
+        let nsched = self.last_issued.len();
+        if let Some(last) = self.last_issued[sched] {
+            if (self.warps[last].tb_slot as usize) < self.active_tb_limit
+                && self.stall_until[last] <= self.cycle
+            {
+                if let Some(t) = self.issue_time(&self.warps[last]) {
+                    if t <= self.cycle {
+                        return Some(last);
+                    }
+                    self.stall_until[last] = t;
+                }
+            }
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for i in (sched..self.warps.len()).step_by(nsched) {
+            if self.stall_until[i] > self.cycle {
+                continue;
+            }
+            let w = &self.warps[i];
+            if (w.tb_slot as usize) >= self.active_tb_limit {
+                continue; // paused by the dynamic throttler
+            }
+            if let Some(t) = self.issue_time(w) {
+                if t <= self.cycle {
+                    match best {
+                        Some((age, _)) if age <= w.age => {}
+                        _ => best = Some((w.age, i)),
+                    }
+                } else {
+                    self.stall_until[i] = t;
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Minimum future issue time over all Ready warps (for idle-cycle
+    /// skip-ahead), or `None` when nothing is Ready. `stall_until` entries
+    /// are exact here: `pick` just recomputed every Ready warp that had
+    /// reached its previous bound.
+    fn earliest_wakeup(&self) -> Option<u64> {
+        self.warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                w.state == WarpState::Ready && (w.tb_slot as usize) < self.active_tb_limit
+            })
+            .map(|(i, _)| self.stall_until[i])
+            .min()
+            .map(|t| t.max(self.cycle))
+    }
+
+    // ----- execution -----------------------------------------------------
+
+    fn issue(&mut self, wi: usize) {
+        self.stats.instructions += 1;
+        let pc = self.warps[wi].pc as usize;
+        let op = self.program.ops[pc];
+        // ALU results are written only for *active* lanes: inactive lanes
+        // (diverged, loop-finished, or returned) must not mutate their
+        // registers, exactly as predicated execution works in hardware.
+        // `$f` computes the lane value from (register file, lane index).
+        macro_rules! alu {
+            ($dst:expr, $sfu:expr, $f:expr) => {{
+                let w = &mut self.warps[wi];
+                let active = w.active;
+                let f = $f;
+                let mut vals = [0u32; 32];
+                for l in 0..32 {
+                    if active & (1 << l) != 0 {
+                        vals[l] = f(&w.regs, l);
+                    }
+                }
+                let d = &mut w.regs[$dst as usize];
+                for l in 0..32 {
+                    if active & (1 << l) != 0 {
+                        d[l] = vals[l];
+                    }
+                }
+                self.finish_alu(wi, $dst, $sfu);
+            }};
+        }
+        type R = Vec<[u32; 32]>;
+        match op {
+            Op::MovImm { dst, imm } => {
+                alu!(dst, false, |_r: &R, _l: usize| imm)
+            }
+            Op::Mov { dst, src } => {
+                alu!(dst, false, |r: &R, l: usize| r[src as usize][l])
+            }
+            Op::IBin { op, dst, a, b } => {
+                alu!(dst, false, |r: &R, l: usize| ibin(
+                    op,
+                    r[a as usize][l],
+                    r[b as usize][l]
+                ))
+            }
+            Op::FBin { op, dst, a, b } => {
+                alu!(dst, op == FBinOp::Pow, |r: &R, l: usize| fbin(
+                    op,
+                    r[a as usize][l],
+                    r[b as usize][l]
+                ))
+            }
+            Op::FUn { op, dst, a } => {
+                alu!(dst, op != FUnOp::Neg && op != FUnOp::Abs, |r: &R,
+                                                                 l: usize| {
+                    fun(op, r[a as usize][l])
+                })
+            }
+            Op::INeg { dst, a } => {
+                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32)
+                    .wrapping_neg()
+                    as u32)
+            }
+            Op::IAbs { dst, a } => {
+                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32)
+                    .wrapping_abs()
+                    as u32)
+            }
+            Op::Not { dst, a } => {
+                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] == 0) as u32)
+            }
+            Op::Cmp { op, float, dst, a, b } => {
+                alu!(dst, false, |r: &R, l: usize| cmp(
+                    op,
+                    float,
+                    r[a as usize][l],
+                    r[b as usize][l]
+                ) as u32)
+            }
+            Op::Sel { dst, c, a, b } => {
+                alu!(dst, false, |r: &R, l: usize| if r[c as usize][l] != 0 {
+                    r[a as usize][l]
+                } else {
+                    r[b as usize][l]
+                })
+            }
+            Op::CvtIF { dst, a } => {
+                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32 as f32)
+                    .to_bits())
+            }
+            Op::CvtFI { dst, a } => {
+                alu!(dst, false, |r: &R, l: usize| (f32::from_bits(r[a as usize][l])
+                    as i32) as u32)
+            }
+            Op::Ldg { dst, addr } => self.exec_ldg(wi, dst, addr),
+            Op::Stg { src, addr } => self.exec_stg(wi, src, addr),
+            Op::Lds { dst, addr } => {
+                let slot = self.warps[wi].tb_slot as usize;
+                let w = &mut self.warps[wi];
+                let addrs = w.regs[addr as usize];
+                let active = w.active;
+                let smem = &self.tbs[slot].smem;
+                let d = &mut w.regs[dst as usize];
+                for l in 0..32 {
+                    if active & (1 << l) != 0 {
+                        d[l] = smem.get(addrs[l] as usize / 4).copied().unwrap_or(0);
+                    }
+                }
+                w.ready[dst as usize] = self.cycle + self.config.latencies.shared;
+                self.l1_port_free = self.l1_port_free.max(self.cycle) + 1;
+                w.pc += 1;
+            }
+            Op::Sts { src, addr } => {
+                let slot = self.warps[wi].tb_slot as usize;
+                let w = &mut self.warps[wi];
+                let addrs = w.regs[addr as usize];
+                let vals = w.regs[src as usize];
+                let active = w.active;
+                let smem = &mut self.tbs[slot].smem;
+                for l in 0..32 {
+                    if active & (1 << l) != 0 {
+                        if let Some(word) = smem.get_mut(addrs[l] as usize / 4) {
+                            *word = vals[l];
+                        }
+                    }
+                }
+                self.l1_port_free = self.l1_port_free.max(self.cycle) + 1;
+                w.pc += 1;
+            }
+            Op::Bar => {
+                let w = &mut self.warps[wi];
+                w.state = WarpState::AtBarrier;
+                w.pc += 1;
+            }
+            Op::If { cond, else_pc, .. } => {
+                let w = &mut self.warps[wi];
+                let cond_lanes = w.predicate_mask(cond);
+                let taken = w.active & cond_lanes;
+                let fallthru = w.active & !cond_lanes;
+                if taken != 0 {
+                    w.stack.push(Frame::If {
+                        restore: w.active,
+                        else_mask: fallthru,
+                    });
+                    w.active = taken;
+                    w.pc += 1;
+                } else {
+                    // No lane takes the then-branch: go straight to the
+                    // else branch (or EndIf) with the else mask consumed.
+                    w.stack.push(Frame::If {
+                        restore: w.active,
+                        else_mask: 0,
+                    });
+                    w.active = fallthru;
+                    w.pc = else_pc;
+                }
+            }
+            Op::Else { end_pc } => {
+                let w = &mut self.warps[wi];
+                let Some(Frame::If { else_mask, .. }) = w.stack.last_mut() else {
+                    panic!("Else without If frame in `{}`", self.program.name);
+                };
+                let em = *else_mask;
+                if em != 0 {
+                    *else_mask = 0;
+                    w.active = em & !w.exited;
+                    w.pc += 1;
+                } else {
+                    w.pc = end_pc;
+                }
+            }
+            Op::EndIf => {
+                let w = &mut self.warps[wi];
+                let Some(Frame::If { restore, .. }) = w.stack.pop() else {
+                    panic!("EndIf without If frame in `{}`", self.program.name);
+                };
+                w.active = restore & !w.exited & w.innermost_loop_live();
+                w.pc += 1;
+            }
+            Op::LoopBegin { end_pc } => {
+                let w = &mut self.warps[wi];
+                w.stack.push(Frame::Loop {
+                    restore: w.active,
+                    live: w.active,
+                    end_pc,
+                });
+                w.pc += 1;
+            }
+            Op::LoopTest { cond } => {
+                let w = &mut self.warps[wi];
+                let cond_lanes = w.predicate_mask(cond);
+                let exited = w.exited;
+                let Some(Frame::Loop { live, end_pc, restore }) = w.stack.last_mut() else {
+                    panic!("LoopTest without Loop frame in `{}`", self.program.name);
+                };
+                *live &= cond_lanes & !exited;
+                if *live == 0 {
+                    let (end_pc, restore) = (*end_pc, *restore);
+                    w.stack.pop();
+                    w.active = restore & !w.exited & w.innermost_loop_live();
+                    w.pc = end_pc;
+                } else {
+                    w.active = *live;
+                    w.pc += 1;
+                }
+            }
+            Op::LoopJump { cond_pc } => {
+                let w = &mut self.warps[wi];
+                let Some(Frame::Loop { live, .. }) = w.stack.last() else {
+                    panic!("LoopJump without Loop frame in `{}`", self.program.name);
+                };
+                w.active = *live;
+                w.pc = cond_pc;
+            }
+            Op::Break => {
+                let w = &mut self.warps[wi];
+                let breaking = w.active;
+                let mut found = false;
+                for f in w.stack.iter_mut().rev() {
+                    if let Frame::Loop { live, .. } = f {
+                        *live &= !breaking;
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(found, "Break outside loop in `{}`", self.program.name);
+                w.active = 0;
+                w.pc += 1;
+            }
+            Op::Ret => {
+                let w = &mut self.warps[wi];
+                w.exited |= w.active;
+                w.active = 0;
+                w.pc += 1;
+            }
+            Op::Exit => {
+                let w = &mut self.warps[wi];
+                w.state = WarpState::Done;
+            }
+        }
+    }
+
+    fn finish_alu(&mut self, wi: usize, dst: u16, sfu: bool) {
+        let lat = if sfu {
+            self.config.latencies.sfu
+        } else {
+            self.config.latencies.alu
+        };
+        let w = &mut self.warps[wi];
+        w.ready[dst as usize] = self.cycle + lat;
+        w.pc += 1;
+    }
+
+    /// Unique 128-byte line base addresses touched by the active lanes.
+    fn coalesce(&self, wi: usize, addr_reg: u16) -> ([u32; 32], usize) {
+        let w = &self.warps[wi];
+        let addrs = w.regs[addr_reg as usize];
+        let line = self.config.l1_line_bytes;
+        let mut lines = [0u32; 32];
+        let mut n = 0;
+        for l in 0..32 {
+            if w.active & (1 << l) != 0 {
+                let la = addrs[l] / line;
+                if !lines[..n].contains(&la) {
+                    lines[n] = la;
+                    n += 1;
+                }
+            }
+        }
+        (lines, n)
+    }
+
+    fn exec_ldg(&mut self, wi: usize, dst: u16, addr: u16) {
+        // Functional load now; timing below.
+        {
+            let w = &mut self.warps[wi];
+            let addrs = w.regs[addr as usize];
+            let active = w.active;
+            let d = &mut w.regs[dst as usize];
+            for l in 0..32 {
+                if active & (1 << l) != 0 {
+                    d[l] = self.mem.load(addrs[l]);
+                }
+            }
+        }
+        let (lines, n) = self.coalesce(wi, addr);
+        if self.trace {
+            self.stats.trace.record(n as u32);
+        }
+        let lat = self.config.latencies;
+        let start = self.l1_port_free.max(self.cycle);
+        self.l1_port_free = start + n.max(1) as u64;
+        let mut data_ready = self.cycle + lat.l1_hit;
+        let line_bytes = self.config.l1_line_bytes;
+        for (k, la) in lines[..n].iter().enumerate() {
+            let t = start + k as u64;
+            let offchip_free = &mut self.offchip_free;
+            let res = self.cache.access_load(la * line_bytes, t, lat.l1_hit, || {
+                *offchip_free = (*offchip_free).max(t) + lat.offchip_port;
+                *offchip_free + lat.offchip
+            });
+            data_ready = data_ready.max(res.data_ready);
+        }
+        let w = &mut self.warps[wi];
+        w.ready[dst as usize] = data_ready;
+        w.pc += 1;
+    }
+
+    fn exec_stg(&mut self, wi: usize, src: u16, addr: u16) {
+        {
+            let w = &self.warps[wi];
+            let addrs = w.regs[addr as usize];
+            let vals = w.regs[src as usize];
+            let active = w.active;
+            for l in 0..32 {
+                if active & (1 << l) != 0 {
+                    self.mem.store(addrs[l], vals[l]);
+                }
+            }
+        }
+        let (lines, n) = self.coalesce(wi, addr);
+        if self.trace {
+            self.stats.trace.record(n as u32);
+        }
+        let lat = self.config.latencies;
+        let start = self.l1_port_free.max(self.cycle);
+        self.l1_port_free = start + n.max(1) as u64;
+        let line_bytes = self.config.l1_line_bytes;
+        for (k, la) in lines[..n].iter().enumerate() {
+            let t = start + k as u64;
+            self.cache.access_store(la * line_bytes);
+            self.offchip_free = self.offchip_free.max(t) + lat.offchip_port;
+        }
+        let w = &mut self.warps[wi];
+        w.pc += 1;
+    }
+}
+
+// ----- lane ALU semantics ---------------------------------------------------
+
+fn ibin(op: IBinOp, a: u32, b: u32) -> u32 {
+    let (ia, ib) = (a as i32, b as i32);
+    match op {
+        IBinOp::Add => ia.wrapping_add(ib) as u32,
+        IBinOp::Sub => ia.wrapping_sub(ib) as u32,
+        IBinOp::Mul => ia.wrapping_mul(ib) as u32,
+        IBinOp::Div => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_div(ib) as u32
+            }
+        }
+        IBinOp::Rem => {
+            if ib == 0 {
+                0
+            } else {
+                ia.wrapping_rem(ib) as u32
+            }
+        }
+        IBinOp::Min => ia.min(ib) as u32,
+        IBinOp::Max => ia.max(ib) as u32,
+        IBinOp::Shl => ia.wrapping_shl(b & 31) as u32,
+        IBinOp::Shr => ia.wrapping_shr(b & 31) as u32,
+        IBinOp::And => a & b,
+        IBinOp::Or => a | b,
+        IBinOp::Xor => a ^ b,
+    }
+}
+
+fn fbin(op: FBinOp, a: u32, b: u32) -> u32 {
+    let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+    let r = match op {
+        FBinOp::Add => fa + fb,
+        FBinOp::Sub => fa - fb,
+        FBinOp::Mul => fa * fb,
+        FBinOp::Div => fa / fb,
+        FBinOp::Min => fa.min(fb),
+        FBinOp::Max => fa.max(fb),
+        FBinOp::Pow => fa.powf(fb),
+    };
+    r.to_bits()
+}
+
+fn fun(op: FUnOp, a: u32) -> u32 {
+    let fa = f32::from_bits(a);
+    let r = match op {
+        FUnOp::Neg => -fa,
+        FUnOp::Sqrt => fa.sqrt(),
+        FUnOp::Exp => fa.exp(),
+        FUnOp::Log => fa.ln(),
+        FUnOp::Abs => fa.abs(),
+        FUnOp::Sin => fa.sin(),
+        FUnOp::Cos => fa.cos(),
+    };
+    r.to_bits()
+}
+
+fn cmp(op: CmpOp, float: bool, a: u32, b: u32) -> bool {
+    if float {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        match op {
+            CmpOp::Lt => fa < fb,
+            CmpOp::Le => fa <= fb,
+            CmpOp::Gt => fa > fb,
+            CmpOp::Ge => fa >= fb,
+            CmpOp::Eq => fa == fb,
+            CmpOp::Ne => fa != fb,
+        }
+    } else {
+        let (ia, ib) = (a as i32, b as i32);
+        match op {
+            CmpOp::Lt => ia < ib,
+            CmpOp::Le => ia <= ib,
+            CmpOp::Gt => ia > ib,
+            CmpOp::Ge => ia >= ib,
+            CmpOp::Eq => ia == ib,
+            CmpOp::Ne => ia != ib,
+        }
+    }
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+
+    #[test]
+    fn integer_division_by_zero_is_zero() {
+        assert_eq!(ibin(IBinOp::Div, 7, 0), 0);
+        assert_eq!(ibin(IBinOp::Rem, 7, 0), 0);
+    }
+
+    #[test]
+    fn signed_semantics() {
+        assert_eq!(ibin(IBinOp::Div, (-7i32) as u32, 2) as i32, -3);
+        assert_eq!(ibin(IBinOp::Min, (-1i32) as u32, 1) as i32, -1);
+        assert_eq!(ibin(IBinOp::Shr, (-8i32) as u32, 1) as i32, -4);
+    }
+
+    #[test]
+    fn float_bit_roundtrip() {
+        let r = fbin(FBinOp::Mul, 2.5f32.to_bits(), 4.0f32.to_bits());
+        assert_eq!(f32::from_bits(r), 10.0);
+        let r = fun(FUnOp::Sqrt, 9.0f32.to_bits());
+        assert_eq!(f32::from_bits(r), 3.0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(cmp(CmpOp::Lt, false, (-1i32) as u32, 0));
+        assert!(!cmp(CmpOp::Lt, true, 1.0f32.to_bits(), (-2.0f32).to_bits()));
+        assert!(cmp(CmpOp::Ne, true, 1.0f32.to_bits(), 2.0f32.to_bits()));
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-warp SIMT execution state.
+
+/// A divergence-stack frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// Pushed by [`crate::bytecode::Op::If`].
+    If {
+        /// Mask to restore at the reconvergence point (`EndIf`).
+        restore: u32,
+        /// Lanes still owed the else-branch (0 once taken).
+        else_mask: u32,
+    },
+    /// Pushed by [`crate::bytecode::Op::LoopBegin`].
+    Loop {
+        /// Mask to restore after the loop exits.
+        restore: u32,
+        /// Lanes still iterating (shrinks via the loop test and `break`).
+        live: u32,
+        /// Loop exit pc.
+        end_pc: u32,
+    },
+}
+
+/// Scheduling state of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Not holding a thread block (free slot).
+    Idle,
+    /// Eligible for issue.
+    Ready,
+    /// Parked at `__syncthreads()`.
+    AtBarrier,
+    /// Finished the kernel.
+    Done,
+}
+
+/// One resident warp.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// Program counter into `Program::ops`.
+    pub pc: u32,
+    /// Current active-lane mask.
+    pub active: u32,
+    /// Lanes that exist (partial warps when `blockDim` is not a multiple
+    /// of 32).
+    pub valid: u32,
+    /// Lanes retired by `return`.
+    pub exited: u32,
+    /// SIMT divergence stack.
+    pub stack: Vec<Frame>,
+    /// Register file: `regs[r][lane]`.
+    pub regs: Vec<[u32; 32]>,
+    /// Scoreboard: cycle at which each register's value is available.
+    pub ready: Vec<u64>,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Resident-TB slot this warp belongs to.
+    pub tb_slot: u32,
+    /// Dispatch age for greedy-then-oldest arbitration (smaller = older).
+    pub age: u64,
+}
+
+impl Warp {
+    /// An idle warp slot with storage for `num_regs` registers.
+    pub fn idle(num_regs: usize) -> Warp {
+        Warp {
+            pc: 0,
+            active: 0,
+            valid: 0,
+            exited: 0,
+            stack: Vec::new(),
+            regs: vec![[0; 32]; num_regs],
+            ready: vec![0; num_regs],
+            state: WarpState::Idle,
+            tb_slot: 0,
+            age: 0,
+        }
+    }
+
+    /// Reinitialize for a fresh warp of a newly dispatched block.
+    pub fn reset(&mut self, valid: u32, tb_slot: u32, age: u64) {
+        self.pc = 0;
+        self.active = valid;
+        self.valid = valid;
+        self.exited = 0;
+        self.stack.clear();
+        for r in &mut self.regs {
+            *r = [0; 32];
+        }
+        for r in &mut self.ready {
+            *r = 0;
+        }
+        self.state = WarpState::Ready;
+        self.tb_slot = tb_slot;
+        self.age = age;
+    }
+
+    /// The live mask of the innermost enclosing loop (full mask if none) —
+    /// applied at reconvergence points so lanes removed by `break` stay
+    /// dead.
+    pub fn innermost_loop_live(&self) -> u32 {
+        for f in self.stack.iter().rev() {
+            if let Frame::Loop { live, .. } = f {
+                return *live;
+            }
+        }
+        u32::MAX
+    }
+
+    /// Bitmask of active lanes whose `reg` value is non-zero.
+    #[inline]
+    pub fn predicate_mask(&self, reg: u16) -> u32 {
+        let vals = &self.regs[reg as usize];
+        let mut m = 0u32;
+        for lane in 0..32 {
+            if vals[lane] != 0 {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = Warp::idle(4);
+        w.pc = 9;
+        w.exited = 3;
+        w.stack.push(Frame::If {
+            restore: 1,
+            else_mask: 0,
+        });
+        w.regs[2][5] = 77;
+        w.ready[2] = 1000;
+        w.reset(0xFFFF, 2, 42);
+        assert_eq!(w.pc, 0);
+        assert_eq!(w.active, 0xFFFF);
+        assert_eq!(w.valid, 0xFFFF);
+        assert_eq!(w.exited, 0);
+        assert!(w.stack.is_empty());
+        assert_eq!(w.regs[2][5], 0);
+        assert_eq!(w.ready[2], 0);
+        assert_eq!(w.state, WarpState::Ready);
+        assert_eq!(w.tb_slot, 2);
+        assert_eq!(w.age, 42);
+    }
+
+    #[test]
+    fn predicate_mask_selects_nonzero_lanes() {
+        let mut w = Warp::idle(1);
+        w.regs[0][0] = 1;
+        w.regs[0][3] = 5;
+        assert_eq!(w.predicate_mask(0), 0b1001);
+    }
+
+    #[test]
+    fn innermost_loop_live() {
+        let mut w = Warp::idle(1);
+        assert_eq!(w.innermost_loop_live(), u32::MAX);
+        w.stack.push(Frame::Loop {
+            restore: 0xF,
+            live: 0xF,
+            end_pc: 0,
+        });
+        w.stack.push(Frame::If {
+            restore: 0xF,
+            else_mask: 0,
+        });
+        w.stack.push(Frame::Loop {
+            restore: 0x3,
+            live: 0x1,
+            end_pc: 0,
+        });
+        assert_eq!(w.innermost_loop_live(), 0x1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Determinism and configuration-consistency tests: the simulator is a
+//! measurement instrument, so identical inputs must give identical
+//! outputs, and functional results must be invariant across machine
+//! configurations.
+
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, LaunchStats};
+
+fn kernel_src() -> String {
+    "#define N 2048
+     __global__ void k(float *a, float *out) {
+         int i = blockIdx.x * blockDim.x + threadIdx.x;
+         if (i < N) {
+             float acc = 0.0f;
+             for (int j = 0; j < 24; j++) {
+                 acc += a[i * 3 + j];
+             }
+             if (i % 2 == 0) {
+                 out[i] = acc;
+             } else {
+                 out[i] = -acc;
+             }
+         }
+     }"
+    .to_string()
+}
+
+fn run(config: &GpuConfig) -> (LaunchStats, Vec<f32>) {
+    let k = parse_kernel(&kernel_src()).unwrap();
+    let mut mem = GlobalMem::new();
+    let a = mem.alloc_f32(&(0..2048 * 3 + 24).map(|v| (v % 13) as f32).collect::<Vec<_>>());
+    let out = mem.alloc_zeroed(2048);
+    let mut gpu = Gpu::new(config.clone());
+    let stats = gpu
+        .launch(&k, LaunchConfig::d1(8, 256), &[Arg::Buf(a), Arg::Buf(out)], &mut mem)
+        .unwrap();
+    (stats, mem.read_f32(out))
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let cfg = GpuConfig::titan_v_1sm();
+    let (s1, o1) = run(&cfg);
+    let (s2, o2) = run(&cfg);
+    assert_eq!(s1.cycles, s2.cycles);
+    assert_eq!(s1.instructions, s2.instructions);
+    assert_eq!(s1.l1_accesses, s2.l1_accesses);
+    assert_eq!(s1.l1_hits, s2.l1_hits);
+    assert_eq!(s1.offchip_requests, s2.offchip_requests);
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn functional_results_invariant_across_configs() {
+    let mut reference: Option<Vec<f32>> = None;
+    for (sms, l1_kb, scheds) in [(1u32, 128u32, 4u32), (1, 32, 4), (2, 128, 2), (4, 16, 1)] {
+        let mut cfg = GpuConfig::titan_v_1sm();
+        cfg.num_sms = sms;
+        cfg.l1_cap_bytes = Some(l1_kb * 1024);
+        cfg.schedulers_per_sm = scheds;
+        let (_, out) = run(&cfg);
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "config ({sms}, {l1_kb}KB, {scheds})"),
+        }
+    }
+}
+
+#[test]
+fn timing_monotone_in_offchip_port_cost() {
+    // A thrashing kernel must get slower as per-request bandwidth drops.
+    let mut prev = 0u64;
+    for port in [2u64, 8, 16] {
+        let mut cfg = GpuConfig::titan_v_1sm();
+        cfg.l1_cap_bytes = Some(16 * 1024);
+        cfg.latencies.offchip_port = port;
+        let (s, _) = run(&cfg);
+        assert!(
+            s.cycles >= prev,
+            "port {port}: {} < previous {prev}",
+            s.cycles
+        );
+        prev = s.cycles;
+    }
+}
+
+#[test]
+fn barrier_with_partial_warps_and_early_exit_terminates() {
+    // 5 warps, one of which exits before the barrier; the block must
+    // still complete (arrival-count semantics).
+    let src = "
+        __global__ void k(float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            __shared__ float buf[256];
+            if (i >= 128) { return; }
+            buf[threadIdx.x] = (float)i;
+            __syncthreads();
+            out[i] = buf[threadIdx.x % 128];
+        }";
+    let k = parse_kernel(src).unwrap();
+    let mut mem = GlobalMem::new();
+    let out = mem.alloc_zeroed(160);
+    let mut gpu = Gpu::new(GpuConfig::titan_v_1sm());
+    gpu.launch(&k, LaunchConfig::d1(1, 160), &[Arg::Buf(out)], &mut mem)
+        .unwrap();
+    let o = mem.read_f32(out);
+    for i in 0..128 {
+        assert_eq!(o[i], i as f32);
+    }
+}
+
+#[test]
+fn deeply_nested_divergence_is_correct() {
+    let src = "
+        __global__ void k(float *out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            int acc = 0;
+            for (int a = 0; a < 3; a++) {
+                if (i % 2 == 0) {
+                    for (int b = 0; b < 2; b++) {
+                        if (i % 4 == 0) {
+                            acc += 10;
+                        } else {
+                            acc += 1;
+                        }
+                    }
+                } else {
+                    while (acc < a) {
+                        acc += 100;
+                    }
+                }
+            }
+            out[i] = (float)acc;
+        }";
+    let k = parse_kernel(src).unwrap();
+    let mut mem = GlobalMem::new();
+    let out = mem.alloc_zeroed(64);
+    let mut gpu = Gpu::new(GpuConfig::titan_v_1sm());
+    gpu.launch(&k, LaunchConfig::d1(2, 32), &[Arg::Buf(out), Arg::I32(64)], &mut mem)
+        .unwrap();
+    let o = mem.read_f32(out);
+    for i in 0..64usize {
+        // Host replica.
+        let mut acc = 0i32;
+        for a in 0..3 {
+            if i % 2 == 0 {
+                for _b in 0..2 {
+                    acc += if i % 4 == 0 { 10 } else { 1 };
+                }
+            } else {
+                while acc < a {
+                    acc += 100;
+                }
+            }
+        }
+        assert_eq!(o[i], acc as f32, "lane {i}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Functional integration tests: kernels parsed from CUDA source, run on
+//! the simulator, outputs validated against host computation.
+
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig};
+
+fn run(
+    src: &str,
+    launch: LaunchConfig,
+    args: &[Arg],
+    mem: &mut GlobalMem,
+) -> catt_sim::LaunchStats {
+    let k = parse_kernel(src).unwrap();
+    let mut gpu = Gpu::new(GpuConfig::small());
+    gpu.launch(&k, launch, args, mem).unwrap()
+}
+
+#[test]
+fn saxpy_matches_host() {
+    let n = 1000u32;
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i * 2) as f32).collect();
+    let mut mem = GlobalMem::new();
+    let bx = mem.alloc_f32(&x);
+    let by = mem.alloc_f32(&y);
+    let src = "
+        __global__ void saxpy(float *x, float *y, float a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) { y[i] = a * x[i] + y[i]; }
+        }";
+    run(
+        src,
+        LaunchConfig::d1(n.div_ceil(128), 128),
+        &[Arg::Buf(bx), Arg::Buf(by), Arg::F32(3.0), Arg::I32(n as i32)],
+        &mut mem,
+    );
+    let out = mem.read_f32(by);
+    for i in 0..n as usize {
+        assert_eq!(out[i], 3.0 * i as f32 + 2.0 * i as f32, "lane {i}");
+    }
+}
+
+#[test]
+fn matvec_accumulation_loop() {
+    // y = A * x with row-per-thread (the ATAX pattern).
+    let n = 64usize;
+    let a: Vec<f32> = (0..n * n).map(|i| ((i % 7) as f32) * 0.5).collect();
+    let x: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_f32(&a);
+    let bx = mem.alloc_f32(&x);
+    let by = mem.alloc_zeroed(n as u32);
+    let src = format!(
+        "#define N {n}
+         __global__ void mv(float *A, float *x, float *y) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {{
+                 for (int j = 0; j < N; j++) {{
+                     y[i] += A[i * N + j] * x[j];
+                 }}
+             }}
+         }}"
+    );
+    run(
+        &src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(ba), Arg::Buf(bx), Arg::Buf(by)],
+        &mut mem,
+    );
+    let out = mem.read_f32(by);
+    for i in 0..n {
+        let expect: f32 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
+        assert!((out[i] - expect).abs() < 1e-3, "row {i}: {} vs {expect}", out[i]);
+    }
+}
+
+#[test]
+fn divergent_if_else() {
+    let n = 64u32;
+    let mut mem = GlobalMem::new();
+    let b = mem.alloc_zeroed(n);
+    let src = "
+        __global__ void k(float *a, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                if (i % 2 == 0) { a[i] = 1.0f; } else { a[i] = 2.0f; }
+            }
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(b), Arg::I32(n as i32)],
+        &mut mem,
+    );
+    let out = mem.read_f32(b);
+    for i in 0..n as usize {
+        assert_eq!(out[i], if i % 2 == 0 { 1.0 } else { 2.0 }, "lane {i}");
+    }
+}
+
+#[test]
+fn data_dependent_while_with_divergent_trip_counts() {
+    // Each thread counts down from its own value.
+    let n = 64u32;
+    let mut mem = GlobalMem::new();
+    let b = mem.alloc_zeroed(n);
+    let src = "
+        __global__ void k(float *out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                int c = i % 7;
+                int acc = 0;
+                while (c > 0) {
+                    acc += c;
+                    c = c - 1;
+                }
+                out[i] = (float)acc;
+            }
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(b), Arg::I32(n as i32)],
+        &mut mem,
+    );
+    let out = mem.read_f32(b);
+    for i in 0..n as usize {
+        let c = i % 7;
+        let expect = (c * (c + 1) / 2) as f32;
+        assert_eq!(out[i], expect, "lane {i}");
+    }
+}
+
+#[test]
+fn break_with_divergent_exit() {
+    let n = 64u32;
+    let mut mem = GlobalMem::new();
+    let b = mem.alloc_zeroed(n);
+    // Each thread scans until it passes its own threshold, then breaks.
+    let src = "
+        __global__ void k(float *out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < n) {
+                int found = -1;
+                for (int j = 0; j < 100; j++) {
+                    if (j * 3 > i) {
+                        found = j;
+                        break;
+                    }
+                }
+                out[i] = (float)found;
+            }
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(b), Arg::I32(n as i32)],
+        &mut mem,
+    );
+    let out = mem.read_f32(b);
+    for i in 0..n as usize {
+        let expect = (0..100).find(|j| j * 3 > i).unwrap() as f32;
+        assert_eq!(out[i], expect, "lane {i}");
+    }
+}
+
+#[test]
+fn early_return_retires_lanes() {
+    let n = 40u32; // partial warp + early return
+    let mut mem = GlobalMem::new();
+    let b = mem.alloc_zeroed(64);
+    let src = "
+        __global__ void k(float *out, int n) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i >= n) { return; }
+            out[i] = 1.0f;
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(b), Arg::I32(n as i32)],
+        &mut mem,
+    );
+    let out = mem.read_f32(b);
+    for i in 0..64usize {
+        assert_eq!(out[i], if (i as u32) < n { 1.0 } else { 0.0 }, "lane {i}");
+    }
+}
+
+#[test]
+fn shared_memory_staging_with_barrier() {
+    // Block-wide reversal through shared memory: requires a working
+    // barrier and per-block shared segments.
+    let mut mem = GlobalMem::new();
+    let input: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    let bi = mem.alloc_f32(&input);
+    let bo = mem.alloc_zeroed(128);
+    let src = "
+        __global__ void rev(float *in, float *out) {
+            __shared__ float buf[64];
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            buf[threadIdx.x] = in[i];
+            __syncthreads();
+            out[i] = buf[blockDim.x - 1 - threadIdx.x];
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 64),
+        &[Arg::Buf(bi), Arg::Buf(bo)],
+        &mut mem,
+    );
+    let out = mem.read_f32(bo);
+    for blk in 0..2usize {
+        for t in 0..64usize {
+            let i = blk * 64 + t;
+            let expect = (blk * 64 + (63 - t)) as f32;
+            assert_eq!(out[i], expect, "block {blk} thread {t}");
+        }
+    }
+}
+
+#[test]
+fn intra_block_barrier_ordering_enforced() {
+    // Warp 0 writes, all sync, warp 1 reads — must see warp 0's value.
+    let mut mem = GlobalMem::new();
+    let bo = mem.alloc_zeroed(64);
+    let src = "
+        __global__ void k(float *out) {
+            __shared__ float flag[1];
+            int w = threadIdx.x / 32;
+            if (w == 0) { flag[0] = 42.0f; }
+            __syncthreads();
+            if (w == 1) { out[threadIdx.x] = flag[0]; }
+        }";
+    run(src, LaunchConfig::d1(1, 64), &[Arg::Buf(bo)], &mut mem);
+    let out = mem.read_f32(bo);
+    for t in 32..64 {
+        assert_eq!(out[t], 42.0, "thread {t}");
+    }
+}
+
+#[test]
+fn multi_block_grid_covers_all_blocks() {
+    let mut mem = GlobalMem::new();
+    let bo = mem.alloc_zeroed(32 * 16);
+    let src = "
+        __global__ void k(float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            out[i] = (float)blockIdx.x;
+        }";
+    let stats = run(src, LaunchConfig::d1(16, 32), &[Arg::Buf(bo)], &mut mem);
+    assert_eq!(stats.tbs, 16);
+    let out = mem.read_f32(bo);
+    for b in 0..16usize {
+        for t in 0..32usize {
+            assert_eq!(out[b * 32 + t], b as f32);
+        }
+    }
+}
+
+#[test]
+fn nested_loops_with_inner_accumulation() {
+    let mut mem = GlobalMem::new();
+    let bo = mem.alloc_zeroed(32);
+    let src = "
+        __global__ void k(float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            int acc = 0;
+            for (int a = 0; a < 4; a++) {
+                for (int b = 0; b < 3; b++) {
+                    acc += a * b + i;
+                }
+            }
+            out[i] = (float)acc;
+        }";
+    run(src, LaunchConfig::d1(1, 32), &[Arg::Buf(bo)], &mut mem);
+    let out = mem.read_f32(bo);
+    for i in 0..32usize {
+        let mut acc = 0;
+        for a in 0..4 {
+            for b in 0..3 {
+                acc += a * b + i;
+            }
+        }
+        assert_eq!(out[i], acc as f32, "lane {i}");
+    }
+}
+
+#[test]
+fn indirect_gather_loads() {
+    let mut mem = GlobalMem::new();
+    let idx: Vec<i32> = (0..64).map(|i| (i * 7) % 64).collect();
+    let vals: Vec<f32> = (0..64).map(|i| i as f32 * 10.0).collect();
+    let bidx = mem.alloc_i32(&idx);
+    let bvals = mem.alloc_f32(&vals);
+    let bo = mem.alloc_zeroed(64);
+    let src = "
+        __global__ void gather(int *idx, float *vals, float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            out[i] = vals[idx[i]];
+        }";
+    run(
+        src,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(bidx), Arg::Buf(bvals), Arg::Buf(bo)],
+        &mut mem,
+    );
+    let out = mem.read_f32(bo);
+    for i in 0..64usize {
+        assert_eq!(out[i], vals[idx[i] as usize], "lane {i}");
+    }
+}
+
+#[test]
+fn two_dimensional_blocks() {
+    let mut mem = GlobalMem::new();
+    let bo = mem.alloc_zeroed(16 * 16);
+    let src = "
+        __global__ void k(float *out, int w) {
+            int x = blockIdx.x * blockDim.x + threadIdx.x;
+            int y = blockIdx.y * blockDim.y + threadIdx.y;
+            out[y * w + x] = (float)(x + y * 100);
+        }";
+    let launch = LaunchConfig {
+        grid: catt_ir::Dim3::xy(2, 2),
+        block: catt_ir::Dim3::xy(8, 8),
+    };
+    run(src, launch, &[Arg::Buf(bo), Arg::I32(16)], &mut mem);
+    let out = mem.read_f32(bo);
+    for y in 0..16usize {
+        for x in 0..16usize {
+            assert_eq!(out[y * 16 + x], (x + y * 100) as f32, "({x},{y})");
+        }
+    }
+}
+
+#[test]
+fn intrinsics_evaluate() {
+    let mut mem = GlobalMem::new();
+    let bo = mem.alloc_zeroed(32);
+    let src = "
+        __global__ void k(float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            out[i] = sqrtf((float)(i * i)) + fminf(1.0f, (float)i) + max(i, 3);
+        }";
+    run(src, LaunchConfig::d1(1, 32), &[Arg::Buf(bo)], &mut mem);
+    let out = mem.read_f32(bo);
+    for i in 0..32usize {
+        let expect = i as f32 + (i as f32).min(1.0) + (i.max(3)) as f32;
+        assert!((out[i] - expect).abs() < 1e-4, "lane {i}: {} vs {expect}", out[i]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Cache-sensitive applications (paper Table 2, CS group).
+
+pub mod atax;
+pub mod bfs;
+pub mod bicg;
+pub mod cfd;
+pub mod corr;
+pub mod gsmv;
+pub mod km;
+pub mod mvt;
+pub mod pf;
+pub mod syr2k;

@@ -1,0 +1,111 @@
+//! MVT — matrix-vector product and transpose, `x1 += A·y1`,
+//! `x2 += Aᵀ·y2` (Polybench/GPU). Kernel 1 is row-walking (divergent),
+//! kernel 2 column-walking (coalesced), matching Table 3's pattern.
+
+use crate::data;
+use crate::harness::exec_sequence;
+use crate::registry::{Group, RunFn, Workload};
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{Arg, GlobalMem, GpuConfig, LaunchStats};
+
+/// Rows of A.
+pub const NX: usize = 1280;
+/// Columns of A.
+pub const NY: usize = 1024;
+
+const SRC: &str = "
+#define NX 1280
+#define NY 1024
+__global__ void mvt_kernel1(float *A, float *y1, float *x1) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < NX) {
+        for (int j = 0; j < NY; j++) {
+            x1[i] += A[i * NY + j] * y1[j];
+        }
+    }
+}
+__global__ void mvt_kernel2(float *A, float *y2, float *x2) {
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < NY) {
+        for (int i = 0; i < NX; i++) {
+            x2[j] += A[i * NY + j] * y2[i];
+        }
+    }
+}
+";
+
+const LAUNCHES: &[(&str, LaunchConfig)] = &[
+    ("mvt_kernel1", LaunchConfig::d1((NX / 256) as u32, 256)),
+    ("mvt_kernel2", LaunchConfig::d1((NY / 256) as u32, 256)),
+];
+
+fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
+    let a = data::matrix("mvt:A", NX, NY);
+    let y1 = data::vector("mvt:y1", NY);
+    let y2 = data::vector("mvt:y2", NX);
+    let x1_init = data::vector("mvt:x1", NX);
+    let x2_init = data::vector("mvt:x2", NY);
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_f32(&a);
+    let by1 = mem.alloc_f32(&y1);
+    let by2 = mem.alloc_f32(&y2);
+    let bx1 = mem.alloc_f32(&x1_init);
+    let bx2 = mem.alloc_f32(&x2_init);
+    let stats = exec_sequence(
+        kernels,
+        &[LAUNCHES[0].1, LAUNCHES[1].1],
+        &[
+            vec![Arg::Buf(ba), Arg::Buf(by1), Arg::Buf(bx1)],
+            vec![Arg::Buf(ba), Arg::Buf(by2), Arg::Buf(bx2)],
+        ],
+        config,
+        &mut mem,
+    );
+    if validate {
+        let mut x1 = x1_init.clone();
+        for i in 0..NX {
+            for j in 0..NY {
+                x1[i] += a[i * NY + j] * y1[j];
+            }
+        }
+        let mut x2 = x2_init.clone();
+        for j in 0..NY {
+            for i in 0..NX {
+                x2[j] += a[i * NY + j] * y2[i];
+            }
+        }
+        data::assert_close(&mem.read_f32(bx1), &x1, 2e-3, "MVT x1");
+        data::assert_close(&mem.read_f32(bx2), &x2, 5e-2, "MVT x2");
+    }
+    stats
+}
+
+/// The MVT workload descriptor.
+pub fn workload() -> Workload {
+    Workload {
+        abbrev: "MVT",
+        name: "Matrix-vector product and transpose",
+        suite: "Polybench",
+        group: Group::Cs,
+        smem_kb: 0.0,
+        input: "1280x1024",
+        source: SRC,
+        launches: LAUNCHES,
+        run: run as RunFn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+
+    #[test]
+    fn catt_throttles_only_the_divergent_kernel() {
+        let w = workload();
+        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        assert!(out.cycles() > 0);
+        assert!(app.kernels[0].is_transformed());
+        assert!(!app.kernels[1].is_transformed());
+    }
+}

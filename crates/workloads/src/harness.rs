@@ -1,0 +1,139 @@
+//! Run workloads under the three evaluation policies: baseline, CATT,
+//! and BFTT (the paper's Figures 6–10 machinery).
+
+use crate::registry::Workload;
+use catt_core::bftt::{self, BfttResult};
+use catt_core::pipeline::{CompiledApp, Pipeline};
+use catt_sim::{GpuConfig, LaunchStats};
+
+/// Outcome of one policy run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Accumulated statistics over every kernel launch of the app.
+    pub stats: LaunchStats,
+}
+
+impl RunOutcome {
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// Run the application untransformed.
+pub fn run_baseline(w: &Workload, config: &GpuConfig) -> RunOutcome {
+    let kernels = w.kernels();
+    let stats = (w.run)(&kernels, config, true);
+    RunOutcome { stats }
+}
+
+/// Compile the application with CATT and run the transformed kernels.
+/// Returns the outcome together with the compilation record (per-loop
+/// decisions, Table 3 data).
+pub fn run_catt(w: &Workload, config: &GpuConfig) -> (RunOutcome, CompiledApp) {
+    let pipe = Pipeline::new(config.clone());
+    let kernels = w.kernels();
+    let mut compiled = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        compiled.push(
+            pipe.compile_kernel(k, w.launch(i))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.abbrev)),
+        );
+    }
+    let app = CompiledApp { kernels: compiled };
+    let transformed = app.transformed_kernels();
+    let stats = (w.run)(&transformed, config, true);
+    (RunOutcome { stats }, app)
+}
+
+/// Run the BFTT exhaustive sweep for the application and return the best
+/// candidate's outcome plus the full sweep record.
+///
+/// Candidate runs skip output validation (they are timing probes); the
+/// winning configuration is re-run with validation on.
+pub fn run_bftt(w: &Workload, config: &GpuConfig) -> (RunOutcome, BfttResult) {
+    let kernels = w.kernels();
+    let launch = w.block_launch();
+    let result = bftt::sweep(&kernels, launch, config, |ks, cfg| (w.run)(ks, cfg, false));
+    let best = result.best_candidate();
+    // Re-run the winner with validation.
+    let warps = launch.warps_per_block();
+    let transformed: Vec<_> = kernels
+        .iter()
+        .map(|k| {
+            catt_core::pipeline::apply_uniform(
+                k,
+                best.n,
+                best.m,
+                warps,
+                best.tbs + best.m,
+                config.smem_carveout_bytes,
+            )
+        })
+        .collect();
+    let stats = (w.run)(&transformed, config, true);
+    (RunOutcome { stats }, result)
+}
+
+/// Launch a sequence of kernels back to back on one device, accumulating
+/// statistics (the host side of every multi-kernel application).
+pub fn exec_sequence(
+    kernels: &[catt_ir::Kernel],
+    launches: &[catt_ir::LaunchConfig],
+    args: &[Vec<catt_sim::Arg>],
+    config: &GpuConfig,
+    mem: &mut catt_sim::GlobalMem,
+) -> LaunchStats {
+    assert_eq!(kernels.len(), launches.len());
+    assert_eq!(kernels.len(), args.len());
+    let mut gpu = catt_sim::Gpu::new(config.clone());
+    let mut total = LaunchStats::default();
+    for ((k, launch), a) in kernels.iter().zip(launches).zip(args) {
+        let stats = gpu
+            .launch(k, *launch, a, mem)
+            .unwrap_or_else(|e| panic!("kernel `{}`: {e}", k.name));
+        total.resident_tbs_per_sm = stats.resident_tbs_per_sm;
+        total.accumulate(&stats);
+    }
+    total
+}
+
+/// Geometric mean of a slice (the paper reports geomean speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The evaluation GPU: one Titan V SM with the maximum L1D (the
+/// "Max. L1D" columns of the paper's figures). See DESIGN.md for why one
+/// SM is the evaluation vehicle.
+pub fn eval_config_max_l1d() -> GpuConfig {
+    GpuConfig::titan_v_1sm()
+}
+
+/// The 32 KB L1D sensitivity configuration (paper §5.1.3, Fig. 10).
+pub fn eval_config_32kb_l1d() -> GpuConfig {
+    let mut c = GpuConfig::titan_v_1sm();
+    c.l1_cap_bytes = Some(32 * 1024);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn eval_configs_differ_in_l1d() {
+        assert_eq!(eval_config_max_l1d().l1d_bytes(), 128 * 1024);
+        assert_eq!(eval_config_32kb_l1d().l1d_bytes(), 32 * 1024);
+    }
+}

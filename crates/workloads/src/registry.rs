@@ -1,0 +1,193 @@
+//! The workload registry (paper Table 2).
+
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{GpuConfig, LaunchStats};
+
+/// Cache-sensitivity group (paper §3: CS applications gain >10 % L1D hit
+/// rate from a larger-than-64 KB cache; CI applications do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Cache-sensitive.
+    Cs,
+    /// Cache-insensitive.
+    Ci,
+}
+
+impl Group {
+    /// Table 2 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::Cs => "CS",
+            Group::Ci => "CI",
+        }
+    }
+}
+
+/// Application runner: executes the whole app (all kernel launches, host
+/// orchestration) with the provided kernels — which may be baseline or
+/// throttled variants — on `config`, validating device outputs against a
+/// host reference when `validate` is true. Returns accumulated statistics.
+pub type RunFn = fn(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats;
+
+/// One benchmark application.
+pub struct Workload {
+    /// Table 2 abbreviation (e.g. "ATAX").
+    pub abbrev: &'static str,
+    /// Full application name.
+    pub name: &'static str,
+    /// Upstream suite ("Polybench" or "Rodinia").
+    pub suite: &'static str,
+    /// CS / CI group.
+    pub group: Group,
+    /// Static shared memory per block in KB (Table 2 column `SMEM`).
+    pub smem_kb: f64,
+    /// Input description at our simulator scale (Table 2 column `Input`).
+    pub input: &'static str,
+    /// CUDA source of all kernels.
+    pub source: &'static str,
+    /// Kernel launch configurations, by kernel name, in launch order.
+    pub launches: &'static [(&'static str, LaunchConfig)],
+    /// End-to-end runner.
+    pub run: RunFn,
+}
+
+impl Workload {
+    /// Parse the workload's kernels (panics on malformed source — sources
+    /// are compiled into the binary and covered by tests).
+    pub fn kernels(&self) -> Vec<Kernel> {
+        let m = catt_frontend::parse_module(self.source)
+            .unwrap_or_else(|e| panic!("{}: source does not parse: {e}", self.abbrev));
+        // Order kernels as the launch list expects.
+        self.launches
+            .iter()
+            .map(|(name, _)| {
+                m.kernel(name)
+                    .unwrap_or_else(|| panic!("{}: kernel `{name}` missing", self.abbrev))
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Launch configuration for the `i`-th kernel.
+    pub fn launch(&self, i: usize) -> LaunchConfig {
+        self.launches[i].1
+    }
+
+    /// The (uniform) block geometry of the application. Panics if kernels
+    /// disagree — BFTT requires a single block size per app.
+    pub fn block_launch(&self) -> LaunchConfig {
+        let first = self.launches[0].1;
+        for (name, l) in self.launches {
+            assert_eq!(
+                l.block, first.block,
+                "{}: kernel `{name}` uses a different block size",
+                self.abbrev
+            );
+        }
+        first
+    }
+}
+
+/// The cache-sensitive applications (paper Table 2, CS group).
+pub fn cs_workloads() -> Vec<Workload> {
+    vec![
+        crate::cs::gsmv::workload(),
+        crate::cs::syr2k::workload(),
+        crate::cs::atax::workload(),
+        crate::cs::bicg::workload(),
+        crate::cs::mvt::workload(),
+        crate::cs::corr::workload(),
+        crate::cs::bfs::workload(),
+        crate::cs::cfd::workload(),
+        crate::cs::km::workload(),
+        crate::cs::pf::workload(),
+    ]
+}
+
+/// The cache-insensitive applications (paper Table 2, CI group).
+pub fn ci_workloads() -> Vec<Workload> {
+    vec![
+        crate::ci::gram::workload(),
+        crate::ci::syrk::workload(),
+        crate::ci::dc::workload(),
+        crate::ci::bt::workload(),
+        crate::ci::hp::workload(),
+        crate::ci::lvmd::workload(),
+        crate::ci::mm2::workload(),
+        crate::ci::gemm::workload(),
+        crate::ci::mm3::workload(),
+        crate::ci::bp::workload(),
+        crate::ci::hm::workload(),
+        crate::ci::lud::workload(),
+        crate::ci::hw::workload(),
+        crate::ci::mc::workload(),
+    ]
+}
+
+/// All 24 applications.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = cs_workloads();
+    v.extend(ci_workloads());
+    v
+}
+
+/// Find a workload by abbreviation (case-insensitive).
+pub fn find(abbrev: &str) -> Option<Workload> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.abbrev.eq_ignore_ascii_case(abbrev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_table2_apps() {
+        let all = all_workloads();
+        assert_eq!(cs_workloads().len(), 10);
+        assert_eq!(ci_workloads().len(), 14);
+        assert_eq!(all.len(), 24);
+        let mut abbrevs: Vec<&str> = all.iter().map(|w| w.abbrev).collect();
+        abbrevs.sort_unstable();
+        let mut dedup = abbrevs.clone();
+        dedup.dedup();
+        assert_eq!(abbrevs, dedup, "duplicate abbreviations");
+    }
+
+    #[test]
+    fn every_source_parses_and_lowers() {
+        for w in all_workloads() {
+            let kernels = w.kernels();
+            assert!(!kernels.is_empty(), "{}", w.abbrev);
+            assert_eq!(kernels.len(), w.launches.len(), "{}", w.abbrev);
+            for k in &kernels {
+                catt_sim::lower(k)
+                    .unwrap_or_else(|e| panic!("{}::{} does not lower: {e}", w.abbrev, k.name));
+            }
+            // Uniform block geometry (BFTT requirement).
+            w.block_launch();
+        }
+    }
+
+    #[test]
+    fn smem_declared_matches_table() {
+        for w in all_workloads() {
+            let declared: u32 = w.kernels().iter().map(|k| k.shared_mem_bytes()).max().unwrap();
+            let expected_kb = w.smem_kb;
+            let declared_kb = declared as f64 / 1024.0;
+            assert!(
+                (declared_kb - expected_kb).abs() < 0.51,
+                "{}: table says {expected_kb} KB, kernels declare {declared_kb} KB",
+                w.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("atax").is_some());
+        assert!(find("ATAX").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! The TLP / cache-footprint trade-off of paper Fig. 3, from the library
+//! API: for `L1D-full-with-{4,8,16}-warps` microbenchmarks, sweep the
+//! actual TLP and print normalized execution time per unit of work —
+//! showing the U-shape the whole paper rests on (too few warps
+//! underutilize, too many thrash).
+//!
+//! Run with `cargo run --release --example tlp_tradeoff`.
+
+use catt_repro::sim::GpuConfig;
+use catt_repro::workloads::micro;
+
+fn main() {
+    let mut config = GpuConfig::titan_v_1sm();
+    config.l1_cap_bytes = Some(32 * 1024);
+    let tlps = [1u32, 2, 4, 8, 16, 32];
+
+    println!("normalized per-warp execution time (lower is better)");
+    print!("{:>22}", "TLP:");
+    for t in tlps {
+        print!(" {t:>8}");
+    }
+    println!();
+    for full_with in [4u32, 8, 16] {
+        let results: Vec<f64> = tlps
+            .iter()
+            .map(|&t| {
+                let s = micro::run(full_with, t, &config);
+                s.cycles as f64 / t as f64 // per-warp time: work scales with TLP
+            })
+            .collect();
+        let best = results.iter().cloned().fold(f64::INFINITY, f64::min);
+        print!("L1D-full-with-{full_with:>2}-warps:");
+        for r in &results {
+            print!(" {:>8.2}", r / best);
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "Each row is normalized to its own best point. The minimum sits at the\n\
+         fill point (the TLP whose aggregate footprint exactly fills the L1D):\n\
+         fewer warps leave latency unhidden, more warps evict each other's lines."
+    );
+}

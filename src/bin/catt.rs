@@ -1,0 +1,227 @@
+//! `catt` — the command-line front end of the compiler.
+//!
+//! ```text
+//! catt compile kernels.cu --launch atax_kernel1=320x256 [--l1 32] [-o out.cu]
+//! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
+//! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32]
+//! ```
+//!
+//! * `analyze` prints the per-loop footprint analysis and throttling
+//!   decisions (a Table 3 row for your kernel);
+//! * `compile` additionally emits the throttled CUDA source;
+//! * `run` lowers the kernel, allocates float/int buffers per `--args`
+//!   (`f:<len>` / `i:<len>`, filled deterministically; `sf:<v>`/`si:<v>`
+//!   for scalars), executes baseline and throttled variants on the
+//!   simulator, and reports the speedup.
+//!
+//! Launch syntax: `<kernel>=<grid>x<block>` (1-D) or
+//! `<kernel>=<gx>,<gy>x<bx>,<by>` (2-D). Repeat `--launch` per kernel.
+
+use catt_repro::core::Pipeline;
+use catt_repro::ir::{Dim3, LaunchConfig};
+use catt_repro::sim::{Arg, GlobalMem, Gpu, GpuConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
+         [--launch ...] [--l1 <KB>] [--args <spec,...>] [-o <out.cu>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_dims(s: &str) -> Option<Dim3> {
+    let parts: Vec<&str> = s.split(',').collect();
+    match parts.len() {
+        1 => Some(Dim3::x(parts[0].parse().ok()?)),
+        2 => Some(Dim3::xy(parts[0].parse().ok()?, parts[1].parse().ok()?)),
+        _ => None,
+    }
+}
+
+fn parse_launch(spec: &str) -> Option<(String, LaunchConfig)> {
+    let (name, dims) = spec.split_once('=')?;
+    let (grid, block) = dims.split_once('x')?;
+    Some((
+        name.to_string(),
+        LaunchConfig {
+            grid: parse_dims(grid)?,
+            block: parse_dims(block)?,
+        },
+    ))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        return usage();
+    }
+    let mode = argv[0].as_str();
+    let path = &argv[1];
+    let mut launches: Vec<(String, LaunchConfig)> = Vec::new();
+    let mut l1_kb: Option<u32> = None;
+    let mut out_path: Option<String> = None;
+    let mut arg_spec: Option<String> = None;
+    let mut i = 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--launch" if i + 1 < argv.len() => {
+                let Some(l) = parse_launch(&argv[i + 1]) else {
+                    eprintln!("catt: bad --launch spec `{}`", argv[i + 1]);
+                    return usage();
+                };
+                launches.push(l);
+                i += 2;
+            }
+            "--l1" if i + 1 < argv.len() => {
+                l1_kb = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--args" if i + 1 < argv.len() => {
+                arg_spec = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "-o" if i + 1 < argv.len() => {
+                out_path = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("catt: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    if launches.is_empty() {
+        eprintln!("catt: at least one --launch is required");
+        return usage();
+    }
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("catt: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = GpuConfig::titan_v_1sm();
+    if let Some(kb) = l1_kb {
+        config.l1_cap_bytes = Some(kb * 1024);
+    }
+    let pipe = Pipeline::new(config.clone());
+    let refs: Vec<(&str, LaunchConfig)> =
+        launches.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    let app = match pipe.compile_source(&src, &refs) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("catt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for ck in &app.kernels {
+        let a = &ck.analysis;
+        println!(
+            "kernel `{}`: baseline TLP {:?}, L1D {} KB, smem carve-out {} KB, {} regs/thread",
+            a.kernel_name,
+            a.baseline_tlp(),
+            a.plan.l1d_bytes / 1024,
+            a.plan.smem_carveout_bytes / 1024,
+            a.regs_per_thread,
+        );
+        for l in &a.loops {
+            println!(
+                "  loop {:>2}: {:>5} lines/round x TLP, contended={} resolved={} -> N={} M={} TLP {:?}",
+                l.loop_id + 1,
+                l.size_req_lines,
+                l.contended,
+                l.decision.resolved,
+                l.decision.n,
+                l.decision.m,
+                l.tlp(a.warps_per_tb, a.plan.resident_tbs)
+            );
+        }
+    }
+
+    match mode {
+        "analyze" => ExitCode::SUCCESS,
+        "compile" => {
+            let emitted: String = app
+                .kernels
+                .iter()
+                .map(|k| k.emitted_source.clone())
+                .collect::<Vec<_>>()
+                .join("\n");
+            match out_path {
+                Some(p) => {
+                    if let Err(e) = std::fs::write(&p, emitted) {
+                        eprintln!("catt: cannot write {p}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {p}");
+                }
+                None => println!("\n{emitted}"),
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(spec) = arg_spec else {
+                eprintln!("catt run: --args is required (e.g. --args f:1024,f:64,si:64)");
+                return ExitCode::from(2);
+            };
+            for (ki, ck) in app.kernels.iter().enumerate() {
+                let exec = |kernel: &catt_repro::ir::Kernel| {
+                    let mut mem = GlobalMem::new();
+                    let mut args = Vec::new();
+                    for (ai, part) in spec.split(',').enumerate() {
+                        let Some((ty, val)) = part.split_once(':') else {
+                            return Err(format!("bad arg spec `{part}`"));
+                        };
+                        let arg = match ty {
+                            "f" => {
+                                let len: u32 =
+                                    val.parse().map_err(|_| format!("bad length `{val}`"))?;
+                                let data: Vec<f32> =
+                                    (0..len).map(|v| ((v * 7 + ai as u32) % 13) as f32).collect();
+                                Arg::Buf(mem.alloc_f32(&data))
+                            }
+                            "i" => {
+                                let len: u32 =
+                                    val.parse().map_err(|_| format!("bad length `{val}`"))?;
+                                let data: Vec<i32> =
+                                    (0..len as i32).map(|v| (v * 5 + ai as i32) % 17).collect();
+                                Arg::Buf(mem.alloc_i32(&data))
+                            }
+                            "sf" => Arg::F32(val.parse().map_err(|_| format!("bad f32 `{val}`"))?),
+                            "si" => Arg::I32(val.parse().map_err(|_| format!("bad i32 `{val}`"))?),
+                            other => return Err(format!("unknown arg type `{other}`")),
+                        };
+                        args.push(arg);
+                    }
+                    let mut gpu = Gpu::new(config.clone());
+                    gpu.launch(kernel, ck.launch, &args, &mut mem)
+                        .map_err(|e| e.to_string())
+                };
+                let base = match exec(&ck.original) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("catt run `{}`: {e}", ck.original.name);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let catt = exec(&ck.transformed).expect("transformed variant");
+                println!(
+                    "kernel {} `{}`: baseline {} cycles ({:.1}% L1D hits) | CATT {} cycles ({:.1}% hits) | speedup {:.2}x",
+                    ki + 1,
+                    ck.original.name,
+                    base.cycles,
+                    100.0 * base.l1_hit_rate(),
+                    catt.cycles,
+                    100.0 * catt.l1_hit_rate(),
+                    base.cycles as f64 / catt.cycles as f64,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

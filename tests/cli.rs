@@ -1,0 +1,110 @@
+//! Smoke tests for the `catt` command-line tool.
+
+use std::process::Command;
+
+fn catt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_catt"))
+}
+
+fn demo_file() -> tempfile_path::TempPath {
+    tempfile_path::write(
+        "#define N 512
+         __global__ void walk(float *A, float *tmp) {
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {
+                 for (int j = 0; j < 64; j++) {
+                     tmp[i] += A[i * 64 + j];
+                 }
+             }
+         }",
+    )
+}
+
+/// Minimal temp-file helper (no external crates).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(contents: &str) -> TempPath {
+        let p = std::env::temp_dir().join(format!(
+            "catt_cli_test_{}_{:?}.cu",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&p, contents).unwrap();
+        TempPath(p)
+    }
+}
+
+#[test]
+fn analyze_reports_decision() {
+    let f = demo_file();
+    let out = catt()
+        .args(["analyze", f.0.to_str().unwrap(), "--launch", "walk=2x256", "--l1", "32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel `walk`"), "{stdout}");
+    assert!(stdout.contains("contended=true"), "{stdout}");
+}
+
+#[test]
+fn compile_emits_parsable_source() {
+    let f = demo_file();
+    let out_file = std::env::temp_dir().join(format!("catt_cli_out_{}.cu", std::process::id()));
+    let out = catt()
+        .args([
+            "compile",
+            f.0.to_str().unwrap(),
+            "--launch",
+            "walk=2x256",
+            "--l1",
+            "32",
+            "-o",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let emitted = std::fs::read_to_string(&out_file).unwrap();
+    let _ = std::fs::remove_file(&out_file);
+    assert!(emitted.contains("__syncthreads();"), "{emitted}");
+    catt_frontend::parse_module(&emitted).expect("emitted source parses");
+}
+
+#[test]
+fn run_reports_speedup() {
+    let f = demo_file();
+    let out = catt()
+        .args([
+            "run",
+            f.0.to_str().unwrap(),
+            "--launch",
+            "walk=2x256",
+            "--l1",
+            "32",
+            "--args",
+            "f:32768,f:512",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("speedup"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = catt().args(["analyze"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = catt().args(["frobnicate", "x.cu", "--launch", "k=1x32"]).output().unwrap();
+    assert!(!out.status.success());
+}

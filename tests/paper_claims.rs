@@ -1,0 +1,128 @@
+//! Integration tests pinning the paper's qualitative claims (the "shape"
+//! DESIGN.md §4 commits to). These use the cheaper workloads so the suite
+//! stays fast; the full evaluation lives in `catt-bench`.
+
+use catt_repro::sim::GpuConfig;
+use catt_repro::workloads::registry::{find, Group};
+use catt_repro::workloads::{harness, run_baseline, run_catt};
+
+/// §5.1: CATT speeds up cache-sensitive applications with uniform
+/// contention (GSMV) on a small L1D.
+#[test]
+fn gsmv_speeds_up_at_32kb() {
+    let w = find("GSMV").unwrap();
+    let cfg = harness::eval_config_32kb_l1d();
+    let base = run_baseline(&w, &cfg);
+    let (catt, app) = run_catt(&w, &cfg);
+    assert!(app.kernels[0].is_transformed());
+    assert!(
+        catt.cycles() < base.cycles(),
+        "GSMV @32KB: CATT {} vs baseline {}",
+        catt.cycles(),
+        base.cycles()
+    );
+    assert!(
+        catt.stats.l1_hit_rate() > base.stats.l1_hit_rate(),
+        "hit rate must improve"
+    );
+}
+
+/// §5.1: CS-vs-CI classification (paper §3): CS apps gain L1D hit rate
+/// from a larger cache, CI apps do not.
+#[test]
+fn cache_sensitivity_classification_holds() {
+    // A representative pair keeps this test quick; the registry-wide
+    // check lives in the fig6/fig8 harnesses.
+    for (abbrev, expect_sensitive) in [("GSMV", true), ("GEMM", false), ("MC", false)] {
+        let w = find(abbrev).unwrap();
+        let small = {
+            let mut c = GpuConfig::titan_v_1sm();
+            c.l1_cap_bytes = Some(32 * 1024);
+            run_baseline(&w, &c).stats.l1_hit_rate()
+        };
+        let large = run_baseline(&w, &harness::eval_config_max_l1d())
+            .stats
+            .l1_hit_rate();
+        let gain = large - small;
+        if expect_sensitive {
+            assert!(
+                gain > 0.10,
+                "{abbrev} should be cache-sensitive: {small:.3} -> {large:.3}"
+            );
+        } else {
+            assert!(
+                gain < 0.10,
+                "{abbrev} should be cache-insensitive: {small:.3} -> {large:.3}"
+            );
+        }
+    }
+}
+
+/// §5.1: CORR's contention is unresolvable by TLP reduction; CATT leaves
+/// it untouched and (by construction) matches the baseline exactly.
+#[test]
+fn corr_matches_baseline_exactly() {
+    let w = find("CORR").unwrap();
+    let cfg = harness::eval_config_max_l1d();
+    let base = run_baseline(&w, &cfg);
+    let (catt, app) = run_catt(&w, &cfg);
+    assert!(app.kernels.iter().all(|k| !k.is_transformed()));
+    assert_eq!(base.cycles(), catt.cycles());
+}
+
+/// §4.2: irregular workloads are treated conservatively — full TLP
+/// preserved, zero overhead.
+#[test]
+fn irregular_apps_keep_original_tlp() {
+    for abbrev in ["BFS", "BT"] {
+        let w = find(abbrev).unwrap();
+        let cfg = harness::eval_config_max_l1d();
+        let base = run_baseline(&w, &cfg);
+        let (catt, app) = run_catt(&w, &cfg);
+        assert!(
+            app.kernels.iter().all(|k| !k.is_transformed()),
+            "{abbrev} must be untouched"
+        );
+        assert_eq!(base.cycles(), catt.cycles(), "{abbrev}");
+    }
+}
+
+/// Fig. 8's invariant over the whole CI group, at the analysis level
+/// (cheap — no simulation): CATT transforms nothing.
+#[test]
+fn ci_group_is_never_transformed() {
+    use catt_repro::core::Pipeline;
+    let pipe = Pipeline::new(harness::eval_config_max_l1d());
+    for w in catt_repro::workloads::ci_workloads() {
+        assert_eq!(w.group, Group::Ci);
+        for (i, k) in w.kernels().iter().enumerate() {
+            let ck = pipe.compile_kernel(k, w.launch(i)).unwrap();
+            assert!(
+                !ck.is_transformed(),
+                "{}::{} transformed by CATT",
+                w.abbrev,
+                k.name
+            );
+        }
+    }
+}
+
+/// §5.1.3: CATT's improvement is larger on the 32 KB L1D than on the
+/// maximum L1D. Checked on ATAX; this is a *group-level* trend in the
+/// paper (Fig. 10 vs Fig. 7), and GSMV, for example, inverts it here
+/// because its 32 KB factor (1, 2) leaves too little latency hiding.
+#[test]
+fn gains_grow_as_l1d_shrinks() {
+    let w = find("ATAX").unwrap();
+    let speedup = |cfg: &GpuConfig| {
+        let base = run_baseline(&w, cfg);
+        let (catt, _) = run_catt(&w, cfg);
+        base.cycles() as f64 / catt.cycles() as f64
+    };
+    let at_max = speedup(&harness::eval_config_max_l1d());
+    let at_32k = speedup(&harness::eval_config_32kb_l1d());
+    assert!(
+        at_32k > at_max,
+        "32 KB speedup {at_32k:.3} must exceed max-L1D speedup {at_max:.3}"
+    );
+}

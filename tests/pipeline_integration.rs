@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full
+//! `parse → analyze → transform → emit → simulate → validate` pipeline.
+
+use catt_repro::core::Pipeline;
+use catt_repro::frontend::{parse_kernel, parse_module};
+use catt_repro::ir::{printer, LaunchConfig};
+use catt_repro::sim::{Arg, GlobalMem, Gpu, GpuConfig};
+
+/// The paper's complete running example: Fig. 1 in, Fig. 4-shaped code
+/// out, and the throttled kernel computes the same result faster on a
+/// 32 KB L1D.
+#[test]
+fn paper_running_example_end_to_end() {
+    let n = 1024usize;
+    let src = format!(
+        "#define NX {n}
+         #define NY 256
+         __global__ void atax_kernel1(float *A, float *x, float *tmp) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < NX) {{
+                 for (int j = 0; j < NY; j++) {{
+                     tmp[i] += A[i * NY + j] * x[j];
+                 }}
+             }}
+         }}"
+    );
+    let launch = LaunchConfig::d1((n / 256) as u32, 256);
+    let mut config = GpuConfig::titan_v_1sm();
+    config.l1_cap_bytes = Some(32 * 1024);
+
+    let app = Pipeline::new(config.clone())
+        .compile_source(&src, &[("atax_kernel1", launch)])
+        .unwrap();
+    let ck = &app.kernels[0];
+    assert!(ck.is_transformed());
+    // Fig. 4 shape: guarded loop copies separated by barriers.
+    assert!(ck.emitted_source.contains("threadIdx.x / 32 >="));
+    assert!(ck.emitted_source.contains("__syncthreads();"));
+    // The emitted source re-parses to the same kernel.
+    assert_eq!(parse_kernel(&ck.emitted_source).unwrap(), ck.transformed);
+
+    let run = |k| {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc_f32(&vec![0.5; n * 256]);
+        let x = mem.alloc_f32(&vec![2.0; 256]);
+        let tmp = mem.alloc_zeroed(n as u32);
+        let mut gpu = Gpu::new(config.clone());
+        let stats = gpu
+            .launch(k, launch, &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(tmp)], &mut mem)
+            .unwrap();
+        let out = mem.read_f32(tmp);
+        assert!(out.iter().all(|&v| v == 256.0), "functional mismatch");
+        stats
+    };
+    let base = run(&ck.original);
+    let catt = run(&ck.transformed);
+    assert!(
+        catt.cycles < base.cycles,
+        "throttling must win on a thrashing 32 KB L1D: {} vs {}",
+        catt.cycles,
+        base.cycles
+    );
+    assert!(
+        catt.l1_hit_rate() > base.l1_hit_rate() + 0.2,
+        "hit rate must rise substantially: {:.3} vs {:.3}",
+        catt.l1_hit_rate(),
+        base.l1_hit_rate()
+    );
+}
+
+/// Transformation preserves semantics across a grid of kernels, factors,
+/// and both transforms (the compiler's core correctness obligation).
+#[test]
+fn transforms_preserve_semantics_across_factor_grid() {
+    let n = 256usize;
+    let src = format!(
+        "#define N {n}
+         __global__ void k(float *A, float *x, float *out) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {{
+                 float acc = 0.0f;
+                 for (int j = 0; j < N; j++) {{
+                     acc += A[i * N + j] * x[j];
+                 }}
+                 out[i] = acc;
+             }}
+         }}"
+    );
+    let kernel = parse_kernel(&src).unwrap();
+    let launch = LaunchConfig::d1(1, 256);
+    let config = GpuConfig::titan_v_1sm();
+    let run = |k: &catt_repro::ir::Kernel| {
+        let mut mem = GlobalMem::new();
+        let a = mem.alloc_f32(&(0..n * n).map(|v| (v % 17) as f32 * 0.25).collect::<Vec<_>>());
+        let x = mem.alloc_f32(&(0..n).map(|v| (v % 5) as f32).collect::<Vec<_>>());
+        let out = mem.alloc_zeroed(n as u32);
+        let mut gpu = Gpu::new(config.clone());
+        gpu.launch(k, launch, &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(out)], &mut mem)
+            .unwrap();
+        mem.read_f32(out)
+    };
+    let reference = run(&kernel);
+    for nfac in [2u32, 4, 8] {
+        let t = catt_repro::core::warp_throttle(&kernel, 0, nfac, 8).unwrap();
+        assert_eq!(run(&t), reference, "warp factor {nfac}");
+    }
+    for target in [1u32, 2, 4] {
+        let t = catt_repro::core::tb_throttle(&kernel, target, 96 * 1024, 0).unwrap();
+        assert_eq!(run(&t), reference, "tb target {target}");
+    }
+    // Combined.
+    let t = catt_repro::core::warp_throttle(&kernel, 0, 2, 8).unwrap();
+    let t = catt_repro::core::tb_throttle(&t, 2, 96 * 1024, 0).unwrap();
+    assert_eq!(run(&t), reference, "combined");
+}
+
+/// A multi-kernel module compiles with independent per-kernel plans.
+#[test]
+fn multi_kernel_module_compiles_with_mixed_decisions() {
+    let src = "
+        #define N 1024
+        __global__ void divergent(float *A, float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < N) {
+                for (int j = 0; j < 64; j++) {
+                    out[i] += A[i * 64 + j];
+                }
+            }
+        }
+        __global__ void coalesced(float *A, float *out) {
+            int i = blockIdx.x * blockDim.x + threadIdx.x;
+            if (i < N) {
+                for (int j = 0; j < 64; j++) {
+                    out[i] += A[j * N + i];
+                }
+            }
+        }";
+    let launch = LaunchConfig::d1(4, 256);
+    let mut config = GpuConfig::titan_v_1sm();
+    config.l1_cap_bytes = Some(32 * 1024);
+    let app = Pipeline::new(config)
+        .compile_source(src, &[("divergent", launch), ("coalesced", launch)])
+        .unwrap();
+    assert!(app.kernels[0].is_transformed());
+    assert!(!app.kernels[1].is_transformed());
+}
+
+/// Printer → parser round trip on every registered workload source.
+#[test]
+fn all_workload_sources_round_trip() {
+    for w in catt_repro::workloads::all_workloads() {
+        let m = parse_module(w.source).unwrap();
+        let printed = printer::module_to_string(&m);
+        let m2 = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("{}: reprint does not parse: {e}", w.abbrev));
+        assert_eq!(m.kernels, m2.kernels, "{}", w.abbrev);
+    }
+}
+
+/// The register estimate that feeds Eq. 2 stays in a plausible band for
+/// every workload kernel (a runaway estimate would silently wreck every
+/// occupancy computation).
+#[test]
+fn register_estimates_are_plausible() {
+    for w in catt_repro::workloads::all_workloads() {
+        for k in w.kernels() {
+            let p = catt_repro::sim::lower(&k).unwrap();
+            assert!(
+                (13..=64).contains(&p.num_regs),
+                "{}::{}: {} registers",
+                w.abbrev,
+                k.name,
+                p.num_regs
+            );
+        }
+    }
+}
