@@ -1,41 +1,27 @@
-//! Criterion bench: CATT static analysis + transformation time
-//! (paper §5.1.4 — the compile-time cost of the approach).
+//! Bench: CATT static analysis + transformation time (paper §5.1.4 — the
+//! compile-time cost of the approach). Std-only harness, see
+//! `catt_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use catt_bench::timing::bench;
+use catt_core::pipeline::Pipeline;
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::find;
 
-fn bench_pipeline(c: &mut Criterion) {
-    use catt_core::pipeline::Pipeline;
-    use catt_workloads::harness::eval_config_max_l1d;
-    use catt_workloads::registry::find;
-
-    let mut g = c.benchmark_group("analysis");
+fn main() {
     for abbrev in ["ATAX", "PF", "CORR", "GEMM"] {
         let w = find(abbrev).unwrap();
         let kernels = w.kernels();
         let launches: Vec<_> = (0..kernels.len()).map(|i| w.launch(i)).collect();
         let pipe = Pipeline::new(eval_config_max_l1d());
-        g.bench_function(abbrev, |b| {
-            b.iter_batched(
-                || (),
-                |_| {
-                    for (k, l) in kernels.iter().zip(&launches) {
-                        criterion::black_box(pipe.compile_kernel(k, *l).unwrap());
-                    }
-                },
-                BatchSize::SmallInput,
-            )
+        bench(&format!("analysis/{abbrev}"), 50, || {
+            for (k, l) in kernels.iter().zip(&launches) {
+                std::hint::black_box(pipe.compile_kernel(k, *l).unwrap());
+            }
         });
     }
-    g.finish();
-}
 
-fn bench_parse(c: &mut Criterion) {
-    use catt_workloads::registry::find;
     let w = find("CFD").unwrap();
-    c.bench_function("parse_cfd_module", |b| {
-        b.iter(|| criterion::black_box(catt_frontend::parse_module(w.source).unwrap()))
+    bench("parse_cfd_module", 50, || {
+        catt_frontend::parse_module(w.source).unwrap()
     });
 }
-
-criterion_group!(benches, bench_pipeline, bench_parse);
-criterion_main!(benches);

@@ -1,24 +1,18 @@
-//! Criterion bench: end-to-end evaluate-one-app cost (compile with CATT +
-//! run transformed kernels) for a cheap CI app and a mid-sized CS app.
+//! Bench: end-to-end evaluate-one-app cost (compile with CATT + run
+//! transformed kernels) for a cheap CI app and a mid-sized CS app.
+//! Std-only harness, see `catt_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use catt_bench::timing::bench;
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::find;
+use catt_workloads::run_catt;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    use catt_workloads::harness::eval_config_max_l1d;
-    use catt_workloads::registry::find;
-    use catt_workloads::run_catt;
-
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn main() {
     for abbrev in ["MC", "GSMV"] {
         let w = find(abbrev).unwrap();
         let cfg = eval_config_max_l1d();
-        g.bench_function(abbrev, |b| {
-            b.iter(|| criterion::black_box(run_catt(&w, &cfg).0.cycles()))
+        bench(&format!("end_to_end/{abbrev}"), 10, || {
+            run_catt(&w, &cfg).expect("compiles and runs").0.cycles()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion bench: simulator throughput on representative kernels —
-//! the cost of the evaluation substrate itself.
+//! Bench: simulator throughput on representative kernels — the cost of
+//! the evaluation substrate itself. (`cargo bench -p catt-bench --bench
+//! simulator_throughput`; std-only harness, see `catt_bench::timing`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use catt_bench::timing::bench;
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{lower, Arg, GlobalMem, Gpu, GpuConfig};
 
-fn bench_sim(c: &mut Criterion) {
-    use catt_frontend::parse_kernel;
-    use catt_ir::LaunchConfig;
-    use catt_sim::{lower, Arg, GlobalMem, Gpu, GpuConfig};
-
+fn main() {
     let n = 256usize;
     let src = format!(
         "#define N {n}
@@ -24,29 +24,21 @@ fn bench_sim(c: &mut Criterion) {
     let program = lower(&kernel).unwrap();
     let launch = LaunchConfig::d1(1, 256);
 
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20);
     for (name, l1_kb) in [("divergent_32kb", 32u32), ("divergent_128kb", 128)] {
         let mut cfg = GpuConfig::titan_v_1sm();
         cfg.l1_cap_bytes = Some(l1_kb * 1024);
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut mem = GlobalMem::new();
-                let a = mem.alloc_f32(&vec![1.0; n * n]);
-                let x = mem.alloc_f32(&vec![1.0; n]);
-                let y = mem.alloc_zeroed(n as u32);
-                let mut gpu = Gpu::new(cfg.clone());
-                criterion::black_box(gpu.launch_program(
-                    &program,
-                    launch,
-                    &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(y)],
-                    &mut mem,
-                ))
-            })
+        bench(&format!("simulator/{name}"), 20, || {
+            let mut mem = GlobalMem::new();
+            let a = mem.alloc_f32(&vec![1.0; n * n]);
+            let x = mem.alloc_f32(&vec![1.0; n]);
+            let y = mem.alloc_zeroed(n as u32);
+            let mut gpu = Gpu::new(cfg.clone());
+            gpu.launch_program(
+                &program,
+                launch,
+                &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(y)],
+                &mut mem,
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

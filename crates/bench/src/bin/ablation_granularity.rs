@@ -7,55 +7,65 @@
 use catt_core::pipeline::apply_uniform;
 use catt_workloads::harness::eval_config_32kb_l1d;
 use catt_workloads::registry::find;
-use catt_workloads::run_catt;
+use catt_workloads::{run_cached, run_catt};
 
-fn main() {
-    let config = eval_config_32kb_l1d();
-    println!("Ablation: decision granularity (32 KB L1D)");
-    let mut rows = Vec::new();
-    for abbrev in ["ATAX", "BICG", "MVT", "PF", "GSMV"] {
-        let w = find(abbrev).unwrap();
-        let kernels = w.kernels();
-        let launch = w.block_launch();
-        let base = (w.run)(&kernels, &config, true);
-        let (catt, app) = run_catt(&w, &config);
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let config = eval_config_32kb_l1d();
+        println!("Ablation: decision granularity (32 KB L1D)");
+        let mut rows = Vec::new();
+        for abbrev in ["ATAX", "BICG", "MVT", "PF", "GSMV"] {
+            let w = find(abbrev).unwrap();
+            let kernels = w.kernels();
+            let launch = w.block_launch();
+            let base = run_cached(&w, &kernels, &config, true)?.stats;
+            let (catt, app) = run_catt(&w, &config)?;
 
-        // Collapse: take the most throttled per-loop decision in the app
-        // and apply it to every eligible loop of every kernel.
-        let collapsed = app
-            .kernels
-            .iter()
-            .flat_map(|k| k.analysis.loops.iter())
-            .filter(|l| l.decision.is_throttled())
-            .map(|l| (l.decision.n, l.decision.m))
-            .max_by_key(|(n, m)| n * (m + 1));
-        let collapsed_cycles = match collapsed {
-            Some((n, m)) => {
-                let warps = launch.warps_per_block();
-                let resident = base.resident_tbs_per_sm;
-                let ks: Vec<_> = kernels
-                    .iter()
-                    .map(|k| apply_uniform(k, n, m, warps, resident, config.smem_carveout_bytes))
-                    .collect();
-                (w.run)(&ks, &config, true).cycles
-            }
-            None => base.cycles,
-        };
+            // Collapse: take the most throttled per-loop decision in the app
+            // and apply it to every eligible loop of every kernel.
+            let collapsed = app
+                .kernels
+                .iter()
+                .flat_map(|k| k.analysis.loops.iter())
+                .filter(|l| l.decision.is_throttled())
+                .map(|l| (l.decision.n, l.decision.m))
+                .max_by_key(|(n, m)| n * (m + 1));
+            let collapsed_cycles = match collapsed {
+                Some((n, m)) => {
+                    let warps = launch.warps_per_block();
+                    let resident = base.resident_tbs_per_sm;
+                    let ks: Vec<_> = kernels
+                        .iter()
+                        .map(|k| {
+                            apply_uniform(k, n, m, warps, resident, config.smem_carveout_bytes)
+                        })
+                        .collect();
+                    run_cached(&w, &ks, &config, true)?.cycles()
+                }
+                None => base.cycles,
+            };
 
-        rows.push(vec![
-            abbrev.to_string(),
-            format!("{:.3}", catt.cycles() as f64 / base.cycles as f64),
-            format!("{:.3}", collapsed_cycles as f64 / base.cycles as f64),
-            format!("{:?}", collapsed),
-        ]);
-    }
-    catt_bench::print_table(
-        &["app", "per-loop CATT", "collapsed (one factor)", "collapsed (N,M)"],
-        &rows,
-    );
-    println!(
-        "\nExpected: on multi-phase apps (ATAX/BICG/MVT/PF) per-loop beats the\n\
-         collapsed single factor because the coalesced phases keep full TLP;\n\
-         on uniform apps (GSMV) the two coincide — §5.1's CATT-vs-BFTT argument."
-    );
+            rows.push(vec![
+                abbrev.to_string(),
+                format!("{:.3}", catt.cycles() as f64 / base.cycles as f64),
+                format!("{:.3}", collapsed_cycles as f64 / base.cycles as f64),
+                format!("{:?}", collapsed),
+            ]);
+        }
+        catt_bench::print_table(
+            &[
+                "app",
+                "per-loop CATT",
+                "collapsed (one factor)",
+                "collapsed (N,M)",
+            ],
+            &rows,
+        );
+        println!(
+            "\nExpected: on multi-phase apps (ATAX/BICG/MVT/PF) per-loop beats the\n\
+             collapsed single factor because the coalesced phases keep full TLP;\n\
+             on uniform apps (GSMV) the two coincide — §5.1's CATT-vs-BFTT argument."
+        );
+        Ok(())
+    })
 }

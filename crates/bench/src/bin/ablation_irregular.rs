@@ -11,84 +11,97 @@ use catt_core::pipeline::apply_uniform;
 use catt_sim::lower;
 use catt_workloads::harness::eval_config_max_l1d;
 use catt_workloads::registry::find;
+use catt_workloads::{run_cached, run_catt};
 
-fn main() {
-    let config = eval_config_max_l1d();
-    println!("Ablation: irregular-access handling (max. L1D)");
-    let mut rows = Vec::new();
-    for abbrev in ["BFS", "CFD"] {
-        let w = find(abbrev).unwrap();
-        let kernels = w.kernels();
-        let launch = w.block_launch();
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let config = eval_config_max_l1d();
+        println!("Ablation: irregular-access handling (max. L1D)");
+        let mut rows = Vec::new();
+        for abbrev in ["BFS", "CFD"] {
+            let w = find(abbrev).unwrap();
+            let kernels = w.kernels();
+            let launch = w.block_launch();
 
-        // Conservative = CATT as shipped (leaves the apps untouched).
-        let base = (w.run)(&kernels, &config, true);
-        let (catt, _) = catt_workloads::run_catt(&w, &config);
+            // Conservative = CATT as shipped (leaves the apps untouched).
+            let base = run_cached(&w, &kernels, &config, true)?.stats;
+            let (catt, _) = run_catt(&w, &config)?;
 
-        // Pessimistic: redo the factor search with irregular accesses
-        // counted as fully divergent (REQ = 32) and apply the worst
-        // decision uniformly.
-        let mut worst: Option<(u32, u32)> = None;
-        for (i, k) in kernels.iter().enumerate() {
-            let regs = lower(k).unwrap().num_regs as u32;
-            let a = analysis::analyze_kernel(k, w.launch(i), &config, regs).unwrap();
-            let l1_lines = (a.plan.l1d_bytes / a.plan.config.l1_line_bytes) as u64;
-            for l in &a.loops {
-                let per_round: u64 = l
-                    .accesses
-                    .iter()
-                    .map(|acc| if acc.c_tid.is_none() { 32 } else { acc.req_warp as u64 })
-                    .sum();
-                let d = search_factors(per_round, a.warps_per_tb, a.plan.resident_tbs, l1_lines);
-                if d.resolved && (d.n > 1 || d.m > 0) {
-                    let cand = (d.n, d.m);
-                    worst = Some(match worst {
-                        None => cand,
-                        Some(prev) => {
-                            if cand.0 * (cand.1 + 1) > prev.0 * (prev.1 + 1) {
-                                cand
+            // Pessimistic: redo the factor search with irregular accesses
+            // counted as fully divergent (REQ = 32) and apply the worst
+            // decision uniformly.
+            let mut worst: Option<(u32, u32)> = None;
+            for (i, k) in kernels.iter().enumerate() {
+                let regs = lower(k).unwrap().num_regs as u32;
+                let a = analysis::analyze_kernel(k, w.launch(i), &config, regs).unwrap();
+                let l1_lines = (a.plan.l1d_bytes / a.plan.config.l1_line_bytes) as u64;
+                for l in &a.loops {
+                    let per_round: u64 = l
+                        .accesses
+                        .iter()
+                        .map(|acc| {
+                            if acc.c_tid.is_none() {
+                                32
                             } else {
-                                prev
+                                acc.req_warp as u64
                             }
-                        }
-                    });
+                        })
+                        .sum();
+                    let d =
+                        search_factors(per_round, a.warps_per_tb, a.plan.resident_tbs, l1_lines);
+                    if d.resolved && (d.n > 1 || d.m > 0) {
+                        let cand = (d.n, d.m);
+                        worst = Some(match worst {
+                            None => cand,
+                            Some(prev) => {
+                                if cand.0 * (cand.1 + 1) > prev.0 * (prev.1 + 1) {
+                                    cand
+                                } else {
+                                    prev
+                                }
+                            }
+                        });
+                    }
                 }
             }
-        }
-        let pess_cycles = match worst {
-            Some((n, m)) => {
-                let warps = launch.warps_per_block();
-                let resident = base.resident_tbs_per_sm;
-                let ks: Vec<_> = kernels
-                    .iter()
-                    .map(|k| apply_uniform(k, n, m, warps, resident, config.smem_carveout_bytes))
-                    .collect();
-                (w.run)(&ks, &config, true).cycles
-            }
-            None => base.cycles,
-        };
+            let pess_cycles = match worst {
+                Some((n, m)) => {
+                    let warps = launch.warps_per_block();
+                    let resident = base.resident_tbs_per_sm;
+                    let ks: Vec<_> = kernels
+                        .iter()
+                        .map(|k| {
+                            apply_uniform(k, n, m, warps, resident, config.smem_carveout_bytes)
+                        })
+                        .collect();
+                    run_cached(&w, &ks, &config, true)?.cycles()
+                }
+                None => base.cycles,
+            };
 
-        rows.push(vec![
-            abbrev.to_string(),
-            base.cycles.to_string(),
-            format!("{:.3}", catt.cycles() as f64 / base.cycles as f64),
-            format!("{:.3}", pess_cycles as f64 / base.cycles as f64),
-            format!("{:?}", worst),
-        ]);
-    }
-    catt_bench::print_table(
-        &[
-            "app",
-            "baseline cycles",
-            "conservative (CATT)",
-            "pessimistic (C_tid=32)",
-            "pessimistic (N,M)",
-        ],
-        &rows,
-    );
-    println!(
-        "\nExpected: conservative == 1.000 (untouched); pessimistic > 1.000 where\n\
-         the worst-case estimate forces unnecessary throttling — the paper's\n\
-         argument for C_tid := 1 (§4.2)."
-    );
+            rows.push(vec![
+                abbrev.to_string(),
+                base.cycles.to_string(),
+                format!("{:.3}", catt.cycles() as f64 / base.cycles as f64),
+                format!("{:.3}", pess_cycles as f64 / base.cycles as f64),
+                format!("{:?}", worst),
+            ]);
+        }
+        catt_bench::print_table(
+            &[
+                "app",
+                "baseline cycles",
+                "conservative (CATT)",
+                "pessimistic (C_tid=32)",
+                "pessimistic (N,M)",
+            ],
+            &rows,
+        );
+        println!(
+            "\nExpected: conservative == 1.000 (untouched); pessimistic > 1.000 where\n\
+             the worst-case estimate forces unnecessary throttling — the paper's\n\
+             argument for C_tid := 1 (§4.2)."
+        );
+        Ok(())
+    })
 }

@@ -7,58 +7,68 @@
 use catt_core::transform::{tb_throttle, warp_throttle};
 use catt_workloads::harness::eval_config_32kb_l1d;
 use catt_workloads::registry::find;
+use catt_workloads::run_cached;
 
-fn main() {
-    let w = find("ATAX").unwrap();
-    let config = eval_config_32kb_l1d();
-    let kernels = w.kernels();
-    let k1 = &kernels[0];
-    let warps_per_tb = w.launch(0).warps_per_block();
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let w = find("ATAX").unwrap();
+        let config = eval_config_32kb_l1d();
+        let kernels = w.kernels();
+        let k1 = &kernels[0];
+        let warps_per_tb = w.launch(0).warps_per_block();
 
-    // Variants of kernel 1 at (roughly) one quarter of the baseline TLP:
-    // 2 of 8 warps  vs  baseline TBs reduced 4x  vs  half warps + half TBs.
-    let variants: Vec<(&str, catt_ir::Kernel)> = vec![
-        ("baseline", k1.clone()),
-        (
-            "warp-level N=4",
-            warp_throttle(k1, 0, 4, warps_per_tb).expect("warp transform"),
-        ),
-        (
-            "TB-level -> 2 TBs",
-            tb_throttle(k1, 2, 96 * 1024, 0).expect("tb transform"),
-        ),
-        (
-            "combined N=2 + 4 TBs",
-            tb_throttle(
-                &warp_throttle(k1, 0, 2, warps_per_tb).expect("warp transform"),
-                4,
-                96 * 1024,
-                0,
-            )
-            .expect("tb transform"),
-        ),
-    ];
+        // Variants of kernel 1 at (roughly) one quarter of the baseline TLP:
+        // 2 of 8 warps  vs  baseline TBs reduced 4x  vs  half warps + half TBs.
+        let variants: Vec<(&str, catt_ir::Kernel)> = vec![
+            ("baseline", k1.clone()),
+            (
+                "warp-level N=4",
+                warp_throttle(k1, 0, 4, warps_per_tb).expect("warp transform"),
+            ),
+            (
+                "TB-level -> 2 TBs",
+                tb_throttle(k1, 2, 96 * 1024, 0).expect("tb transform"),
+            ),
+            (
+                "combined N=2 + 4 TBs",
+                tb_throttle(
+                    &warp_throttle(k1, 0, 2, warps_per_tb).expect("warp transform"),
+                    4,
+                    96 * 1024,
+                    0,
+                )
+                .expect("tb transform"),
+            ),
+        ];
 
-    println!("Ablation: throttling mechanism on ATAX kernel 1 (32 KB L1D)");
-    let mut rows = Vec::new();
-    let mut base_cycles = 0u64;
-    for (name, variant) in &variants {
-        let mut ks = kernels.clone();
-        ks[0] = variant.clone();
-        let stats = (w.run)(&ks, &config, true);
-        if *name == "baseline" {
-            base_cycles = stats.cycles;
+        println!("Ablation: throttling mechanism on ATAX kernel 1 (32 KB L1D)");
+        let mut rows = Vec::new();
+        let mut base_cycles = 0u64;
+        for (name, variant) in &variants {
+            let mut ks = kernels.clone();
+            ks[0] = variant.clone();
+            let stats = run_cached(&w, &ks, &config, true)?.stats;
+            if *name == "baseline" {
+                base_cycles = stats.cycles;
+            }
+            rows.push(vec![
+                name.to_string(),
+                stats.cycles.to_string(),
+                format!("{:.3}", stats.cycles as f64 / base_cycles as f64),
+                format!("{:5.1}%", 100.0 * stats.l1_hit_rate()),
+                stats.offchip_requests.to_string(),
+            ]);
         }
-        rows.push(vec![
-            name.to_string(),
-            stats.cycles.to_string(),
-            format!("{:.3}", stats.cycles as f64 / base_cycles as f64),
-            format!("{:5.1}%", 100.0 * stats.l1_hit_rate()),
-            stats.offchip_requests.to_string(),
-        ]);
-    }
-    catt_bench::print_table(
-        &["variant", "cycles", "normalized", "L1D hit", "off-chip reqs"],
-        &rows,
-    );
+        catt_bench::print_table(
+            &[
+                "variant",
+                "cycles",
+                "normalized",
+                "L1D hit",
+                "off-chip reqs",
+            ],
+            &rows,
+        );
+        Ok(())
+    })
 }

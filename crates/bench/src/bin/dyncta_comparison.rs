@@ -7,45 +7,45 @@
 //! group.
 
 use catt_sim::config::DynctaConfig;
-use catt_workloads::harness::eval_config_32kb_l1d;
+use catt_workloads::harness::{eval_config_32kb_l1d, geomean};
 use catt_workloads::registry::cs_workloads;
 use catt_workloads::{run_baseline, run_catt};
 
-fn main() {
-    let config = eval_config_32kb_l1d();
-    let mut dyn_config = config.clone();
-    dyn_config.dyncta = Some(DynctaConfig::default());
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let config = eval_config_32kb_l1d();
+        let mut dyn_config = config.clone();
+        dyn_config.dyncta = Some(DynctaConfig::default());
 
-    println!("Dynamic (DYNCTA-style) vs compile-time (CATT) throttling, 32 KB L1D");
-    let mut rows = Vec::new();
-    let mut dyn_speed = Vec::new();
-    let mut catt_speed = Vec::new();
-    for w in cs_workloads() {
-        eprintln!("  evaluating {} ...", w.abbrev);
-        let base = run_baseline(&w, &config);
-        let dynr = run_baseline(&w, &dyn_config);
-        let (catt, _) = run_catt(&w, &config);
-        let b = base.cycles() as f64;
-        dyn_speed.push(b / dynr.cycles() as f64);
-        catt_speed.push(b / catt.cycles() as f64);
-        rows.push(vec![
-            w.abbrev.to_string(),
-            format!("{:.3}", dynr.cycles() as f64 / b),
-            format!("{:.3}", catt.cycles() as f64 / b),
-        ]);
-    }
-    catt_bench::print_table(&["app", "DYNCTA (normalized)", "CATT (normalized)"], &rows);
-    let g = |v: &[f64]| {
-        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
-    };
-    println!(
-        "geomean speedup: DYNCTA {:+.2}% | CATT {:+.2}%",
-        (g(&dyn_speed) - 1.0) * 100.0,
-        (g(&catt_speed) - 1.0) * 100.0
-    );
-    println!(
-        "\nExpected (paper §2.2): the reactive scheme helps contended apps but\n\
-         lags CATT — it spends warm-up windows converging, re-converges on every\n\
-         phase change, and throttles at whole-TB granularity only."
-    );
+        println!("Dynamic (DYNCTA-style) vs compile-time (CATT) throttling, 32 KB L1D");
+        let mut rows = Vec::new();
+        let mut dyn_speed = Vec::new();
+        let mut catt_speed = Vec::new();
+        for w in cs_workloads() {
+            eprintln!("  evaluating {} ...", w.abbrev);
+            let base = run_baseline(&w, &config)?;
+            let dynr = run_baseline(&w, &dyn_config)?;
+            let (catt, _) = run_catt(&w, &config)?;
+            let b = base.cycles() as f64;
+            dyn_speed.push(b / dynr.cycles() as f64);
+            catt_speed.push(b / catt.cycles() as f64);
+            rows.push(vec![
+                w.abbrev.to_string(),
+                format!("{:.3}", dynr.cycles() as f64 / b),
+                format!("{:.3}", catt.cycles() as f64 / b),
+            ]);
+        }
+        catt_bench::print_table(&["app", "DYNCTA (normalized)", "CATT (normalized)"], &rows);
+        println!(
+            "geomean speedup: DYNCTA {:+.2}% | CATT {:+.2}%",
+            (geomean(&dyn_speed).unwrap_or(1.0) - 1.0) * 100.0,
+            (geomean(&catt_speed).unwrap_or(1.0) - 1.0) * 100.0
+        );
+        println!(
+            "\nExpected (paper §2.2): the reactive scheme helps contended apps but\n\
+             lags CATT — it spends warm-up windows converging, re-converges on every\n\
+             phase change, and throttles at whole-TB granularity only."
+        );
+        Ok(())
+    })
 }

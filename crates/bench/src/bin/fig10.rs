@@ -6,10 +6,13 @@ use catt_bench::{eval_group, print_normalized_figure};
 use catt_workloads::harness::eval_config_32kb_l1d;
 use catt_workloads::registry::cs_workloads;
 
-fn main() {
-    let evals = eval_group(&cs_workloads(), &eval_config_32kb_l1d(), true);
-    print_normalized_figure(
-        "Fig. 10: normalized execution time, CS group (32 KB L1D)",
-        &evals,
-    );
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let evals = eval_group(&cs_workloads(), &eval_config_32kb_l1d(), true)?;
+        print_normalized_figure(
+            "Fig. 10: normalized execution time, CS group (32 KB L1D)",
+            &evals,
+        );
+        Ok(())
+    })
 }

@@ -6,36 +6,44 @@
 
 use catt_workloads::harness::eval_config_max_l1d;
 use catt_workloads::registry::cs_workloads;
+use catt_workloads::run_cached;
 
 const BUCKETS: usize = 40;
 
-fn main() {
-    println!("Fig. 2: off-chip requests per memory instruction over time (baseline)");
-    println!("(x: execution progress in {BUCKETS} buckets; y: avg 128B transactions per instruction)");
-    let mut config = eval_config_max_l1d();
-    config.trace_requests = true;
-    for w in cs_workloads() {
-        eprintln!("  tracing {} ...", w.abbrev);
-        let kernels = w.kernels();
-        let stats = (w.run)(&kernels, &config, false);
-        let series = stats.trace.bucketed(BUCKETS);
-        print!("{:<6}", w.abbrev);
-        for v in &series {
-            print!(" {v:5.1}");
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        println!("Fig. 2: off-chip requests per memory instruction over time (baseline)");
+        println!(
+            "(x: execution progress in {BUCKETS} buckets; y: avg 128B transactions per instruction)"
+        );
+        // Traced runs bypass the simulation cache (the trace is not
+        // serialized), but still report failures through the engine.
+        let mut config = eval_config_max_l1d();
+        config.trace_requests = true;
+        for w in cs_workloads() {
+            eprintln!("  tracing {} ...", w.abbrev);
+            let kernels = w.kernels();
+            let stats = run_cached(&w, &kernels, &config, false)?.stats;
+            let series = stats.trace.bucketed(BUCKETS);
+            print!("{:<6}", w.abbrev);
+            for v in &series {
+                print!(" {v:5.1}");
+            }
+            println!();
+            // A simple sparkline-style indicator of the phase structure.
+            print!("{:<6}", "");
+            for v in &series {
+                let c = match *v as u32 {
+                    0..=1 => '.',
+                    2..=7 => '-',
+                    8..=19 => '=',
+                    _ => '#',
+                };
+                print!(" {c:>5}");
+            }
+            println!();
         }
-        println!();
-        // A simple sparkline-style indicator of the phase structure.
-        print!("{:<6}", "");
-        for v in &series {
-            let c = match *v as u32 {
-                0..=1 => '.',
-                2..=7 => '-',
-                8..=19 => '=',
-                _ => '#',
-            };
-            print!(" {c:>5}");
-        }
-        println!();
-    }
-    println!("\nlegend: '.' coalesced (~1 req/inst), '#' divergent (>=20 req/inst)");
+        println!("\nlegend: '.' coalesced (~1 req/inst), '#' divergent (>=20 req/inst)");
+        Ok(())
+    })
 }

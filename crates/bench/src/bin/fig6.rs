@@ -6,19 +6,22 @@ use catt_bench::eval_group;
 use catt_workloads::harness::eval_config_max_l1d;
 use catt_workloads::registry::cs_workloads;
 
-fn main() {
-    println!("Fig. 6: L1D load hit rate (max. L1D)");
-    let evals = eval_group(&cs_workloads(), &eval_config_max_l1d(), true);
-    let rows: Vec<Vec<String>> = evals
-        .iter()
-        .map(|e| {
-            vec![
-                e.abbrev.to_string(),
-                format!("{:5.1}%", 100.0 * e.base_hit),
-                format!("{:5.1}%", 100.0 * e.bftt_hit),
-                format!("{:5.1}%", 100.0 * e.catt_hit),
-            ]
-        })
-        .collect();
-    catt_bench::print_table(&["app", "baseline", "BFTT", "CATT"], &rows);
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        println!("Fig. 6: L1D load hit rate (max. L1D)");
+        let evals = eval_group(&cs_workloads(), &eval_config_max_l1d(), true)?;
+        let rows: Vec<Vec<String>> = evals
+            .iter()
+            .map(|e| {
+                vec![
+                    e.abbrev.to_string(),
+                    format!("{:5.1}%", 100.0 * e.base_hit),
+                    format!("{:5.1}%", 100.0 * e.bftt_hit),
+                    format!("{:5.1}%", 100.0 * e.catt_hit),
+                ]
+            })
+            .collect();
+        catt_bench::print_table(&["app", "baseline", "BFTT", "CATT"], &rows);
+        Ok(())
+    })
 }

@@ -6,20 +6,23 @@ use catt_bench::{eval_group, print_normalized_figure};
 use catt_workloads::harness::eval_config_max_l1d;
 use catt_workloads::registry::ci_workloads;
 
-fn main() {
-    let evals = eval_group(&ci_workloads(), &eval_config_max_l1d(), true);
-    print_normalized_figure(
-        "Fig. 8: normalized execution time, CI group (max. L1D)",
-        &evals,
-    );
-    let mistuned: Vec<&str> = evals
-        .iter()
-        .filter(|e| e.catt_transformed)
-        .map(|e| e.abbrev)
-        .collect();
-    if mistuned.is_empty() {
-        println!("CATT left every CI application untouched (as the paper requires).");
-    } else {
-        println!("WARNING: CATT transformed CI apps: {mistuned:?}");
-    }
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let evals = eval_group(&ci_workloads(), &eval_config_max_l1d(), true)?;
+        print_normalized_figure(
+            "Fig. 8: normalized execution time, CI group (max. L1D)",
+            &evals,
+        );
+        let mistuned: Vec<&str> = evals
+            .iter()
+            .filter(|e| e.catt_transformed)
+            .map(|e| e.abbrev)
+            .collect();
+        if mistuned.is_empty() {
+            println!("CATT left every CI application untouched (as the paper requires).");
+        } else {
+            println!("WARNING: CATT transformed CI apps: {mistuned:?}");
+        }
+        Ok(())
+    })
 }

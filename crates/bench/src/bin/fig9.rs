@@ -10,58 +10,66 @@ use catt_core::bftt::candidate_grid;
 use catt_core::pipeline::apply_uniform;
 use catt_workloads::harness::eval_config_32kb_l1d;
 use catt_workloads::registry::cs_workloads;
-use catt_workloads::run_catt;
+use catt_workloads::{run_cached, run_catt};
 
-fn main() {
-    let config = eval_config_32kb_l1d();
-    println!("Fig. 9: normalized execution time vs per-kernel throttling factor (32 KB L1D)");
-    println!("(sweeping one kernel at a time, others at baseline; * = CATT's static pick)");
-    for w in cs_workloads() {
-        let kernels = w.kernels();
-        let (_, app) = run_catt(&w, &config);
-        let base_cycles = (w.run)(&kernels, &config, false).cycles as f64;
-        for (ki, ck) in app.kernels.iter().enumerate() {
-            let a = &ck.analysis;
-            // Sweep kernels the paper's figure shows: throttled ones and
-            // the irregular ones it calls out.
-            let interesting = a.loops.iter().any(|l| l.decision.is_throttled())
-                || matches!(w.abbrev, "BFS" | "CFD");
-            if !interesting || a.loops.is_empty() {
-                continue;
+fn main() -> std::process::ExitCode {
+    catt_bench::run_eval(|| {
+        let config = eval_config_32kb_l1d();
+        println!("Fig. 9: normalized execution time vs per-kernel throttling factor (32 KB L1D)");
+        println!("(sweeping one kernel at a time, others at baseline; * = CATT's static pick)");
+        for w in cs_workloads() {
+            let kernels = w.kernels();
+            let (_, app) = run_catt(&w, &config)?;
+            let base_cycles = run_cached(&w, &kernels, &config, false)?.cycles() as f64;
+            for (ki, ck) in app.kernels.iter().enumerate() {
+                let a = &ck.analysis;
+                // Sweep kernels the paper's figure shows: throttled ones and
+                // the irregular ones it calls out.
+                let interesting = a.loops.iter().any(|l| l.decision.is_throttled())
+                    || matches!(w.abbrev, "BFS" | "CFD");
+                if !interesting || a.loops.is_empty() {
+                    continue;
+                }
+                eprintln!("  sweeping {}#{} ...", w.abbrev, ki + 1);
+                let warps = a.warps_per_tb;
+                let resident = a.plan.resident_tbs;
+                let catt_pick = a
+                    .loops
+                    .iter()
+                    .filter(|l| l.decision.is_throttled())
+                    .map(|l| l.tlp(warps, resident))
+                    .min_by_key(|(w, t)| w * t)
+                    .unwrap_or((warps, resident));
+                print!("{}#{}", w.abbrev, ki + 1);
+                for (n, m) in candidate_grid(warps, resident) {
+                    let mut ks = kernels.clone();
+                    ks[ki] = apply_uniform(
+                        &kernels[ki],
+                        n,
+                        m,
+                        warps,
+                        resident,
+                        config.smem_carveout_bytes,
+                    );
+                    let cycles = run_cached(&w, &ks, &config, false)?.cycles() as f64;
+                    let setting = (warps / n, resident - m);
+                    let star = if setting == catt_pick { "*" } else { "" };
+                    print!(
+                        " ({:>2},{:>2}){star}{:5.2}",
+                        setting.0,
+                        setting.1,
+                        cycles / base_cycles
+                    );
+                }
+                println!();
             }
-            eprintln!("  sweeping {}#{} ...", w.abbrev, ki + 1);
-            let warps = a.warps_per_tb;
-            let resident = a.plan.resident_tbs;
-            let catt_pick = a
-                .loops
-                .iter()
-                .filter(|l| l.decision.is_throttled())
-                .map(|l| l.tlp(warps, resident))
-                .min_by_key(|(w, t)| w * t)
-                .unwrap_or((warps, resident));
-            print!("{}#{}", w.abbrev, ki + 1);
-            for (n, m) in candidate_grid(warps, resident) {
-                let mut ks = kernels.clone();
-                ks[ki] = apply_uniform(
-                    &kernels[ki],
-                    n,
-                    m,
-                    warps,
-                    resident,
-                    config.smem_carveout_bytes,
-                );
-                let cycles = (w.run)(&ks, &config, false).cycles as f64;
-                let setting = (warps / n, resident - m);
-                let star = if setting == catt_pick { "*" } else { "" };
-                print!(" ({:>2},{:>2}){star}{:5.2}", setting.0, setting.1, cycles / base_cycles);
-            }
-            println!();
         }
-    }
-    println!(
-        "\nReading: < 1.00 beats the unthrottled baseline. The starred setting is\n\
-         what CATT chose statically for this kernel's contended loop (the whole\n\
-         application still runs CATT's per-loop code, which can combine several\n\
-         settings). BFS/CFD rows carry no star when CATT leaves them untouched."
-    );
+        println!(
+            "\nReading: < 1.00 beats the unthrottled baseline. The starred setting is\n\
+             what CATT chose statically for this kernel's contended loop (the whole\n\
+             application still runs CATT's per-loop code, which can combine several\n\
+             settings). BFS/CFD rows carry no star when CATT leaves them untouched."
+        );
+        Ok(())
+    })
 }

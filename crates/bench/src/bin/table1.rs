@@ -29,10 +29,7 @@ fn main() {
             "Warp schedulers / SM".to_string(),
             c.schedulers_per_sm.to_string(),
         ],
-        vec![
-            "Max warps / SM".to_string(),
-            c.max_warps_per_sm.to_string(),
-        ],
+        vec!["Max warps / SM".to_string(), c.max_warps_per_sm.to_string()],
     ];
     catt_bench::print_table(&["parameter", "value"], &rows);
 }

@@ -19,7 +19,15 @@ fn main() {
         })
         .collect();
     catt_bench::print_table(
-        &["group", "abbr.", "application", "suite", "SMEM (KB)", "input", "kernels"],
+        &[
+            "group",
+            "abbr.",
+            "application",
+            "suite",
+            "SMEM (KB)",
+            "input",
+            "kernels",
+        ],
         &rows,
     );
 }

@@ -46,7 +46,14 @@ fn main() {
         }
     }
     catt_bench::print_table(
-        &["app", "kernel", "loop", "baseline", "CATT 32KB", "CATT max L1D"],
+        &[
+            "app",
+            "kernel",
+            "loop",
+            "baseline",
+            "CATT 32KB",
+            "CATT max L1D",
+        ],
         &rows,
     );
 }

@@ -10,9 +10,13 @@
 //! cargo run --release -p catt-bench --bin fig7
 //! ```
 
+pub mod timing;
+
 use catt_sim::GpuConfig;
 use catt_workloads::registry::Workload;
-use catt_workloads::{harness, run_baseline, run_bftt, run_catt};
+use catt_workloads::{harness, run_baseline, run_bftt, run_catt, EvalError};
+
+pub use catt_workloads::{engine, CacheCounters, Engine, JobError};
 
 /// Result of evaluating one application under the three policies.
 pub struct AppEval {
@@ -50,18 +54,25 @@ impl AppEval {
     }
 }
 
-/// Evaluate one workload under baseline / BFTT / CATT on `config`.
-pub fn eval_app(w: &Workload, config: &GpuConfig, with_bftt: bool) -> AppEval {
-    let base = run_baseline(w, config);
-    let (catt, app) = run_catt(w, config);
+/// Evaluate one workload under baseline / BFTT / CATT on `config`. Runs
+/// are memoized on the global [`Engine`]; any simulation or compilation
+/// failure propagates with the failing workload (and, for BFTT, the
+/// failing `(n, m)` candidate) named in the error.
+pub fn eval_app(w: &Workload, config: &GpuConfig, with_bftt: bool) -> Result<AppEval, EvalError> {
+    let base = run_baseline(w, config)?;
+    let (catt, app) = run_catt(w, config)?;
     let (bftt_cycles, bftt_hit, bftt_setting) = if with_bftt {
-        let (out, sweep) = run_bftt(w, config);
+        let (out, sweep) = run_bftt(w, config)?;
         let best = sweep.best_candidate();
-        (out.cycles(), out.stats.l1_hit_rate(), (best.warps, best.tbs))
+        (
+            out.cycles(),
+            out.stats.l1_hit_rate(),
+            (best.warps, best.tbs),
+        )
     } else {
         (base.cycles(), base.stats.l1_hit_rate(), (0, 0))
     };
-    AppEval {
+    Ok(AppEval {
         abbrev: w.abbrev,
         base_cycles: base.cycles(),
         base_hit: base.stats.l1_hit_rate(),
@@ -71,11 +82,16 @@ pub fn eval_app(w: &Workload, config: &GpuConfig, with_bftt: bool) -> AppEval {
         catt_cycles: catt.cycles(),
         catt_hit: catt.stats.l1_hit_rate(),
         catt_transformed: app.kernels.iter().any(|k| k.is_transformed()),
-    }
+    })
 }
 
-/// Evaluate a whole group, printing progress to stderr.
-pub fn eval_group(workloads: &[Workload], config: &GpuConfig, with_bftt: bool) -> Vec<AppEval> {
+/// Evaluate a whole group, printing progress to stderr. Stops at the
+/// first failing workload.
+pub fn eval_group(
+    workloads: &[Workload],
+    config: &GpuConfig,
+    with_bftt: bool,
+) -> Result<Vec<AppEval>, EvalError> {
     workloads
         .iter()
         .map(|w| {
@@ -85,11 +101,33 @@ pub fn eval_group(workloads: &[Workload], config: &GpuConfig, with_bftt: bool) -
         .collect()
 }
 
+/// Entry-point wrapper for the figure/table binaries: initialize the
+/// persistent simulation cache (JSONL under `results/.simcache/`, see
+/// DESIGN.md), run `body`, and print the engine's per-job timing and
+/// cache hit/miss summary to stderr. A failing evaluation exits nonzero
+/// with the failing workload/candidate named, instead of panicking
+/// mid-figure.
+pub fn run_eval(body: impl FnOnce() -> Result<(), EvalError>) -> std::process::ExitCode {
+    let engine = Engine::init_global_persistent();
+    let code = match body() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    };
+    engine.print_summary();
+    code
+}
+
 /// Print a normalized-execution-time figure (Figs. 7 / 8 / 10 style) and
 /// the geomean speedup line the paper quotes.
 pub fn print_normalized_figure(title: &str, evals: &[AppEval]) {
     println!("{title}");
-    println!("{:<8} {:>10} {:>10} {:>10}", "app", "baseline", "BFTT", "CATT");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "app", "baseline", "BFTT", "CATT"
+    );
     for e in evals {
         let (b, c) = e.normalized();
         println!("{:<8} {:>10.3} {:>10.3} {:>10.3}", e.abbrev, 1.0, b, c);
@@ -98,8 +136,8 @@ pub fn print_normalized_figure(title: &str, evals: &[AppEval]) {
     let catt_speedups: Vec<f64> = evals.iter().map(|e| e.speedups().1).collect();
     println!(
         "geomean speedup over baseline: BFTT {:+.2}% | CATT {:+.2}%",
-        (harness::geomean(&bftt_speedups) - 1.0) * 100.0,
-        (harness::geomean(&catt_speedups) - 1.0) * 100.0,
+        (harness::geomean(&bftt_speedups).unwrap_or(1.0) - 1.0) * 100.0,
+        (harness::geomean(&catt_speedups).unwrap_or(1.0) - 1.0) * 100.0,
     );
 }
 
@@ -119,12 +157,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -138,7 +171,7 @@ mod tests {
     #[test]
     fn eval_app_runs_ci_quickly() {
         let w = registry::find("MC").unwrap();
-        let e = eval_app(&w, &harness::eval_config_max_l1d(), false);
+        let e = eval_app(&w, &harness::eval_config_max_l1d(), false).expect("MC evaluates");
         assert!(e.base_cycles > 0);
         assert!(!e.catt_transformed);
         let (_, catt_norm) = e.normalized();

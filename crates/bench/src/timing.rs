@@ -1,0 +1,65 @@
+//! Minimal std-only timing harness — the offline replacement for the
+//! Criterion dev-dependency. Each `[[bench]]` target is a plain `main`
+//! (`harness = false`) that calls [`bench`] per case.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measured summary of one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+}
+
+/// Time `f` for `samples` samples after one warm-up call, printing a
+/// Criterion-style line. Returns the summary for programmatic use. The
+/// closure's return value is passed through [`black_box`] so the work is
+/// not optimized away.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Sampled {
+    black_box(f());
+    let mut times: Vec<Duration> = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let min = times[0];
+    println!(
+        "{name:<28} median {median:>12?}  mean {mean:>12?}  min {min:>12?}  ({} samples)",
+        times.len()
+    );
+    Sampled {
+        samples: times.len(),
+        median,
+        mean,
+        min,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_all_samples() {
+        let mut calls = 0u32;
+        let s = bench("noop", 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(s.samples, 5);
+        // Warm-up + 5 samples.
+        assert_eq!(calls, 6);
+        assert!(s.min <= s.median);
+    }
+}

@@ -184,7 +184,7 @@ pub fn req_warp_lanes(
 pub fn has_locality(c_iter: Option<i64>, line_bytes: u32, elem_bytes: u32) -> bool {
     match c_iter {
         None => true,
-        Some(c) => (c.unsigned_abs() as u64) * elem_bytes as u64 <= line_bytes as u64,
+        Some(c) => c.unsigned_abs() * elem_bytes as u64 <= line_bytes as u64,
     }
 }
 
@@ -206,7 +206,7 @@ pub fn search_factors(
         return ThrottleDecision::NONE;
     }
     for n in 2..=warps_per_tb {
-        if warps_per_tb % n != 0 {
+        if !warps_per_tb.is_multiple_of(n) {
             continue;
         }
         if fits(warps_per_tb / n, resident_tbs) {
@@ -312,8 +312,7 @@ pub fn analyze_kernel(
         // TB-level throttling with an equivalent concurrency reduction
         // when possible, otherwise leave untouched.
         if l.has_barrier && l.decision.is_throttled() && l.decision.n > 1 {
-            let target_warps =
-                (warps_per_tb / l.decision.n) * (plan.resident_tbs - l.decision.m);
+            let target_warps = (warps_per_tb / l.decision.n) * (plan.resident_tbs - l.decision.m);
             let tbs_needed = (target_warps / warps_per_tb).max(1);
             l.decision = ThrottleDecision {
                 n: 1,
@@ -383,8 +382,7 @@ impl<'a> Walker<'a> {
             return; // accesses outside loops are not analyzed (§3)
         };
         let iter_var = self.loops[li].iter_var.clone();
-        let form: IndexForm =
-            catt_ir::affine::index_form(idx, iter_var.as_deref(), env);
+        let form: IndexForm = catt_ir::affine::index_form(idx, iter_var.as_deref(), env);
         let a = AccessAnalysis {
             array: name.to_string(),
             is_store,
@@ -491,7 +489,10 @@ impl<'a> Walker<'a> {
                     // The iterator is its own symbol inside the body; any
                     // variables the body assigns are unknown per-iteration.
                     let mut inner = env.clone();
-                    inner.bind(var, catt_ir::affine::Poly::sym(catt_ir::affine::Sym::Var(var.clone())));
+                    inner.bind(
+                        var,
+                        catt_ir::affine::Poly::sym(catt_ir::affine::Sym::Var(var.clone())),
+                    );
                     for v in Self::assigned_vars(body) {
                         inner.poison(&v);
                     }
@@ -582,7 +583,14 @@ mod tests {
         assert_eq!(b_access.req_warp, 1);
         assert!(l.contended);
         assert!(l.decision.is_throttled());
-        assert_eq!(l.decision, ThrottleDecision { n: 2, m: 0, resolved: true });
+        assert_eq!(
+            l.decision,
+            ThrottleDecision {
+                n: 2,
+                m: 0,
+                resolved: true
+            }
+        );
         assert_eq!(l.tlp(a.warps_per_tb, a.plan.resident_tbs), (4, 4));
     }
 
@@ -610,7 +618,10 @@ mod tests {
         assert_eq!(a_access.c_tid, Some(1));
         assert_eq!(a_access.c_iter, Some(4096));
         assert_eq!(a_access.req_warp, 1);
-        assert!(!a_access.has_locality, "A line is not reused next iteration");
+        assert!(
+            !a_access.has_locality,
+            "A line is not reused next iteration"
+        );
         // y[i] has locality (c_iter 0) but footprint is small.
         assert!(!l.contended);
         assert!(!l.decision.is_throttled());
@@ -645,11 +656,25 @@ mod tests {
         // 35 lines/round, 8 warps, 8 TBs, 1024-line L1D (ATAX numbers):
         // 35·8·8 = 2240 > 1024; N=2 → 1120 > 1024; N=4 → 560 ≤ 1024.
         let d = search_factors(35, 8, 8, 1024);
-        assert_eq!(d, ThrottleDecision { n: 4, m: 0, resolved: true });
+        assert_eq!(
+            d,
+            ThrottleDecision {
+                n: 4,
+                m: 0,
+                resolved: true
+            }
+        );
         // Tiny L1D forces M as well: 35 lines, 1 warp × 8 TB = 280 > 64;
         // M reduces TBs: 35·1·1 = 35 ≤ 64 at M = 7.
         let d = search_factors(35, 8, 8, 64);
-        assert_eq!(d, ThrottleDecision { n: 8, m: 7, resolved: true });
+        assert_eq!(
+            d,
+            ThrottleDecision {
+                n: 8,
+                m: 7,
+                resolved: true
+            }
+        );
         // CORR case: unresolvable.
         let d = search_factors(100, 8, 8, 64);
         assert!(!d.resolved);
@@ -692,7 +717,10 @@ mod tests {
         .unwrap();
         let a = analyze_kernel(&k, LaunchConfig::d1(16, 256), &titan(), 32).unwrap();
         assert_eq!(a.loops.len(), 2);
-        assert!(a.loops[0].accesses.is_empty(), "outer loop has no direct accesses");
+        assert!(
+            a.loops[0].accesses.is_empty(),
+            "outer loop has no direct accesses"
+        );
         assert_eq!(a.loops[1].accesses.len(), 4);
         // B[j*n+i]: C_tid = 1, C_i = n (symbolic => n is a Var symbol, so
         // c_iter coefficient of j is n? no — `n` is a scalar param symbol;

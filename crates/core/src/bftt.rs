@@ -3,9 +3,39 @@
 //! application, measure each on the simulator, and keep the fastest. One
 //! fixed setting per application, in contrast to CATT's per-loop settings.
 
+use crate::engine::{Engine, JobError};
 use crate::pipeline::apply_uniform;
 use catt_ir::kernel::{Kernel, LaunchConfig};
 use catt_sim::{max_resident_tbs, GpuConfig, LaunchStats};
+use std::fmt;
+
+/// A sweep failed: one candidate's simulation panicked or errored. Names
+/// the `(n, m)` candidate so the offending configuration is identifiable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepError {
+    /// Warp divisor of the failing candidate.
+    pub n: u32,
+    /// TB reduction of the failing candidate.
+    pub m: u32,
+    /// The underlying job failure.
+    pub cause: JobError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BFTT candidate (n={}, m={}) failed: {}",
+            self.n, self.m, self.cause
+        )
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
 
 /// One evaluated candidate.
 #[derive(Debug, Clone)]
@@ -56,7 +86,7 @@ impl BfttResult {
 pub fn candidate_grid(warps_per_tb: u32, resident_tbs: u32) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     for n in 1..=warps_per_tb {
-        if warps_per_tb % n == 0 {
+        if warps_per_tb.is_multiple_of(n) {
             out.push((n, 0));
         }
     }
@@ -66,19 +96,41 @@ pub fn candidate_grid(warps_per_tb: u32, resident_tbs: u32) -> Vec<(u32, u32)> {
     out
 }
 
-/// Exhaustive sweep. `run` executes the application end to end with the
-/// given (transformed) kernels on `config` and returns its total
-/// statistics; it is called once per candidate, in parallel.
-///
-/// All kernels must share one block geometry (true of every workload in
-/// the paper's Table 2; mixed-geometry applications would need a
-/// per-kernel grid, which BFTT by definition does not have).
+/// Exhaustive sweep on the process-wide [`Engine`]. See [`sweep_on`].
 pub fn sweep<F>(
+    scope: &str,
     kernels: &[Kernel],
     launch: LaunchConfig,
     config: &GpuConfig,
     run: F,
-) -> BfttResult
+) -> Result<BfttResult, SweepError>
+where
+    F: Fn(&[Kernel], &GpuConfig) -> LaunchStats + Sync,
+{
+    sweep_on(Engine::global(), scope, kernels, launch, config, run)
+}
+
+/// Exhaustive sweep. `run` executes the application end to end with the
+/// given (transformed) kernels on `config` and returns its total
+/// statistics; it is called once per *uncached* candidate, on `engine`'s
+/// bounded worker pool. `scope` names the application and its inputs in
+/// the simulation-cache key (registry workloads pass their abbreviation).
+///
+/// A candidate whose simulation panics or errors fails the whole sweep
+/// with a [`SweepError`] identifying its `(n, m)` setting — the old
+/// behaviour was an opaque `expect("sweep thread completed")` panic.
+///
+/// All kernels must share one block geometry (true of every workload in
+/// the paper's Table 2; mixed-geometry applications would need a
+/// per-kernel grid, which BFTT by definition does not have).
+pub fn sweep_on<F>(
+    engine: &Engine,
+    scope: &str,
+    kernels: &[Kernel],
+    launch: LaunchConfig,
+    config: &GpuConfig,
+    run: F,
+) -> Result<BfttResult, SweepError>
 where
     F: Fn(&[Kernel], &GpuConfig) -> LaunchStats + Sync,
 {
@@ -101,35 +153,47 @@ where
         .max(1);
     let grid = candidate_grid(warps_per_tb, resident_tbs);
 
-    let mut candidates: Vec<Option<BfttCandidate>> = Vec::new();
-    candidates.resize_with(grid.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, &(n, m)) in candidates.iter_mut().zip(&grid) {
-            let run = &run;
-            scope.spawn(move || {
-                let transformed: Vec<Kernel> = kernels
-                    .iter()
-                    .map(|k| apply_uniform(k, n, m, warps_per_tb, resident_tbs, config.smem_carveout_bytes))
-                    .collect();
-                let stats = run(&transformed, config);
-                *slot = Some(BfttCandidate {
+    let label = format!("BFTT {scope}");
+    let results = engine.run_jobs(&label, &grid, |_, &(n, m)| {
+        let transformed: Vec<Kernel> = kernels
+            .iter()
+            .map(|k| {
+                apply_uniform(
+                    k,
                     n,
                     m,
-                    warps: warps_per_tb / n,
-                    tbs: resident_tbs - m,
-                    stats,
-                });
-            });
-        }
+                    warps_per_tb,
+                    resident_tbs,
+                    config.smem_carveout_bytes,
+                )
+            })
+            .collect();
+        // The digest scope stays the plain application tag: candidates are
+        // distinguished by their transformed programs, so a no-op
+        // transform (n=1, m=0) shares its entry with the baseline run.
+        let stats = engine.sim_app(scope, &transformed, &[launch], config, || {
+            run(&transformed, config)
+        })?;
+        Ok(BfttCandidate {
+            n,
+            m,
+            warps: warps_per_tb / n,
+            tbs: resident_tbs - m,
+            stats,
+        })
     });
-    let candidates: Vec<BfttCandidate> = candidates.into_iter().map(|c| c.expect("sweep thread completed")).collect();
+
+    let mut candidates = Vec::with_capacity(grid.len());
+    for (result, &(n, m)) in results.into_iter().zip(&grid) {
+        candidates.push(result.map_err(|cause| SweepError { n, m, cause })?);
+    }
     let best = candidates
         .iter()
         .enumerate()
         .min_by_key(|(_, c)| c.stats.cycles)
         .map(|(i, _)| i)
         .expect("non-empty candidate grid");
-    BfttResult { candidates, best }
+    Ok(BfttResult { candidates, best })
 }
 
 #[cfg(test)]
@@ -141,7 +205,10 @@ mod tests {
     #[test]
     fn grid_shape() {
         let g = candidate_grid(8, 4);
-        assert_eq!(g, vec![(1, 0), (2, 0), (4, 0), (8, 0), (8, 1), (8, 2), (8, 3)]);
+        assert_eq!(
+            g,
+            vec![(1, 0), (2, 0), (4, 0), (8, 0), (8, 1), (8, 2), (8, 3)]
+        );
         let g = candidate_grid(6, 2);
         assert_eq!(g, vec![(1, 0), (2, 0), (3, 0), (6, 0), (6, 1)]);
     }
@@ -167,6 +234,7 @@ mod tests {
         let mut config = GpuConfig::titan_v_1sm();
         config.l1_cap_bytes = Some(32 * 1024);
         let result = sweep(
+            "test-mv",
             std::slice::from_ref(&kernel),
             launch,
             &config,
@@ -177,12 +245,18 @@ mod tests {
                 let tmp = mem.alloc_zeroed(n as u32);
                 let mut gpu = Gpu::new(cfg.clone());
                 let stats = gpu
-                    .launch(&kernels[0], launch, &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)], &mut mem)
+                    .launch(
+                        &kernels[0],
+                        launch,
+                        &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)],
+                        &mut mem,
+                    )
                     .unwrap();
                 assert!(mem.read_f32(tmp).iter().all(|&v| v == n as f32));
                 stats
             },
-        );
+        )
+        .expect("sweep succeeds");
         assert_eq!(result.baseline().n, 1);
         let best = result.best_candidate();
         assert!(
@@ -191,7 +265,11 @@ mod tests {
             best.n,
             best.m
         );
-        assert!(result.best_speedup() > 1.2, "speedup {:.2}", result.best_speedup());
+        assert!(
+            result.best_speedup() > 1.2,
+            "speedup {:.2}",
+            result.best_speedup()
+        );
     }
 
     /// On a cache-insensitive kernel, the baseline must win (or tie):
@@ -208,6 +286,7 @@ mod tests {
         let launch = LaunchConfig::d1(16, 256);
         let config = GpuConfig::titan_v_1sm();
         let result = sweep(
+            "test-stream",
             std::slice::from_ref(&kernel),
             launch,
             &config,
@@ -224,7 +303,8 @@ mod tests {
                 )
                 .unwrap()
             },
-        );
+        )
+        .expect("sweep succeeds");
         let best = result.best_candidate();
         let base = result.baseline();
         assert!(

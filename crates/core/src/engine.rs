@@ -1,0 +1,599 @@
+//! # Evaluation engine — bounded parallel simulation with a content-addressed cache
+//!
+//! The paper's evaluation (Tables 1–3, Figs. 2–10) re-runs the simulator
+//! hundreds of times: a full BFTT sweep per application per cache
+//! configuration, and the same (kernel, launch, config) points across
+//! several figure binaries. Both structures are exploited here:
+//!
+//! * **Bounded worker pool** — simulation jobs run on at most
+//!   [`Engine::workers`] OS threads (default: `available_parallelism()`),
+//!   replacing the old one-unbounded-thread-per-candidate sweep. Results
+//!   come back in job order regardless of completion order, and worker
+//!   panics are caught and propagated as [`JobError`]s instead of
+//!   poisoning the whole sweep.
+//! * **Content-addressed simulation cache** — results are memoized under a
+//!   stable digest of (lowered kernel programs, launch geometry,
+//!   [`GpuConfig`], scope tag). An in-memory layer serves repeats within a
+//!   process; an optional persistent JSONL layer under
+//!   `results/.simcache/` makes warm re-runs of any table/figure binary
+//!   near-instant. Traced runs (`GpuConfig::trace_requests`) bypass the
+//!   cache — the request trace is diagnostic and deliberately not
+//!   serialized.
+//!
+//! Environment knobs (read by [`Engine::global`] /
+//! [`Engine::init_global_persistent`]):
+//!
+//! * `CATT_SIMCACHE=off` — disable caching entirely (force cold runs);
+//! * `CATT_SIMCACHE=mem` — in-memory layer only, nothing persisted;
+//! * `CATT_SIMCACHE=<dir>` — persist under `<dir>` instead of
+//!   `results/.simcache/`;
+//! * `CATT_ENGINE_WORKERS=<n>` — override the worker-pool bound.
+
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{Fnv64, GpuConfig, LaunchStats};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A simulation job failed: the closure panicked (failed validation,
+/// lowering assert, out-of-range access) or returned an error itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Which job failed (caller-supplied label, e.g. `"ATAX (n=4, m=0)"`).
+    pub label: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JobError {
+    /// Build an error for `label` out of a caught panic payload.
+    fn from_panic(label: &str, payload: Box<dyn std::any::Any + Send>) -> JobError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "job panicked (non-string payload)".to_string());
+        JobError {
+            label: label.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation job `{}` failed: {}",
+            self.label, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Cache hit/miss counters (cumulative over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Jobs answered from the in-memory or persistent layer.
+    pub hits: u64,
+    /// Jobs actually simulated.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Hit fraction over all cache-eligible jobs (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Stable identity of one simulation job. See [`job_digest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobKey(pub u64);
+
+impl JobKey {
+    fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Content digest of a simulation job: `scope` (application + input
+/// identity — the workload abbreviation for registry apps), the *lowered*
+/// program of every kernel the job runs, the launch geometry, and the
+/// full GPU configuration. Kernels are lowered here so that two sources
+/// with identical lowering share one cache entry, and any change to the
+/// lowering itself changes every digest (automatic invalidation).
+pub fn job_digest(
+    scope: &str,
+    kernels: &[Kernel],
+    launches: &[LaunchConfig],
+    config: &GpuConfig,
+) -> Result<JobKey, JobError> {
+    let mut h = Fnv64::new();
+    h.write_str("catt-simcache-v1").write_str(scope);
+    for k in kernels {
+        let program = catt_sim::lower(k).map_err(|e| JobError {
+            label: scope.to_string(),
+            message: format!("kernel `{}`: {e}", k.name),
+        })?;
+        h.write_debug(&program.content_digest());
+    }
+    h.write_debug(&launches);
+    h.write_debug(&config.content_digest());
+    Ok(JobKey(h.finish()))
+}
+
+/// Where cached results live.
+enum CacheMode {
+    /// No caching at all (every job simulates).
+    Off,
+    /// In-memory map only.
+    Memory,
+    /// In-memory map backed by a JSONL append log.
+    Persistent(PathBuf),
+}
+
+/// The content-addressed simulation cache.
+struct SimCache {
+    mode: CacheMode,
+    mem: Mutex<HashMap<u64, LaunchStats>>,
+    /// Append handle for the persistent layer (lazily opened).
+    log: Mutex<Option<fs::File>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    const FILE: &'static str = "cache.jsonl";
+
+    fn new(mode: CacheMode) -> SimCache {
+        let mem = match &mode {
+            CacheMode::Persistent(dir) => Self::load(dir),
+            _ => HashMap::new(),
+        };
+        SimCache {
+            mode,
+            mem: Mutex::new(mem),
+            log: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Read the JSONL log. Unparsable lines are skipped (treated as
+    /// misses), so a truncated final line from a killed process never
+    /// wedges the cache.
+    fn load(dir: &Path) -> HashMap<u64, LaunchStats> {
+        let mut map = HashMap::new();
+        let Ok(text) = fs::read_to_string(dir.join(Self::FILE)) else {
+            return map;
+        };
+        for line in text.lines() {
+            let Some(key) = line
+                .find("\"key\":\"")
+                .and_then(|i| line.get(i + 7..i + 23))
+                .and_then(|hexstr| u64::from_str_radix(hexstr, 16).ok())
+            else {
+                continue;
+            };
+            if let Some(stats) = LaunchStats::from_json_line(line) {
+                map.insert(key, stats);
+            }
+        }
+        map
+    }
+
+    fn lookup(&self, key: JobKey) -> Option<LaunchStats> {
+        if matches!(self.mode, CacheMode::Off) {
+            return None;
+        }
+        let found = self.mem.lock().unwrap().get(&key.0).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: JobKey, stats: &LaunchStats) {
+        match &self.mode {
+            CacheMode::Off => {}
+            CacheMode::Memory => {
+                self.mem.lock().unwrap().insert(key.0, stats.clone());
+            }
+            CacheMode::Persistent(dir) => {
+                self.mem.lock().unwrap().insert(key.0, stats.clone());
+                let mut log = self.log.lock().unwrap();
+                if log.is_none() {
+                    *log = fs::create_dir_all(dir)
+                        .and_then(|_| {
+                            fs::OpenOptions::new()
+                                .create(true)
+                                .append(true)
+                                .open(dir.join(Self::FILE))
+                        })
+                        .map_err(|e| {
+                            eprintln!(
+                                "[engine] warning: cannot persist simcache under {}: {e}",
+                                dir.display()
+                            )
+                        })
+                        .ok();
+                }
+                if let Some(f) = log.as_mut() {
+                    let _ = writeln!(
+                        f,
+                        "{{\"key\":\"{}\",{}}}",
+                        key.hex(),
+                        stats.to_json_fields()
+                    );
+                }
+            }
+        }
+    }
+
+    fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The evaluation engine: a bounded worker pool plus the simulation cache.
+pub struct Engine {
+    workers: usize,
+    cache: SimCache,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+/// The process-wide engine used by the harness and bench binaries.
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+impl Engine {
+    /// Default worker bound: `CATT_ENGINE_WORKERS` or
+    /// `available_parallelism()`.
+    fn default_workers() -> usize {
+        std::env::var("CATT_ENGINE_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+    }
+
+    /// Engine with an in-memory cache and the default worker bound.
+    pub fn new() -> Engine {
+        Engine {
+            workers: Self::default_workers(),
+            cache: SimCache::new(CacheMode::Memory),
+        }
+    }
+
+    /// Engine with an explicit worker bound (clamped to ≥ 1) and an
+    /// in-memory cache.
+    pub fn with_workers(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            cache: SimCache::new(CacheMode::Memory),
+        }
+    }
+
+    /// Engine whose cache persists as JSONL under `dir` (loaded eagerly,
+    /// appended on every miss).
+    pub fn persistent(dir: impl Into<PathBuf>) -> Engine {
+        Engine {
+            workers: Self::default_workers(),
+            cache: SimCache::new(CacheMode::Persistent(dir.into())),
+        }
+    }
+
+    /// Engine with caching disabled (every job simulates).
+    pub fn uncached() -> Engine {
+        Engine {
+            workers: Self::default_workers(),
+            cache: SimCache::new(CacheMode::Off),
+        }
+    }
+
+    /// Engine honoring the `CATT_SIMCACHE` environment variable, with
+    /// `default_mode` applied when it is unset.
+    fn from_env(default_mode: CacheMode) -> Engine {
+        let mode = match std::env::var("CATT_SIMCACHE").as_deref() {
+            Ok("off") => CacheMode::Off,
+            Ok("mem") => CacheMode::Memory,
+            Ok(dir) if !dir.is_empty() => CacheMode::Persistent(PathBuf::from(dir)),
+            _ => default_mode,
+        };
+        Engine {
+            workers: Self::default_workers(),
+            cache: SimCache::new(mode),
+        }
+    }
+
+    /// The process-wide engine. Defaults to an in-memory cache (tests and
+    /// library users get memoization without touching the filesystem);
+    /// bench binaries call [`Engine::init_global_persistent`] first to
+    /// get the JSONL layer. `CATT_SIMCACHE` overrides either way.
+    pub fn global() -> &'static Engine {
+        GLOBAL.get_or_init(|| Engine::from_env(CacheMode::Memory))
+    }
+
+    /// Initialize the process-wide engine with the persistent cache under
+    /// `results/.simcache/` (relative to the working directory) and return
+    /// it. Call once at the top of a bench binary's `main`; a no-op if the
+    /// global engine already exists.
+    pub fn init_global_persistent() -> &'static Engine {
+        GLOBAL.get_or_init(|| {
+            Engine::from_env(CacheMode::Persistent(PathBuf::from("results/.simcache")))
+        })
+    }
+
+    /// The worker-pool bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Print a one-line cache/pool summary to stderr (bench binaries call
+    /// this after their last evaluation).
+    pub fn print_summary(&self) {
+        let c = self.cache_counters();
+        eprintln!(
+            "[engine] {} workers | simcache: {} hits / {} misses ({:.0}% hit)",
+            self.workers,
+            c.hits,
+            c.misses,
+            c.hit_rate() * 100.0
+        );
+    }
+
+    /// Run `jobs` through `f` on the bounded pool. Results come back in
+    /// job order; each job's panic is caught and surfaced as its own
+    /// `Err`. `label` names the batch in the stderr progress line.
+    pub fn run_jobs<J, T, F>(&self, label: &str, jobs: &[J], f: F) -> Vec<Result<T, JobError>>
+    where
+        J: Sync,
+        T: Send,
+        F: Fn(usize, &J) -> Result<T, JobError> + Sync,
+    {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<T, JobError>>> = Vec::new();
+        slots.resize_with(total, || None);
+        let (tx, rx) = mpsc::channel::<(usize, Duration, Result<T, JobError>)>();
+        let threads = self.workers.min(total);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i]))).unwrap_or_else(
+                        |payload| Err(JobError::from_panic(&format!("job #{i}"), payload)),
+                    );
+                    if tx.send((i, t0.elapsed(), result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut done = 0usize;
+            while let Ok((i, took, result)) = rx.recv() {
+                slots[i] = Some(result);
+                done += 1;
+                let c = self.cache_counters();
+                eprint!(
+                    "\r[engine] {label}: {done}/{total} jobs | cache {}h/{}m | last {:>6.1?}   ",
+                    c.hits, c.misses, took
+                );
+            }
+            eprintln!(
+                "\r[engine] {label}: {total}/{total} jobs in {:.2?} on {} workers        ",
+                started.elapsed(),
+                threads
+            );
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job slot filled by the pool"))
+            .collect()
+    }
+
+    /// Get-or-simulate one application run. The cache key is
+    /// [`job_digest`] of `(scope, kernels, launch, config)`; on a miss (or
+    /// for traced/uncacheable configs) `compute` runs — with panics
+    /// converted into `Err` — and the result enters both cache layers.
+    pub fn sim_app<F>(
+        &self,
+        scope: &str,
+        kernels: &[Kernel],
+        launches: &[LaunchConfig],
+        config: &GpuConfig,
+        compute: F,
+    ) -> Result<LaunchStats, JobError>
+    where
+        F: FnOnce() -> LaunchStats,
+    {
+        let caught = |compute: F| {
+            catch_unwind(AssertUnwindSafe(compute))
+                .map_err(|payload| JobError::from_panic(scope, payload))
+        };
+        // Traced runs carry a request trace the cache does not store.
+        if config.trace_requests {
+            return caught(compute);
+        }
+        let key = job_digest(scope, kernels, launches, config)?;
+        if let Some(stats) = self.cache.lookup(key) {
+            return Ok(stats);
+        }
+        let stats = caught(compute)?;
+        self.cache.insert(key, &stats);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catt_frontend::parse_kernel;
+
+    fn kernel() -> Kernel {
+        parse_kernel(
+            "__global__ void k(float *a, int n) {
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 if (i < n) { a[i] = a[i] * 2.0f; }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn job_order_is_preserved() {
+        let engine = Engine::with_workers(4);
+        let jobs: Vec<usize> = (0..64).collect();
+        let out = engine.run_jobs("order", &jobs, |_, &j| Ok(j * 10));
+        let got: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..64).map(|j| j * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_become_job_errors() {
+        let engine = Engine::with_workers(2);
+        let jobs = vec![1u32, 2, 3];
+        let out = engine.run_jobs("panics", &jobs, |_, &j| {
+            if j == 2 {
+                panic!("boom {j}");
+            }
+            Ok(j)
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[2], Ok(3));
+        let err = out[1].as_ref().unwrap_err();
+        assert!(err.message.contains("boom 2"), "{err}");
+    }
+
+    #[test]
+    fn pool_never_exceeds_worker_bound() {
+        use std::sync::atomic::AtomicIsize;
+        let engine = Engine::with_workers(3);
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let jobs: Vec<u32> = (0..40).collect();
+        engine.run_jobs("bound", &jobs, |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {:?}", peak);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let k = kernel();
+        let launch = LaunchConfig::d1(4, 128);
+        let config = GpuConfig::small();
+        let a = job_digest("S", std::slice::from_ref(&k), &[launch], &config).unwrap();
+        let b = job_digest("S", std::slice::from_ref(&k), &[launch], &config).unwrap();
+        assert_eq!(a, b);
+        // Scope, launch, and config all separate keys.
+        let other_scope = job_digest("T", std::slice::from_ref(&k), &[launch], &config).unwrap();
+        assert_ne!(a, other_scope);
+        let other_launch = job_digest(
+            "S",
+            std::slice::from_ref(&k),
+            &[LaunchConfig::d1(8, 128)],
+            &config,
+        )
+        .unwrap();
+        assert_ne!(a, other_launch);
+        let mut capped = config.clone();
+        capped.l1_cap_bytes = Some(2 * 1024);
+        let other_config = job_digest("S", std::slice::from_ref(&k), &[launch], &capped).unwrap();
+        assert_ne!(a, other_config);
+    }
+
+    #[test]
+    fn sim_app_memoizes() {
+        let engine = Engine::with_workers(2);
+        let k = kernel();
+        let launch = LaunchConfig::d1(1, 32);
+        let config = GpuConfig::small();
+        let mut calls = 0u32;
+        let run = |calls: &mut u32| {
+            *calls += 1;
+            LaunchStats {
+                cycles: 42,
+                ..LaunchStats::default()
+            }
+        };
+        let a = engine
+            .sim_app("memo", std::slice::from_ref(&k), &[launch], &config, || {
+                run(&mut calls)
+            })
+            .unwrap();
+        let b = engine
+            .sim_app("memo", std::slice::from_ref(&k), &[launch], &config, || {
+                run(&mut calls)
+            })
+            .unwrap();
+        assert_eq!(calls, 1, "second run must be served from cache");
+        assert_eq!(a.cycles, b.cycles);
+        let c = engine.cache_counters();
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn sim_app_propagates_panics() {
+        let engine = Engine::with_workers(1);
+        let k = kernel();
+        let launch = LaunchConfig::d1(1, 32);
+        let config = GpuConfig::small();
+        let err = engine
+            .sim_app(
+                "exploding",
+                std::slice::from_ref(&k),
+                &[launch],
+                &config,
+                || panic!("validation failed: device 3 vs host 4"),
+            )
+            .unwrap_err();
+        assert!(err.message.contains("validation failed"), "{err}");
+        assert_eq!(err.label, "exploding");
+    }
+}

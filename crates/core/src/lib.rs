@@ -29,6 +29,7 @@
 
 pub mod analysis;
 pub mod bftt;
+pub mod engine;
 pub mod multiversion;
 pub mod occupancy;
 pub mod pipeline;
@@ -37,7 +38,8 @@ pub mod transform;
 pub use analysis::{
     analyze_kernel, AccessAnalysis, KernelAnalysis, LoopAnalysis, ThrottleDecision,
 };
-pub use bftt::{BfttCandidate, BfttResult};
+pub use bftt::{BfttCandidate, BfttResult, SweepError};
+pub use engine::{CacheCounters, Engine, JobError};
 pub use multiversion::MultiVersioned;
 pub use occupancy::L1SmemPlan;
 pub use pipeline::{CompiledApp, CompiledKernel, Pipeline};

@@ -41,11 +41,7 @@ impl MultiVersioned {
     /// depend on the block, not the grid, except through the resident-TB
     /// clamp), and `None` if nothing matches.
     pub fn select(&self, launch: LaunchConfig) -> Option<&CompiledKernel> {
-        if let Some(v) = self
-            .variants
-            .iter()
-            .find(|v| v.launches.contains(&launch))
-        {
+        if let Some(v) = self.variants.iter().find(|v| v.launches.contains(&launch)) {
             return Some(&v.compiled);
         }
         self.variants
@@ -98,8 +94,7 @@ impl Pipeline {
             for (i, v) in variants.iter_mut().enumerate() {
                 let name = format!("{}__catt_v{}", kernel.name, i);
                 v.compiled.transformed.name = name;
-                v.compiled.emitted_source =
-                    printer::kernel_to_string(&v.compiled.transformed);
+                v.compiled.emitted_source = printer::kernel_to_string(&v.compiled.transformed);
             }
         }
         Ok(MultiVersioned {
@@ -138,7 +133,9 @@ mod tests {
             LaunchConfig::d1(8, 256),  // 8 TBs: heavy contention
             LaunchConfig::d1(16, 256), // saturated: same residency as 8
         ];
-        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        let mv = pipe
+            .compile_multi(&divergent_kernel(), &candidates)
+            .unwrap();
         assert!(
             mv.variants.len() >= 2,
             "different launches must yield different throttling: {} variant(s)",
@@ -161,7 +158,9 @@ mod tests {
         let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
         // Same residency either way → identical code → one variant.
         let candidates = [LaunchConfig::d1(8, 256), LaunchConfig::d1(16, 256)];
-        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        let mv = pipe
+            .compile_multi(&divergent_kernel(), &candidates)
+            .unwrap();
         if mv.variants.len() == 1 {
             assert_eq!(mv.variants[0].launches.len(), 2);
             assert_eq!(mv.variants[0].compiled.transformed.name, "walk");
@@ -172,7 +171,9 @@ mod tests {
     fn emitted_unit_contains_all_variants_and_parses() {
         let pipe = Pipeline::new(GpuConfig::titan_v_1sm());
         let candidates = [LaunchConfig::d1(1, 256), LaunchConfig::d1(8, 256)];
-        let mv = pipe.compile_multi(&divergent_kernel(), &candidates).unwrap();
+        let mv = pipe
+            .compile_multi(&divergent_kernel(), &candidates)
+            .unwrap();
         let unit = mv.emitted_source();
         let module = catt_frontend::parse_module(&unit).unwrap();
         assert_eq!(module.kernels.len(), mv.variants.len());

@@ -56,7 +56,11 @@ pub fn plan_l1_smem(
     let mut config = base.clone();
     config.smem_carveout_bytes = kb * 1024;
     let limits = max_resident_tbs(&config, smem_per_tb, regs_per_thread, threads_per_tb);
-    debug_assert_eq!(limits.resident_tbs(), resident, "carve-out choice must not cost TLP");
+    debug_assert_eq!(
+        limits.resident_tbs(),
+        resident,
+        "carve-out choice must not cost TLP"
+    );
     Some(L1SmemPlan {
         l1d_bytes: config.l1d_bytes(),
         smem_carveout_bytes: kb * 1024,

@@ -114,15 +114,12 @@ impl Pipeline {
         let program = catt_sim::lower(kernel).map_err(|e| PipelineError {
             message: e.to_string(),
         })?;
-        let mut analysis = analyze_kernel(
-            kernel,
-            launch,
-            &self.base_config,
-            program.num_regs as u32,
-        )
-        .ok_or_else(|| PipelineError {
-            message: format!("kernel `{}` cannot launch on the target", kernel.name),
-        })?;
+        let mut analysis =
+            analyze_kernel(kernel, launch, &self.base_config, program.num_regs as u32).ok_or_else(
+                || PipelineError {
+                    message: format!("kernel `{}` cannot launch on the target", kernel.name),
+                },
+            )?;
 
         // When any loop needs TB-level throttling on a kernel without free
         // shared-memory space, the carve-out must be reconfigured (§4.3).
@@ -135,8 +132,7 @@ impl Pipeline {
             let l1d_lines = (cfg.l1d_bytes() / cfg.l1_line_bytes) as u64;
             for l in &mut analysis.loops {
                 if l.decision.m > 0 {
-                    let per_round: u64 =
-                        l.accesses.iter().map(|a| a.req_warp as u64).sum();
+                    let per_round: u64 = l.accesses.iter().map(|a| a.req_warp as u64).sum();
                     l.decision = search_factors(
                         per_round,
                         analysis.warps_per_tb,
@@ -183,7 +179,11 @@ pub fn apply_decisions(kernel: &Kernel, analysis: &KernelAnalysis) -> Kernel {
                 if throttled.iter().any(|t| t.loop_id == pid) {
                     return false;
                 }
-                p = analysis.loops.iter().find(|x| x.loop_id == pid).and_then(|x| x.parent);
+                p = analysis
+                    .loops
+                    .iter()
+                    .find(|x| x.loop_id == pid)
+                    .and_then(|x| x.parent);
             }
             true
         })
@@ -193,7 +193,7 @@ pub fn apply_decisions(kernel: &Kernel, analysis: &KernelAnalysis) -> Kernel {
     // Apply from the highest loop id down so earlier ids stay valid while
     // later subtrees get duplicated.
     let mut ordered = selected;
-    ordered.sort_by(|a, b| b.0.cmp(&a.0));
+    ordered.sort_by_key(|&(id, _)| std::cmp::Reverse(id));
     for (id, n) in ordered {
         if let Some(t) = warp_throttle(&out, id, n, analysis.warps_per_tb) {
             out = t;
@@ -243,8 +243,7 @@ pub fn apply_uniform(
         } else {
             carveout_bytes
         };
-        if let Some(t) = tb_throttle(&out, resident_tbs - m, carveout, kernel.shared_mem_bytes())
-        {
+        if let Some(t) = tb_throttle(&out, resident_tbs - m, carveout, kernel.shared_mem_bytes()) {
             out = t;
         }
     }
@@ -330,10 +329,13 @@ mod tests {
         cfg.l1_cap_bytes = Some(8 * 1024); // 64 lines
         let pipe = Pipeline::new(cfg);
         let app = pipe
-            .compile_source(ATAX_SRC, &[
-                ("atax1", LaunchConfig::d1(640, 256)),
-                ("atax2", LaunchConfig::d1(640, 256)),
-            ])
+            .compile_source(
+                ATAX_SRC,
+                &[
+                    ("atax1", LaunchConfig::d1(640, 256)),
+                    ("atax2", LaunchConfig::d1(640, 256)),
+                ],
+            )
             .unwrap();
         let k1 = &app.kernels[0];
         let m = k1.analysis.tb_throttle_m();

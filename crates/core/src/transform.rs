@@ -19,13 +19,8 @@ pub const DUMMY_SHARED: &str = "catt_dummy_shared";
 ///
 /// Returns the transformed kernel, or `None` when `loop_id` does not
 /// exist, `n` does not evenly divide the block's warps, or `n <= 1`.
-pub fn warp_throttle(
-    kernel: &Kernel,
-    loop_id: usize,
-    n: u32,
-    warps_per_tb: u32,
-) -> Option<Kernel> {
-    if n <= 1 || warps_per_tb % n != 0 || n > warps_per_tb {
+pub fn warp_throttle(kernel: &Kernel, loop_id: usize, n: u32, warps_per_tb: u32) -> Option<Kernel> {
+    if n <= 1 || !warps_per_tb.is_multiple_of(n) || n > warps_per_tb {
         return None;
     }
     let group = (warps_per_tb / n) as i64;

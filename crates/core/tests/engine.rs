@@ -1,0 +1,250 @@
+//! Integration tests of the evaluation engine (ISSUE: engine determinism
+//! and cache correctness): results must be byte-identical regardless of
+//! worker count, warm (cached) reruns must equal cold runs, the digest
+//! must invalidate when the GPU configuration or kernel source changes,
+//! and the persistent JSONL layer must round-trip across processes
+//! (modelled here as two engine instances over one directory).
+
+use catt_core::bftt::sweep_on;
+use catt_core::engine::{job_digest, Engine};
+use catt_frontend::parse_kernel;
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, LaunchStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const N: usize = 256;
+
+fn mv_kernel() -> Kernel {
+    let src = format!(
+        "#define N {N}
+         __global__ void mv(float *A, float *B, float *tmp) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {{
+                 for (int j = 0; j < N; j++) {{
+                     tmp[i] += A[i * N + j] * B[j];
+                 }}
+             }}
+         }}"
+    );
+    parse_kernel(&src).unwrap()
+}
+
+fn simulate(kernels: &[Kernel], launch: LaunchConfig, cfg: &GpuConfig) -> LaunchStats {
+    let mut mem = GlobalMem::new();
+    let a = mem.alloc_f32(&vec![1.0; N * N]);
+    let b = mem.alloc_f32(&vec![1.0; N]);
+    let tmp = mem.alloc_zeroed(N as u32);
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.launch(
+        &kernels[0],
+        launch,
+        &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)],
+        &mut mem,
+    )
+    .unwrap()
+}
+
+fn contended_config() -> GpuConfig {
+    let mut cfg = GpuConfig::titan_v_1sm();
+    cfg.l1_cap_bytes = Some(32 * 1024);
+    cfg
+}
+
+/// Same inputs must produce byte-identical statistics whether the sweep
+/// runs on one worker or many — result ordering and content must not
+/// depend on scheduling.
+#[test]
+fn sweep_results_are_identical_across_worker_counts() {
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let run = |kernels: &[Kernel], c: &GpuConfig| simulate(kernels, launch, c);
+
+    let serial = sweep_on(
+        &Engine::with_workers(1),
+        "det",
+        std::slice::from_ref(&kernel),
+        launch,
+        &cfg,
+        run,
+    )
+    .expect("serial sweep succeeds");
+    let parallel = sweep_on(
+        &Engine::with_workers(4),
+        "det",
+        std::slice::from_ref(&kernel),
+        launch,
+        &cfg,
+        run,
+    )
+    .expect("parallel sweep succeeds");
+
+    assert_eq!(serial.candidates.len(), parallel.candidates.len());
+    assert_eq!(serial.best, parallel.best);
+    for (s, p) in serial.candidates.iter().zip(&parallel.candidates) {
+        assert_eq!(
+            (s.n, s.m),
+            (p.n, p.m),
+            "candidate order must be sweep order"
+        );
+        assert_eq!(
+            s.stats.to_json_fields(),
+            p.stats.to_json_fields(),
+            "candidate (n={}, m={}) must be byte-identical across worker counts",
+            s.n,
+            s.m
+        );
+    }
+}
+
+/// A warm (cached) rerun must return exactly what the cold run computed,
+/// without invoking the simulation again.
+#[test]
+fn warm_rerun_equals_cold_run() {
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let engine = Engine::with_workers(2);
+    let computed = AtomicUsize::new(0);
+
+    let run = || {
+        engine
+            .sim_app(
+                "warm",
+                std::slice::from_ref(&kernel),
+                &[launch],
+                &cfg,
+                || {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    simulate(std::slice::from_ref(&kernel), launch, &cfg)
+                },
+            )
+            .expect("sim_app succeeds")
+    };
+    let cold = run();
+    let warm = run();
+    assert_eq!(
+        computed.load(Ordering::SeqCst),
+        1,
+        "warm run must not simulate"
+    );
+    assert_eq!(cold.to_json_fields(), warm.to_json_fields());
+    let c = engine.cache_counters();
+    assert_eq!((c.hits, c.misses), (1, 1));
+}
+
+/// Changing the GPU configuration or the kernel source must change the
+/// cache key — a warm entry must never be served for different inputs.
+#[test]
+fn cache_invalidates_on_config_or_source_change() {
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let key = job_digest("inv", std::slice::from_ref(&kernel), &[launch], &cfg).unwrap();
+
+    let mut bigger = cfg.clone();
+    bigger.l1_cap_bytes = Some(64 * 1024);
+    let key_cfg = job_digest("inv", std::slice::from_ref(&kernel), &[launch], &bigger).unwrap();
+    assert_ne!(key, key_cfg, "GpuConfig change must invalidate");
+
+    let changed = parse_kernel(&format!(
+        "#define N {N}
+         __global__ void mv(float *A, float *B, float *tmp) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {{
+                 for (int j = 0; j < N; j++) {{
+                     tmp[i] += A[i * N + j] * B[j] * 2.0f;
+                 }}
+             }}
+         }}"
+    ))
+    .unwrap();
+    let key_src = job_digest("inv", std::slice::from_ref(&changed), &[launch], &cfg).unwrap();
+    assert_ne!(key, key_src, "kernel source change must invalidate");
+
+    // End to end: the engine really recomputes for the changed config.
+    let engine = Engine::with_workers(2);
+    let computed = AtomicUsize::new(0);
+    for c in [&cfg, &bigger] {
+        engine
+            .sim_app("inv", std::slice::from_ref(&kernel), &[launch], c, || {
+                computed.fetch_add(1, Ordering::SeqCst);
+                simulate(std::slice::from_ref(&kernel), launch, c)
+            })
+            .expect("sim_app succeeds");
+    }
+    assert_eq!(computed.load(Ordering::SeqCst), 2);
+    assert_eq!(engine.cache_counters().hits, 0);
+}
+
+/// A failing candidate must surface as a `SweepError` naming its
+/// `(n, m)` setting — not an opaque joined-thread panic.
+#[test]
+fn sweep_error_names_the_failing_candidate() {
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let err = sweep_on(
+        &Engine::with_workers(2),
+        "boom",
+        std::slice::from_ref(&kernel),
+        launch,
+        &cfg,
+        |_: &[Kernel], _: &GpuConfig| -> LaunchStats { panic!("validation failed: 3 vs 4") },
+    )
+    .expect_err("sweep must fail");
+    // Candidates are reported in sweep order; the first is (n=1, m=0).
+    assert_eq!((err.n, err.m), (1, 0));
+    let msg = err.to_string();
+    assert!(
+        msg.contains("(n=1, m=0)"),
+        "error must name the candidate: {msg}"
+    );
+    assert!(
+        msg.contains("validation failed"),
+        "error must carry the cause: {msg}"
+    );
+}
+
+/// The persistent JSONL layer must serve a second engine (a stand-in for
+/// a second process) the exact statistics the first one computed.
+#[test]
+fn persistent_cache_round_trips_across_engines() {
+    let dir = std::env::temp_dir().join(format!("catt-simcache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let computed = AtomicUsize::new(0);
+    let run_on = |engine: &Engine| {
+        engine
+            .sim_app(
+                "persist",
+                std::slice::from_ref(&kernel),
+                &[launch],
+                &cfg,
+                || {
+                    computed.fetch_add(1, Ordering::SeqCst);
+                    simulate(std::slice::from_ref(&kernel), launch, &cfg)
+                },
+            )
+            .expect("sim_app succeeds")
+    };
+
+    let cold = run_on(&Engine::persistent(&dir));
+    assert_eq!(computed.load(Ordering::SeqCst), 1);
+    assert!(dir.join("cache.jsonl").is_file(), "JSONL log must exist");
+
+    let second = Engine::persistent(&dir);
+    let warm = run_on(&second);
+    assert_eq!(
+        computed.load(Ordering::SeqCst),
+        1,
+        "second engine must be served from the JSONL layer"
+    );
+    assert_eq!(cold.to_json_fields(), warm.to_json_fields());
+    assert_eq!(second.cache_counters().hits, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,47 +1,56 @@
-//! Property tests for CATT's transformations and factor search.
+//! Randomized tests for CATT's transformations and factor search, drawn
+//! from a fixed-seed [`catt_prng::Rng`] so every run sees the same cases.
 
 use catt_core::analysis::{search_factors, ThrottleDecision};
 use catt_core::transform::{tb_throttle, warp_throttle};
 use catt_frontend::parse_kernel;
 use catt_ir::{Kernel, LaunchConfig};
+use catt_prng::Rng;
 use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig};
-use proptest::prelude::*;
 
-proptest! {
-    /// Eq. 9 post-conditions: a resolved decision actually fits; an
-    /// unresolved one does not fit even at minimum TLP; and the chosen N
-    /// is minimal among divisors (no weaker even split also fits).
-    #[test]
-    fn search_factors_postconditions(
-        reqs in 1u64..3000,
-        warps in prop::sample::select(vec![1u32, 2, 4, 6, 8, 16, 32]),
-        tbs in 1u32..16,
-        l1d_lines in prop::sample::select(vec![64u64, 256, 896, 1024]),
-    ) {
+/// Eq. 9 post-conditions: a resolved decision actually fits; an
+/// unresolved one does not fit even at minimum TLP; and the chosen N is
+/// minimal among divisors (no weaker even split also fits).
+#[test]
+fn search_factors_postconditions() {
+    let mut r = Rng::from_tag("search-factors");
+    for case in 0..1024 {
+        let reqs = r.range_i64(1, 3000) as u64;
+        let warps = *r.choose(&[1u32, 2, 4, 6, 8, 16, 32]);
+        let tbs = r.range_u32(1, 16);
+        let l1d_lines = *r.choose(&[64u64, 256, 896, 1024]);
         let d = search_factors(reqs, warps, tbs, l1d_lines);
         let occupied = |n: u32, m: u32| reqs * (warps / n) as u64 * (tbs - m) as u64;
         if d.resolved {
-            prop_assert!(occupied(d.n, d.m) <= l1d_lines, "{d:?} must fit");
+            assert!(
+                occupied(d.n, d.m) <= l1d_lines,
+                "case {case}: {d:?} must fit"
+            );
             if d == ThrottleDecision::NONE {
                 // nothing to check
             } else if d.m == 0 {
                 // Minimality of N: the next-smaller divisor overflows.
                 for smaller in (1..d.n).rev() {
-                    if warps % smaller == 0 {
-                        prop_assert!(
+                    if warps.is_multiple_of(smaller) {
+                        assert!(
                             occupied(smaller, 0) > l1d_lines,
-                            "N={} would already fit, picked {}", smaller, d.n
+                            "case {case}: N={} would already fit, picked {}",
+                            smaller,
+                            d.n
                         );
                         break;
                     }
                 }
             } else {
                 // M engaged only after N maxed, and minimally so.
-                prop_assert_eq!(d.n, warps);
-                prop_assert!(occupied(warps, d.m - 1) > l1d_lines);
+                assert_eq!(d.n, warps, "case {case}");
+                assert!(occupied(warps, d.m - 1) > l1d_lines, "case {case}");
             }
         } else {
-            prop_assert!(reqs > l1d_lines, "minimum TLP is 1 warp x 1 TB");
+            assert!(
+                reqs > l1d_lines,
+                "case {case}: minimum TLP is 1 warp x 1 TB"
+            );
         }
     }
 }
@@ -66,18 +75,16 @@ fn make_kernel(n: usize, stride: usize, guard: bool) -> Kernel {
     parse_kernel(&src).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Warp- and TB-level throttling never change kernel outputs, across
-    /// factors, strides, block shapes, and guard presence.
-    #[test]
-    fn throttling_preserves_semantics(
-        stride in prop::sample::select(vec![1usize, 3, 17, 64]),
-        n_factor in prop::sample::select(vec![2u32, 4, 8]),
-        tb_target in 1u32..4,
-        guard in any::<bool>(),
-    ) {
+/// Warp- and TB-level throttling never change kernel outputs, across
+/// factors, strides, block shapes, and guard presence.
+#[test]
+fn throttling_preserves_semantics() {
+    let mut r = Rng::from_tag("throttle-semantics");
+    for case in 0..24 {
+        let stride = *r.choose(&[1usize, 3, 17, 64]);
+        let n_factor = *r.choose(&[2u32, 4, 8]);
+        let tb_target = r.range_u32(1, 4);
+        let guard = r.bool(0.5);
         let n = 512usize;
         let kernel = make_kernel(n, stride, guard);
         let launch = LaunchConfig::d1(2, 256);
@@ -85,37 +92,42 @@ proptest! {
         let run = |k: &Kernel| {
             let mut mem = GlobalMem::new();
             let a = mem.alloc_f32(
-                &(0..n * stride + 16).map(|v| (v % 23) as f32).collect::<Vec<_>>(),
+                &(0..n * stride + 16)
+                    .map(|v| (v % 23) as f32)
+                    .collect::<Vec<_>>(),
             );
             let out = mem.alloc_zeroed(n as u32);
             let mut gpu = Gpu::new(config.clone());
-            gpu.launch(k, launch, &[Arg::Buf(a), Arg::Buf(out)], &mut mem).unwrap();
+            gpu.launch(k, launch, &[Arg::Buf(a), Arg::Buf(out)], &mut mem)
+                .unwrap();
             mem.read_f32(out)
         };
         let reference = run(&kernel);
 
         let wt = warp_throttle(&kernel, 0, n_factor, 8).expect("warp transform");
-        prop_assert_eq!(run(&wt), reference.clone(), "warp N={}", n_factor);
+        assert_eq!(run(&wt), reference, "case {case}: warp N={n_factor}");
 
         let tt = tb_throttle(&kernel, tb_target, 96 * 1024, 0).expect("tb transform");
-        prop_assert_eq!(run(&tt), reference.clone(), "tb target={}", tb_target);
+        assert_eq!(run(&tt), reference, "case {case}: tb target={tb_target}");
 
         // Combined, in both orders.
         let both = tb_throttle(&wt, tb_target, 96 * 1024, 0).expect("combined");
-        prop_assert_eq!(run(&both), reference, "combined");
+        assert_eq!(run(&both), reference, "case {case}: combined");
     }
+}
 
-    /// The transformed kernel always re-parses from its printed source —
-    /// CATT is a genuine source-to-source tool.
-    #[test]
-    fn transformed_source_reparses(
-        n_factor in prop::sample::select(vec![2u32, 4, 8]),
-        stride in prop::sample::select(vec![1usize, 64]),
-    ) {
-        let kernel = make_kernel(256, stride, true);
-        let t = warp_throttle(&kernel, 0, n_factor, 8).expect("transform");
-        let src = catt_ir::printer::kernel_to_string(&t);
-        let reparsed = parse_kernel(&src).expect("reparse");
-        prop_assert_eq!(reparsed, t);
+/// The transformed kernel always re-parses from its printed source — CATT
+/// is a genuine source-to-source tool. Exhaustive over the old test's
+/// sample grid.
+#[test]
+fn transformed_source_reparses() {
+    for n_factor in [2u32, 4, 8] {
+        for stride in [1usize, 64] {
+            let kernel = make_kernel(256, stride, true);
+            let t = warp_throttle(&kernel, 0, n_factor, 8).expect("transform");
+            let src = catt_ir::printer::kernel_to_string(&t);
+            let reparsed = parse_kernel(&src).expect("reparse");
+            assert_eq!(reparsed, t, "N={n_factor} stride={stride}");
+        }
     }
 }

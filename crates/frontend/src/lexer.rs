@@ -24,8 +24,8 @@ pub enum TokenKind {
 /// lexer is maximal-munch.
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "++", "--", "->", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*",
-    "/", "%", "<", ">", "=", "!", "&", "|", "^", "?", ":", ".", "~",
+    "&=", "|=", "^=", "++", "--", "->", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/",
+    "%", "<", ">", "=", "!", "&", "|", "^", "?", ":", ".", "~",
 ];
 
 /// A token with its source position (1-based line and column).
@@ -215,7 +215,9 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_string();
             return Ok(Token {
                 kind: TokenKind::Ident(s),
                 line,
@@ -344,7 +346,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -186,7 +186,8 @@ impl Parser {
                     let name = self.expect_ident()?;
                     let val_expr = self.expr()?;
                     let Some(v) = val_expr.const_int() else {
-                        return self.err(format!("#define {name}: value must be an integer constant"));
+                        return self
+                            .err(format!("#define {name}: value must be an integer constant"));
                     };
                     self.defines.insert(name.clone(), v);
                     self.define_order.push((name, v));
@@ -198,7 +199,9 @@ impl Parser {
                     // `extern "C"` — not in subset; treat as error for now.
                     return self.err("`extern` declarations are not supported");
                 }
-                other => return self.err(format!("expected `__global__` or `#define`, found {other}")),
+                other => {
+                    return self.err(format!("expected `__global__` or `#define`, found {other}"))
+                }
             }
         }
         Ok(Module {
@@ -360,11 +363,7 @@ impl Parser {
                 } else {
                     None
                 };
-                out.push(Stmt::DeclScalar {
-                    name,
-                    ty,
-                    init,
-                });
+                out.push(Stmt::DeclScalar { name, ty, init });
                 if !self.eat_punct(",") {
                     break;
                 }
@@ -436,7 +435,10 @@ impl Parser {
             } else if self.eat_punct("^=") {
                 Some(BinOp::BitXor)
             } else {
-                return self.err(format!("expected assignment operator, found {}", self.kind()));
+                return self.err(format!(
+                    "expected assignment operator, found {}",
+                    self.kind()
+                ));
             };
             let rhs = self.expr()?;
             Stmt::Assign { lhs, op, rhs }
@@ -551,10 +553,7 @@ impl Parser {
     /// Precedence-climbing over binary operators.
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else {
-                break;
-            };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
@@ -655,7 +654,10 @@ impl Parser {
             TokenKind::Ident(name) => {
                 self.bump();
                 // Builtin member access.
-                if matches!(name.as_str(), "threadIdx" | "blockIdx" | "blockDim" | "gridDim") {
+                if matches!(
+                    name.as_str(),
+                    "threadIdx" | "blockIdx" | "blockDim" | "gridDim"
+                ) {
                     self.expect_punct(".")?;
                     let member = self.expect_ident()?;
                     let axis = match member.as_str() {
@@ -897,9 +899,8 @@ mod tests {
 
     #[test]
     fn downward_loop() {
-        let src =
-            "__global__ void k(float *A) { for (int j = 7; j >= 0; j--) { A[j] = 0.0f; } }";
-        let k = parse_kernel(&src).unwrap();
+        let src = "__global__ void k(float *A) { for (int j = 7; j >= 0; j--) { A[j] = 0.0f; } }";
+        let k = parse_kernel(src).unwrap();
         match &k.body[0] {
             Stmt::For { cond_op, step, .. } => {
                 assert_eq!(*cond_op, BinOp::Ge);

@@ -1,8 +1,9 @@
 //! Robustness: the front end must never panic — malformed input produces
 //! `Err`, not a crash. Exercised with adversarial mutations of valid
-//! source and with raw noise.
+//! source and with raw noise, drawn from a fixed-seed [`catt_prng::Rng`]
+//! (plus exhaustive truncation, which is cheap enough to enumerate).
 
-use proptest::prelude::*;
+use catt_prng::Rng;
 
 const SEED_SRC: &str = "
 #define NX 4096
@@ -21,52 +22,99 @@ __global__ void k(float *A, float *B, float *tmp, int n) {
 }
 ";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Truncating valid source anywhere yields Ok or Err, never a panic.
-    #[test]
-    fn truncation_never_panics(cut in 0usize..SEED_SRC.len()) {
-        // Cut on a char boundary.
-        let mut cut = cut;
-        while !SEED_SRC.is_char_boundary(cut) {
-            cut -= 1;
+/// Truncating valid source anywhere yields Ok or Err, never a panic —
+/// exhaustive over every char boundary.
+#[test]
+fn truncation_never_panics() {
+    for cut in 0..=SEED_SRC.len() {
+        if SEED_SRC.is_char_boundary(cut) {
+            let _ = catt_frontend::parse_module(&SEED_SRC[..cut]);
         }
-        let _ = catt_frontend::parse_module(&SEED_SRC[..cut]);
     }
+}
 
-    /// Random single-byte substitutions never panic.
-    #[test]
-    fn mutation_never_panics(pos in 0usize..SEED_SRC.len(), byte in 0u8..128) {
+/// Random single-byte substitutions never panic.
+#[test]
+fn mutation_never_panics() {
+    let mut r = Rng::from_tag("no-panic-mutation");
+    for _ in 0..512 {
         let mut bytes = SEED_SRC.as_bytes().to_vec();
-        let idx = pos.min(bytes.len() - 1);
-        bytes[idx] = byte;
+        let idx = r.range_usize(0, bytes.len());
+        bytes[idx] = r.range_u32(0, 128) as u8;
         if let Ok(s) = std::str::from_utf8(&bytes) {
             let _ = catt_frontend::parse_module(s);
         }
     }
+}
 
-    /// Raw printable noise never panics.
-    #[test]
-    fn noise_never_panics(s in "[ -~\\n]{0,200}") {
+/// Raw printable noise never panics.
+#[test]
+fn noise_never_panics() {
+    let mut r = Rng::from_tag("no-panic-noise");
+    for _ in 0..512 {
+        let len = r.range_usize(0, 201);
+        let s: String = (0..len)
+            .map(|_| {
+                if r.bool(0.05) {
+                    '\n'
+                } else {
+                    // Printable ASCII: ' ' ..= '~'.
+                    char::from(r.range_u32(0x20, 0x7F) as u8)
+                }
+            })
+            .collect();
         let _ = catt_frontend::parse_module(&s);
     }
+}
 
-    /// Token soup assembled from real lexemes never panics, and if it
-    /// happens to parse, lowering it must not panic either.
-    #[test]
-    fn token_soup_never_panics(
-        toks in prop::collection::vec(
-            prop::sample::select(vec![
-                "__global__", "void", "k", "(", ")", "{", "}", "[", "]", ";",
-                "float", "int", "*", "A", "i", "=", "+", "for", "if", "else",
-                "while", "break", "return", "1", "0.5f", "<", "threadIdx", ".",
-                "x", "__syncthreads", "__shared__", "#define", "N", ",", "%",
-            ]),
-            0..60,
-        )
-    ) {
-        let src = toks.join(" ");
+/// Token soup assembled from real lexemes never panics, and if it happens
+/// to parse, lowering it must not panic either.
+#[test]
+fn token_soup_never_panics() {
+    const LEXEMES: [&str; 35] = [
+        "__global__",
+        "void",
+        "k",
+        "(",
+        ")",
+        "{",
+        "}",
+        "[",
+        "]",
+        ";",
+        "float",
+        "int",
+        "*",
+        "A",
+        "i",
+        "=",
+        "+",
+        "for",
+        "if",
+        "else",
+        "while",
+        "break",
+        "return",
+        "1",
+        "0.5f",
+        "<",
+        "threadIdx",
+        ".",
+        "x",
+        "__syncthreads",
+        "__shared__",
+        "#define",
+        "N",
+        ",",
+        "%",
+    ];
+    let mut r = Rng::from_tag("no-panic-token-soup");
+    for _ in 0..512 {
+        let n = r.range_usize(0, 60);
+        let src = (0..n)
+            .map(|_| *r.choose(&LEXEMES))
+            .collect::<Vec<_>>()
+            .join(" ");
         if let Ok(module) = catt_frontend::parse_module(&src) {
             for k in &module.kernels {
                 let _ = catt_sim::lower(k);

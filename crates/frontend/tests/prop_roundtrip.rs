@@ -1,154 +1,159 @@
-//! Property test: `print(parse(print(k))) == print(k)` — the printer and
+//! Randomized test: `print(parse(print(k))) == print(k)` — the printer and
 //! parser are mutually inverse on structurally random kernels.
+//!
+//! Kernels are generated from a fixed-seed [`catt_prng::Rng`] (the offline
+//! stand-in for proptest's strategies), so the same cases run every time
+//! and failures reproduce exactly.
 
 use catt_ir::expr::{BinOp, Expr, Intrinsic, UnOp};
 use catt_ir::kernel::{Kernel, Param};
 use catt_ir::printer::kernel_to_string;
 use catt_ir::stmt::{LValue, Stmt};
 use catt_ir::types::DType;
-use proptest::prelude::*;
+use catt_prng::Rng;
+
+const BINOPS: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Lt,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::And,
+    BinOp::Shl,
+];
 
 /// Random expression over locals `x` (float) and `n`/`j` (int), array `A`.
-fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Expr::Int),
-        (-100i32..100).prop_map(|v| Expr::Float(v as f64 * 0.5)),
-        Just(Expr::var("n")),
-        Just(Expr::var("j")),
-        Just(Expr::linear_tid()),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| Expr::Binary(
-                op,
-                Box::new(a),
-                Box::new(b)
+fn gen_expr(r: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || r.bool(0.3) {
+        // Leaves.
+        return match r.range_u32(0, 5) {
+            0 => Expr::Int(r.range_i64(-1000, 1000)),
+            1 => Expr::Float(r.range_i32(-100, 100) as f64 * 0.5),
+            2 => Expr::var("n"),
+            3 => Expr::var("j"),
+            _ => Expr::linear_tid(),
+        };
+    }
+    match r.range_u32(0, 5) {
+        0 => {
+            let a = gen_expr(r, depth - 1);
+            let b = gen_expr(r, depth - 1);
+            Expr::Binary(*r.choose(&BINOPS), Box::new(a), Box::new(b))
+        }
+        1 => Expr::Unary(UnOp::Neg, Box::new(gen_expr(r, depth - 1))),
+        2 => Expr::Index(
+            "A".into(),
+            Box::new(Expr::Binary(
+                BinOp::Rem,
+                Box::new(gen_expr(r, depth - 1)),
+                Box::new(Expr::Int(64)),
             )),
-            inner
-                .clone()
-                .prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a))),
-            inner.clone().prop_map(|a| Expr::Index(
-                "A".into(),
-                Box::new(Expr::Binary(
-                    BinOp::Rem,
-                    Box::new(a),
-                    Box::new(Expr::Int(64))
-                ))
+        ),
+        3 => Expr::Call(Intrinsic::Fabsf, vec![gen_expr(r, depth - 1)]),
+        _ => Expr::Select(
+            Box::new(Expr::Binary(
+                BinOp::Lt,
+                Box::new(gen_expr(r, depth - 1)),
+                Box::new(Expr::Int(3)),
             )),
-            inner.clone().prop_map(|a| Expr::Call(Intrinsic::Fabsf, vec![a])),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Select(
-                Box::new(Expr::Binary(BinOp::Lt, Box::new(c), Box::new(Expr::Int(3)))),
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
-    .boxed()
+            Box::new(gen_expr(r, depth - 1)),
+            Box::new(gen_expr(r, depth - 1)),
+        ),
+    }
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::Lt),
-        Just(BinOp::Ge),
-        Just(BinOp::Eq),
-        Just(BinOp::And),
-        Just(BinOp::Shl),
-    ]
-}
-
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let simple = prop_oneof![
-        arb_expr(2).prop_map(|e| Stmt::Assign {
-            lhs: LValue::Var("x".into()),
-            op: None,
-            rhs: Expr::Cast(DType::F32, Box::new(e)),
-        }),
-        arb_expr(2).prop_map(|e| Stmt::Assign {
-            lhs: LValue::Elem(
-                "A".into(),
-                Expr::Binary(BinOp::Rem, Box::new(e), Box::new(Expr::Int(64)))
-            ),
-            op: Some(BinOp::Add),
-            rhs: Expr::var("x"),
-        }),
-        Just(Stmt::SyncThreads),
-        Just(Stmt::Return),
-    ];
-    simple
-        .prop_recursive(depth, 16, 3, |inner| {
-            prop_oneof![
-                (arb_expr(1), prop::collection::vec(inner.clone(), 1..3)).prop_map(
-                    |(c, body)| Stmt::If {
-                        cond: Expr::Binary(
-                            BinOp::Ne,
-                            Box::new(c),
-                            Box::new(Expr::Int(0))
-                        ),
-                        then: body,
-                        els: vec![],
-                    }
+fn gen_stmt(r: &mut Rng, depth: u32) -> Stmt {
+    let simple = depth == 0 || r.bool(0.5);
+    if simple {
+        match r.range_u32(0, 4) {
+            0 => Stmt::Assign {
+                lhs: LValue::Var("x".into()),
+                op: None,
+                rhs: Expr::Cast(DType::F32, Box::new(gen_expr(r, 2))),
+            },
+            1 => Stmt::Assign {
+                lhs: LValue::Elem(
+                    "A".into(),
+                    Expr::Binary(
+                        BinOp::Rem,
+                        Box::new(gen_expr(r, 2)),
+                        Box::new(Expr::Int(64)),
+                    ),
                 ),
-                (1i64..8, prop::collection::vec(inner, 1..3)).prop_map(|(n, body)| {
-                    Stmt::For {
-                        var: "j".into(),
-                        decl: true,
-                        init: Expr::Int(0),
-                        cond_op: BinOp::Lt,
-                        bound: Expr::Int(n),
-                        step: Expr::Int(1),
-                        body,
-                    }
-                }),
-            ]
-        })
-        .boxed()
+                op: Some(BinOp::Add),
+                rhs: Expr::var("x"),
+            },
+            2 => Stmt::SyncThreads,
+            _ => Stmt::Return,
+        }
+    } else if r.bool(0.5) {
+        let body = (0..r.range_u32(1, 3))
+            .map(|_| gen_stmt(r, depth - 1))
+            .collect();
+        Stmt::If {
+            cond: Expr::Binary(BinOp::Ne, Box::new(gen_expr(r, 1)), Box::new(Expr::Int(0))),
+            then: body,
+            els: vec![],
+        }
+    } else {
+        let body = (0..r.range_u32(1, 3))
+            .map(|_| gen_stmt(r, depth - 1))
+            .collect();
+        Stmt::For {
+            var: "j".into(),
+            decl: true,
+            init: Expr::Int(0),
+            cond_op: BinOp::Lt,
+            bound: Expr::Int(r.range_i64(1, 8)),
+            step: Expr::Int(1),
+            body,
+        }
+    }
 }
 
-fn arb_kernel() -> impl Strategy<Value = Kernel> {
-    prop::collection::vec(arb_stmt(3), 1..6).prop_map(|mut body| {
-        let mut full = vec![
-            Stmt::DeclScalar {
-                name: "x".into(),
-                ty: DType::F32,
-                init: Some(Expr::Float(0.0)),
-            },
-            Stmt::DeclScalar {
-                name: "j".into(),
-                ty: DType::I32,
-                init: Some(Expr::Int(0)),
-            },
-        ];
-        full.append(&mut body);
-        Kernel::new(
-            "prop_kernel",
-            vec![Param::ptr("A", DType::F32), Param::scalar("n", DType::I32)],
-            full,
-        )
-    })
+fn gen_kernel(r: &mut Rng) -> Kernel {
+    let mut full = vec![
+        Stmt::DeclScalar {
+            name: "x".into(),
+            ty: DType::F32,
+            init: Some(Expr::Float(0.0)),
+        },
+        Stmt::DeclScalar {
+            name: "j".into(),
+            ty: DType::I32,
+            init: Some(Expr::Int(0)),
+        },
+    ];
+    for _ in 0..r.range_u32(1, 6) {
+        full.push(gen_stmt(r, 3));
+    }
+    Kernel::new(
+        "prop_kernel",
+        vec![Param::ptr("A", DType::F32), Param::scalar("n", DType::I32)],
+        full,
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// One parse normalizes literal spellings (e.g. `Neg(0.5)` prints as
-    /// `-0.5f`, which re-parses as the literal `-0.5`); from then on,
-    /// print ∘ parse must be the identity in both directions.
-    #[test]
-    fn print_parse_reaches_a_fixed_point(k in arb_kernel()) {
+/// One parse normalizes literal spellings (e.g. `Neg(0.5)` prints as
+/// `-0.5f`, which re-parses as the literal `-0.5`); from then on,
+/// print ∘ parse must be the identity in both directions.
+#[test]
+fn print_parse_reaches_a_fixed_point() {
+    let mut r = Rng::from_tag("roundtrip-fixed-point");
+    for case in 0..128 {
+        let k = gen_kernel(&mut r);
         let printed = kernel_to_string(&k);
         let parsed = catt_frontend::parse_kernel(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n--- source ---\n{printed}")))?;
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n--- source ---\n{printed}"));
         // String fixed point after one round trip…
         let reprinted = kernel_to_string(&parsed);
-        prop_assert_eq!(&reprinted, &printed, "--- source ---\n{}", printed);
+        assert_eq!(reprinted, printed, "case {case}\n--- source ---\n{printed}");
         // …and AST fixed point from the normalized tree onward.
         let reparsed = catt_frontend::parse_kernel(&reprinted)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n--- source ---\n{reprinted}")))?;
-        prop_assert_eq!(&reparsed, &parsed, "--- source ---\n{}", reprinted);
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n--- source ---\n{reprinted}"));
+        assert_eq!(reparsed, parsed, "case {case}\n--- source ---\n{reprinted}");
     }
 }

@@ -181,15 +181,9 @@ pub fn eval_poly(e: &Expr, env: &AffineEnv) -> Option<Poly> {
             Builtin::BlockIdxX => Some(Poly::sym(Sym::BlockIdx(0))),
             Builtin::BlockIdxY => Some(Poly::sym(Sym::BlockIdx(1))),
             Builtin::BlockIdxZ => Some(Poly::sym(Sym::BlockIdx(2))),
-            Builtin::BlockDimX => {
-                env.block_dim.map(|d| Poly::constant(d.0 as i64))
-            }
-            Builtin::BlockDimY => {
-                env.block_dim.map(|d| Poly::constant(d.1 as i64))
-            }
-            Builtin::BlockDimZ => {
-                env.block_dim.map(|d| Poly::constant(d.2 as i64))
-            }
+            Builtin::BlockDimX => env.block_dim.map(|d| Poly::constant(d.0 as i64)),
+            Builtin::BlockDimY => env.block_dim.map(|d| Poly::constant(d.1 as i64)),
+            Builtin::BlockDimZ => env.block_dim.map(|d| Poly::constant(d.2 as i64)),
             Builtin::GridDimX => env.grid_dim.map(|d| Poly::constant(d.0 as i64)),
             Builtin::GridDimY => env.grid_dim.map(|d| Poly::constant(d.1 as i64)),
             Builtin::GridDimZ => env.grid_dim.map(|d| Poly::constant(d.2 as i64)),
@@ -338,16 +332,37 @@ mod tests {
 
         // tmp[i]: C_tid = 1, C_i = 0  (inter-thread locality, intra dist 0)
         let f = index_form(&Expr::var("i"), Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(0) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(1),
+                c_tid_y: Some(0),
+                c_iter: Some(0)
+            }
+        );
 
         // A[i * NX + j]: C_tid = NX, C_i = 1
         let idx = Expr::var("i").mul(Expr::int(nx)).add(Expr::var("j"));
         let f = index_form(&idx, Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(nx), c_tid_y: Some(0), c_iter: Some(1) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(nx),
+                c_tid_y: Some(0),
+                c_iter: Some(1)
+            }
+        );
 
         // B[j]: C_tid = 0, C_i = 1
         let f = index_form(&Expr::var("j"), Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(0),
+                c_tid_y: Some(0),
+                c_iter: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -356,7 +371,14 @@ mod tests {
         let env = env_256();
         let idx = Expr::var("j").mul(Expr::int(1024)).add(Expr::var("i"));
         let f = index_form(&idx, Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(1024) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(1),
+                c_tid_y: Some(0),
+                c_iter: Some(1024)
+            }
+        );
     }
 
     #[test]
@@ -378,18 +400,17 @@ mod tests {
     fn poisoned_var_is_irregular() {
         let mut env = env_256();
         env.poison("k");
-        assert_eq!(index_form(&Expr::var("k"), Some("j"), &env), IndexForm::IRREGULAR);
+        assert_eq!(
+            index_form(&Expr::var("k"), Some("j"), &env),
+            IndexForm::IRREGULAR
+        );
     }
 
     #[test]
     fn shift_scales_coefficient() {
         let env = env_256();
         // i << 3 has C_tid = 8.
-        let idx = Expr::Binary(
-            BinOp::Shl,
-            Box::new(Expr::var("i")),
-            Box::new(Expr::int(3)),
-        );
+        let idx = Expr::Binary(BinOp::Shl, Box::new(Expr::var("i")), Box::new(Expr::int(3)));
         let f = index_form(&idx, Some("j"), &env);
         assert_eq!(f.c_tid, Some(8));
     }
@@ -400,7 +421,14 @@ mod tests {
         let env = env_256();
         let idx = Expr::var("base").add(Expr::var("j"));
         let f = index_form(&idx, Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(0),
+                c_tid_y: Some(0),
+                c_iter: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -409,7 +437,14 @@ mod tests {
         // (i + j) - i  ==> C_tid = 0, C_i = 1
         let idx = Expr::var("i").add(Expr::var("j")).sub(Expr::var("i"));
         let f = index_form(&idx, Some("j"), &env);
-        assert_eq!(f, IndexForm { c_tid: Some(0), c_tid_y: Some(0), c_iter: Some(1) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(0),
+                c_tid_y: Some(0),
+                c_iter: Some(1)
+            }
+        );
         // And the zero-coefficient entry is dropped from the map.
         let p = eval_poly(&Expr::var("i").sub(Expr::var("i")), &env).unwrap();
         assert!(p.terms.is_empty());
@@ -425,6 +460,13 @@ mod tests {
     fn no_loop_iterator_means_zero_c_iter() {
         let env = env_256();
         let f = index_form(&Expr::var("i"), None, &env);
-        assert_eq!(f, IndexForm { c_tid: Some(1), c_tid_y: Some(0), c_iter: Some(0) });
+        assert_eq!(
+            f,
+            IndexForm {
+                c_tid: Some(1),
+                c_tid_y: Some(0),
+                c_iter: Some(0)
+            }
+        );
     }
 }

@@ -245,7 +245,10 @@ mod tests {
     fn module_lookup() {
         let m = Module {
             defines: vec![],
-            kernels: vec![Kernel::new("a", vec![], vec![]), Kernel::new("b", vec![], vec![])],
+            kernels: vec![
+                Kernel::new("a", vec![], vec![]),
+                Kernel::new("b", vec![], vec![]),
+            ],
         };
         assert!(m.kernel("a").is_some());
         assert!(m.kernel("missing").is_none());

@@ -37,11 +37,7 @@ pub enum Stmt {
     /// `len` must be a compile-time constant: shared-memory usage must be
     /// statically known both for occupancy computation (paper Eq. 1) and
     /// for the TB-level throttling transform (paper Fig. 5).
-    DeclShared {
-        name: String,
-        elem: DType,
-        len: u32,
-    },
+    DeclShared { name: String, elem: DType, len: u32 },
     /// Assignment `lhs op= rhs` (`op == None` for plain `=`).
     Assign {
         lhs: LValue,

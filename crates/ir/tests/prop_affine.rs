@@ -1,12 +1,16 @@
-//! Property tests for the affine index-form extraction: build random
+//! Randomized tests for the affine index-form extraction: build random
 //! affine expressions with *known* coefficients, obfuscate their shape
 //! (association, subtraction, distribution), and require the analysis to
 //! recover exactly `(C_tid, C_i)` — plus numeric agreement between the
 //! extracted polynomial and direct expression evaluation.
+//!
+//! Cases are drawn from a fixed-seed [`catt_prng::Rng`] (the offline
+//! stand-in for proptest), so every run exercises the same cases and any
+//! failure reproduces exactly.
 
 use catt_ir::affine::{eval_poly, index_form, AffineEnv, Sym};
 use catt_ir::expr::{BinOp, Builtin, Expr};
-use proptest::prelude::*;
+use catt_prng::Rng;
 
 fn env() -> AffineEnv {
     let mut e = AffineEnv::with_launch((256, 1, 1), (64, 1, 1));
@@ -56,34 +60,44 @@ fn affine_expr(c_tid: i64, c_iter: i64, c0: i64, shape: u8) -> Expr {
     }
 }
 
-proptest! {
-    #[test]
-    fn recovers_exact_coefficients(
-        c_tid in -4096i64..4096,
-        c_iter in -128i64..128,
-        c0 in -1000i64..1000,
-        shape in 0u8..6,
-    ) {
+#[test]
+fn recovers_exact_coefficients() {
+    let mut r = Rng::from_tag("affine-coefficients");
+    for case in 0..512 {
+        let c_tid = r.range_i64(-4096, 4096);
+        let c_iter = r.range_i64(-128, 128);
+        let c0 = r.range_i64(-1000, 1000);
+        let shape = r.range_i64(0, 6) as u8;
         let e = affine_expr(c_tid, c_iter, c0, shape);
         let f = index_form(&e, Some("j"), &env());
-        prop_assert_eq!(f.c_tid, Some(c_tid));
-        prop_assert_eq!(f.c_iter, Some(c_iter));
+        assert_eq!(
+            f.c_tid,
+            Some(c_tid),
+            "case {case}: shape {shape}, ({c_tid},{c_iter},{c0})"
+        );
+        assert_eq!(
+            f.c_iter,
+            Some(c_iter),
+            "case {case}: shape {shape}, ({c_tid},{c_iter},{c0})"
+        );
     }
+}
 
-    /// The polynomial evaluates to the same value as the expression under
-    /// random assignments of threadIdx/blockIdx/j.
-    #[test]
-    fn polynomial_agrees_with_direct_evaluation(
-        c_tid in -64i64..64,
-        c_iter in -64i64..64,
-        c0 in -100i64..100,
-        shape in 0u8..6,
-        tx in 0i64..256,
-        bx in 0i64..64,
-        j in 0i64..512,
-    ) {
+/// The polynomial evaluates to the same value as the expression under
+/// random assignments of threadIdx/blockIdx/j.
+#[test]
+fn polynomial_agrees_with_direct_evaluation() {
+    let mut r = Rng::from_tag("affine-eval");
+    let env = env();
+    for case in 0..512 {
+        let c_tid = r.range_i64(-64, 64);
+        let c_iter = r.range_i64(-64, 64);
+        let c0 = r.range_i64(-100, 100);
+        let shape = r.range_i64(0, 6) as u8;
+        let tx = r.range_i64(0, 256);
+        let bx = r.range_i64(0, 64);
+        let j = r.range_i64(0, 512);
         let e = affine_expr(c_tid, c_iter, c0, shape);
-        let env = env();
         let p = eval_poly(&e, &env).unwrap();
         // Direct: i = bx*256 + tx.
         let i = bx * 256 + tx;
@@ -92,16 +106,18 @@ proptest! {
             + p.coeff(&Sym::BlockIdx(0)) * bx
             + p.coeff(&Sym::Var("j".into())) * j
             + p.c0;
-        prop_assert_eq!(direct, from_poly);
+        assert_eq!(direct, from_poly, "case {case}: shape {shape}");
     }
+}
 
-    /// Anything containing an indirect load is irregular, no matter how
-    /// it is wrapped in affine arithmetic.
-    #[test]
-    fn indirection_always_poisons(
-        c in -64i64..64,
-        wrap in 0u8..3,
-    ) {
+/// Anything containing an indirect load is irregular, no matter how it is
+/// wrapped in affine arithmetic.
+#[test]
+fn indirection_always_poisons() {
+    let mut r = Rng::from_tag("affine-indirect");
+    for case in 0..256 {
+        let c = r.range_i64(-64, 64);
+        let wrap = r.range_i64(0, 3) as u8;
         let gather = Expr::Index("cols".into(), Box::new(Expr::var("j")));
         let e = match wrap {
             0 => gather.add(Expr::int(c)),
@@ -109,31 +125,46 @@ proptest! {
             _ => gather.mul(Expr::int(1)).add(Expr::var("j")),
         };
         let f = index_form(&e, Some("j"), &env());
-        prop_assert_eq!(f.c_tid, None);
-        prop_assert_eq!(f.c_iter, None);
+        assert_eq!(f.c_tid, None, "case {case}: wrap {wrap}");
+        assert_eq!(f.c_iter, None, "case {case}: wrap {wrap}");
     }
+}
 
-    /// Multiplying two thread-dependent terms is never affine.
-    #[test]
-    fn nonlinear_products_are_rejected(scale in 1i64..100) {
+/// Multiplying two thread-dependent terms is never affine.
+#[test]
+fn nonlinear_products_are_rejected() {
+    let mut r = Rng::from_tag("affine-nonlinear");
+    let env = env();
+    for _ in 0..128 {
+        let scale = r.range_i64(1, 100);
         let e = Expr::var("i").mul(Expr::var("j")).mul(Expr::int(scale));
-        let env = env();
-        prop_assert!(eval_poly(&e, &env).is_none());
+        assert!(eval_poly(&e, &env).is_none(), "scale {scale}");
     }
+}
 
-    /// Builtin shifts: using threadIdx.y in the index contributes to the
-    /// y-coefficient, never to the x one.
-    #[test]
-    fn y_dimension_does_not_leak_into_x(c in 1i64..64) {
-        let e = Expr::Builtin(Builtin::ThreadIdxY).mul(Expr::int(c)).add(Expr::var("j"));
+/// Builtin shifts: using threadIdx.y in the index contributes to the
+/// y-coefficient, never to the x one.
+#[test]
+fn y_dimension_does_not_leak_into_x() {
+    let mut r = Rng::from_tag("affine-ydim");
+    for _ in 0..128 {
+        let c = r.range_i64(1, 64);
+        let e = Expr::Builtin(Builtin::ThreadIdxY)
+            .mul(Expr::int(c))
+            .add(Expr::var("j"));
         let f = index_form(&e, Some("j"), &env());
-        prop_assert_eq!(f.c_tid, Some(0));
-        prop_assert_eq!(f.c_iter, Some(1));
+        assert_eq!(f.c_tid, Some(0), "c {c}");
+        assert_eq!(f.c_iter, Some(1), "c {c}");
     }
+}
 
-    /// Shifting left by k equals multiplying by 2^k in the extracted form.
-    #[test]
-    fn shl_matches_mul(k in 0u32..8, c_iter in -16i64..16) {
+/// Shifting left by k equals multiplying by 2^k in the extracted form.
+#[test]
+fn shl_matches_mul() {
+    let mut r = Rng::from_tag("affine-shl");
+    for _ in 0..128 {
+        let k = r.range_u32(0, 8);
+        let c_iter = r.range_i64(-16, 16);
         let shifted = Expr::Binary(
             BinOp::Shl,
             Box::new(Expr::var("i")),
@@ -141,7 +172,7 @@ proptest! {
         )
         .add(Expr::var("j").mul(Expr::int(c_iter)));
         let f = index_form(&shifted, Some("j"), &env());
-        prop_assert_eq!(f.c_tid, Some(1 << k));
-        prop_assert_eq!(f.c_iter, Some(c_iter));
+        assert_eq!(f.c_tid, Some(1 << k), "k {k}");
+        assert_eq!(f.c_iter, Some(c_iter), "k {k} c_iter {c_iter}");
     }
 }

@@ -1,0 +1,200 @@
+//! # catt-prng — deterministic, dependency-free pseudo-randomness
+//!
+//! The build environment is offline, so this crate replaces the external
+//! `rand` / `proptest` dependencies for the two places the repository
+//! needs randomness:
+//!
+//! 1. **Workload input generation** (`catt-workloads::data`) — fixed-seed
+//!    streams so every run and every throttling variant sees identical
+//!    data.
+//! 2. **Randomized tests** — the former property tests draw their cases
+//!    from a seeded [`Rng`], so failures reproduce exactly and CI is
+//!    deterministic.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — both public
+//! domain algorithms (Blackman & Vigna, <https://prng.di.unimi.it/>),
+//! implemented from the reference description. Not cryptographic; never
+//! use for secrets.
+
+/// A deterministic 64-bit PRNG (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator. Equal seeds produce equal streams, forever.
+    pub fn seed(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Seed from a string tag (decorrelated streams per tag): FNV-1a of
+    /// the tag bytes feeds [`Rng::seed`].
+    pub fn from_tag(tag: &str) -> Rng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Rng::seed(h)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire-style rejection (unbiased).
+    /// `bound` must be nonzero.
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64: zero bound");
+        // Rejection threshold: multiples of `bound` fitting in 2^64.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `i64` in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "range_i64: empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.bounded_u64(span) as i64)
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "range_u32: empty range {lo}..{hi}");
+        lo + self.bounded_u64((hi - lo) as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range_usize: empty range {lo}..{hi}");
+        lo + self.bounded_u64((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 mantissa bits).
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniformly choose one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose: empty slice");
+        &xs[self.range_usize(0, xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng::seed(42);
+        let mut b = Rng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn tags_decorrelate() {
+        let a: Vec<u64> = {
+            let mut r = Rng::from_tag("a");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::from_tag("b");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed(7);
+        for _ in 0..10_000 {
+            let v = r.range_i64(-5, 17);
+            assert!((-5..17).contains(&v));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.f32();
+            assert!((0.0..1.0).contains(&g));
+            let u = r.range_u32(3, 9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = Rng::seed(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.bounded_u64(10) as usize] += 1;
+        }
+        for c in counts {
+            // 10k expected per bucket; allow generous slack.
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn bool_probability_tracks_p() {
+        let mut r = Rng::seed(3);
+        let trues = (0..100_000).filter(|_| r.bool(0.3)).count();
+        assert!((25_000..35_000).contains(&trues), "{trues}");
+    }
+}

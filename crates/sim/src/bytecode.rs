@@ -108,9 +108,19 @@ pub enum Op {
     /// `dst = src`.
     Mov { dst: Reg, src: Reg },
     /// Integer ALU.
-    IBin { op: IBinOp, dst: Reg, a: Reg, b: Reg },
+    IBin {
+        op: IBinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// Float ALU.
-    FBin { op: FBinOp, dst: Reg, a: Reg, b: Reg },
+    FBin {
+        op: FBinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// Float unary (SFU for transcendental ops).
     FUn { op: FUnOp, dst: Reg, a: Reg },
     /// Integer negate.
@@ -120,7 +130,13 @@ pub enum Op {
     /// Logical not on 0/1 predicate values.
     Not { dst: Reg, a: Reg },
     /// Compare, integer or float by `float` flag.
-    Cmp { op: CmpOp, float: bool, dst: Reg, a: Reg, b: Reg },
+    Cmp {
+        op: CmpOp,
+        float: bool,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst = c ? a : b` per lane.
     Sel { dst: Reg, c: Reg, a: Reg, b: Reg },
     /// Convert i32 → f32.
@@ -139,7 +155,11 @@ pub enum Op {
     /// `__syncthreads()`.
     Bar,
     /// Divergent if: push frame; lanes failing `cond` take `else_pc`.
-    If { cond: Reg, else_pc: u32, end_pc: u32 },
+    If {
+        cond: Reg,
+        else_pc: u32,
+        end_pc: u32,
+    },
     /// End of then-branch: switch to the else mask or jump to `end_pc`.
     Else { end_pc: u32 },
     /// Reconvergence point of an if.
@@ -369,7 +389,10 @@ impl<'k> Lowerer<'k> {
     fn alloc_local(&mut self) -> Reg {
         let r = self.next_local;
         self.next_local += 1;
-        debug_assert!(self.next_local <= self.temp_floor, "decl pre-scan undercounted");
+        debug_assert!(
+            self.next_local <= self.temp_floor,
+            "decl pre-scan undercounted"
+        );
         self.max_reg = self.max_reg.max(r);
         r
     }
@@ -490,7 +513,10 @@ impl<'k> Lowerer<'k> {
                 // Iterator register.
                 let it = if *decl {
                     let r = self.alloc_local();
-                    self.scopes.last_mut().unwrap().insert(var.clone(), (r, Ty::I32));
+                    self.scopes
+                        .last_mut()
+                        .unwrap()
+                        .insert(var.clone(), (r, Ty::I32));
                     r
                 } else {
                     match self.lookup(var) {
@@ -860,7 +886,11 @@ impl<'k> Lowerer<'k> {
                         }
                         None => {
                             // && / || on 0/1 predicates = bitwise and/or.
-                            let iop = if *op == BinOp::And { IBinOp::And } else { IBinOp::Or };
+                            let iop = if *op == BinOp::And {
+                                IBinOp::And
+                            } else {
+                                IBinOp::Or
+                            };
                             self.emit(Op::IBin {
                                 op: iop,
                                 dst,
@@ -936,7 +966,12 @@ impl<'k> Lowerer<'k> {
             let ra = lw.coerce(ra, ta, Ty::F32);
             let rb = lw.coerce(rb, tb, Ty::F32);
             let dst = lw.alloc_temp();
-            lw.emit(Op::FBin { op, dst, a: ra, b: rb });
+            lw.emit(Op::FBin {
+                op,
+                dst,
+                a: ra,
+                b: rb,
+            });
             Ok((dst, Ty::F32))
         };
         match intr {
@@ -953,16 +988,34 @@ impl<'k> Lowerer<'k> {
                 let (ra, ta) = self.expr(&args[0])?;
                 let (rb, tb) = self.expr(&args[1])?;
                 if ta == Ty::F32 || tb == Ty::F32 {
-                    let op = if intr == Intrinsic::Min { FBinOp::Min } else { FBinOp::Max };
+                    let op = if intr == Intrinsic::Min {
+                        FBinOp::Min
+                    } else {
+                        FBinOp::Max
+                    };
                     let ra = self.coerce(ra, ta, Ty::F32);
                     let rb = self.coerce(rb, tb, Ty::F32);
                     let dst = self.alloc_temp();
-                    self.emit(Op::FBin { op, dst, a: ra, b: rb });
+                    self.emit(Op::FBin {
+                        op,
+                        dst,
+                        a: ra,
+                        b: rb,
+                    });
                     Ok((dst, Ty::F32))
                 } else {
-                    let op = if intr == Intrinsic::Min { IBinOp::Min } else { IBinOp::Max };
+                    let op = if intr == Intrinsic::Min {
+                        IBinOp::Min
+                    } else {
+                        IBinOp::Max
+                    };
                     let dst = self.alloc_temp();
-                    self.emit(Op::IBin { op, dst, a: ra, b: rb });
+                    self.emit(Op::IBin {
+                        op,
+                        dst,
+                        a: ra,
+                        b: rb,
+                    });
                     Ok((dst, Ty::I32))
                 }
             }
@@ -1036,7 +1089,9 @@ mod tests {
         let (mut if_seen, mut else_seen) = (false, false);
         for (pc, op) in p.ops.iter().enumerate() {
             match op {
-                Op::If { else_pc, end_pc, .. } => {
+                Op::If {
+                    else_pc, end_pc, ..
+                } => {
                     if_seen = true;
                     assert!((*else_pc as usize) > pc);
                     assert!(*end_pc >= *else_pc);

@@ -107,7 +107,7 @@ impl L1Cache {
         let assoc = self.cfg.assoc as usize;
         let set = &mut self.sets[set_idx];
 
-        if let Some(line) = set.iter_mut().filter(|l| l.valid && l.tag == tag).next() {
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = self.use_counter;
             if line.ready <= now {
                 self.hits += 1;
@@ -180,7 +180,10 @@ impl L1Cache {
 
     /// Number of resident (valid) lines — for invariants in tests.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().filter(|l| l.valid).count()).sum()
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
     }
 }
 
@@ -295,7 +298,12 @@ mod tests {
         let mut c = L1Cache::new(cfg(1024, 2));
         let mut misses = 0;
         for i in 0..100u32 {
-            let r = c.access_load((i * 64) % 4096, i as u64 * 10, 28, fill_at(i as u64 * 10 + 50));
+            let r = c.access_load(
+                (i * 64) % 4096,
+                i as u64 * 10,
+                28,
+                fill_at(i as u64 * 10 + 50),
+            );
             if !r.hit {
                 misses += 1;
             }

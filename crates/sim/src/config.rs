@@ -250,7 +250,10 @@ mod tests {
             8 * 1024
         );
         assert_eq!(
-            c.clone().with_smem_for(8 * 1024).unwrap().smem_carveout_bytes,
+            c.clone()
+                .with_smem_for(8 * 1024)
+                .unwrap()
+                .smem_carveout_bytes,
             8 * 1024
         );
         assert_eq!(

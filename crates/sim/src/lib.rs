@@ -40,6 +40,7 @@
 pub mod bytecode;
 pub mod cache;
 pub mod config;
+pub mod digest;
 pub mod mem;
 pub mod metrics;
 pub mod occupancy;
@@ -48,6 +49,7 @@ pub mod warp;
 
 pub use bytecode::{lower, LowerError, Program};
 pub use config::{GpuConfig, L1Config, Latencies, SMEM_CONFIGS_KB};
+pub use digest::Fnv64;
 pub use mem::{Arg, Buffer, GlobalMem};
 pub use metrics::{LaunchStats, RequestTrace};
 pub use occupancy::{max_resident_tbs, OccupancyLimits};

@@ -74,6 +74,52 @@ impl LaunchStats {
         }
     }
 
+    /// Serialize the counters as the inner fields of a JSON object (no
+    /// braces), for the persistent simulation cache's JSONL layer. The
+    /// request trace is deliberately excluded: traced runs are diagnostic
+    /// and bypass the cache (`GpuConfig::trace_requests`).
+    pub fn to_json_fields(&self) -> String {
+        format!(
+            "\"cycles\":{},\"instructions\":{},\"l1_accesses\":{},\"l1_hits\":{},\
+             \"offchip_requests\":{},\"tbs\":{},\"warps\":{},\"resident_tbs_per_sm\":{}",
+            self.cycles,
+            self.instructions,
+            self.l1_accesses,
+            self.l1_hits,
+            self.offchip_requests,
+            self.tbs,
+            self.warps,
+            self.resident_tbs_per_sm
+        )
+    }
+
+    /// Parse a JSON object line containing (at least) the fields written
+    /// by [`LaunchStats::to_json_fields`]; unknown fields are ignored.
+    /// Returns `None` on any missing field or malformed number — callers
+    /// treat that as a cache miss, never an error.
+    pub fn from_json_line(line: &str) -> Option<LaunchStats> {
+        fn field_u64(line: &str, name: &str) -> Option<u64> {
+            let pat = format!("\"{name}\":");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        }
+        Some(LaunchStats {
+            cycles: field_u64(line, "cycles")?,
+            instructions: field_u64(line, "instructions")?,
+            l1_accesses: field_u64(line, "l1_accesses")?,
+            l1_hits: field_u64(line, "l1_hits")?,
+            offchip_requests: field_u64(line, "offchip_requests")?,
+            tbs: field_u64(line, "tbs")?,
+            warps: field_u64(line, "warps")?,
+            resident_tbs_per_sm: field_u64(line, "resident_tbs_per_sm")? as u32,
+            trace: RequestTrace::default(),
+        })
+    }
+
     /// Fold another launch's statistics into this one, sequencing the
     /// launches back to back (cycles add; a multi-kernel application's
     /// total time is the sum of its launches, as in the paper's
@@ -86,9 +132,7 @@ impl LaunchStats {
         self.offchip_requests += other.offchip_requests;
         self.tbs += other.tbs;
         self.warps += other.warps;
-        self.trace
-            .requests
-            .extend_from_slice(&other.trace.requests);
+        self.trace.requests.extend_from_slice(&other.trace.requests);
     }
 }
 
@@ -134,6 +178,38 @@ mod tests {
         // Bucket of everything averages to 1.5.
         let b1 = t.bucketed(1);
         assert!((b1[0] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_counters() {
+        let s = LaunchStats {
+            cycles: 12345,
+            instructions: 678,
+            l1_accesses: 90,
+            l1_hits: 45,
+            offchip_requests: 55,
+            tbs: 8,
+            warps: 64,
+            resident_tbs_per_sm: 4,
+            trace: RequestTrace::default(),
+        };
+        let line = format!("{{\"key\":\"deadbeef\",{}}}", s.to_json_fields());
+        let back = LaunchStats::from_json_line(&line).unwrap();
+        assert_eq!(back.cycles, s.cycles);
+        assert_eq!(back.instructions, s.instructions);
+        assert_eq!(back.l1_accesses, s.l1_accesses);
+        assert_eq!(back.l1_hits, s.l1_hits);
+        assert_eq!(back.offchip_requests, s.offchip_requests);
+        assert_eq!(back.tbs, s.tbs);
+        assert_eq!(back.warps, s.warps);
+        assert_eq!(back.resident_tbs_per_sm, s.resident_tbs_per_sm);
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_lines() {
+        assert!(LaunchStats::from_json_line("").is_none());
+        assert!(LaunchStats::from_json_line("{\"cycles\":1}").is_none());
+        assert!(LaunchStats::from_json_line("not json at all").is_none());
     }
 
     #[test]

@@ -42,11 +42,10 @@ pub fn max_resident_tbs(
     regs_per_thread: u32,
     threads_per_tb: u32,
 ) -> OccupancyLimits {
-    let tb_shm = if smem_per_tb == 0 {
-        u32::MAX
-    } else {
-        config.smem_carveout_bytes / smem_per_tb
-    };
+    let tb_shm = config
+        .smem_carveout_bytes
+        .checked_div(smem_per_tb)
+        .unwrap_or(u32::MAX);
     let regs_per_tb = regs_per_thread.max(1) * threads_per_tb.max(1);
     let tb_reg = config.regs_per_sm() / regs_per_tb;
     let warps_per_tb = threads_per_tb.max(1).div_ceil(config.warp_size);

@@ -289,7 +289,10 @@ impl<'a> Sm<'a> {
             if self.tbs[slot].block.is_some() {
                 let lo = slot * self.warps_per_tb as usize;
                 let hi = lo + self.warps_per_tb as usize;
-                if self.warps[lo..hi].iter().all(|w| w.state == WarpState::Done) {
+                if self.warps[lo..hi]
+                    .iter()
+                    .all(|w| w.state == WarpState::Done)
+                {
                     self.tbs[slot].block = None;
                     for w in &mut self.warps[lo..hi] {
                         w.state = WarpState::Idle;
@@ -513,25 +516,36 @@ impl<'a> Sm<'a> {
                 ))
             }
             Op::FUn { op, dst, a } => {
-                alu!(dst, op != FUnOp::Neg && op != FUnOp::Abs, |r: &R,
-                                                                 l: usize| {
-                    fun(op, r[a as usize][l])
-                })
+                alu!(
+                    dst,
+                    op != FUnOp::Neg && op != FUnOp::Abs,
+                    |r: &R, l: usize| { fun(op, r[a as usize][l]) }
+                )
             }
             Op::INeg { dst, a } => {
-                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32)
-                    .wrapping_neg()
-                    as u32)
+                alu!(
+                    dst,
+                    false,
+                    |r: &R, l: usize| (r[a as usize][l] as i32).wrapping_neg() as u32
+                )
             }
             Op::IAbs { dst, a } => {
-                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32)
-                    .wrapping_abs()
-                    as u32)
+                alu!(
+                    dst,
+                    false,
+                    |r: &R, l: usize| (r[a as usize][l] as i32).wrapping_abs() as u32
+                )
             }
             Op::Not { dst, a } => {
                 alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] == 0) as u32)
             }
-            Op::Cmp { op, float, dst, a, b } => {
+            Op::Cmp {
+                op,
+                float,
+                dst,
+                a,
+                b,
+            } => {
                 alu!(dst, false, |r: &R, l: usize| cmp(
                     op,
                     float,
@@ -547,12 +561,16 @@ impl<'a> Sm<'a> {
                 })
             }
             Op::CvtIF { dst, a } => {
-                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32 as f32)
+                alu!(dst, false, |r: &R, l: usize| (r[a as usize][l] as i32
+                    as f32)
                     .to_bits())
             }
             Op::CvtFI { dst, a } => {
-                alu!(dst, false, |r: &R, l: usize| (f32::from_bits(r[a as usize][l])
-                    as i32) as u32)
+                alu!(
+                    dst,
+                    false,
+                    |r: &R, l: usize| (f32::from_bits(r[a as usize][l]) as i32) as u32
+                )
             }
             Op::Ldg { dst, addr } => self.exec_ldg(wi, dst, addr),
             Op::Stg { src, addr } => self.exec_stg(wi, src, addr),
@@ -652,7 +670,12 @@ impl<'a> Sm<'a> {
                 let w = &mut self.warps[wi];
                 let cond_lanes = w.predicate_mask(cond);
                 let exited = w.exited;
-                let Some(Frame::Loop { live, end_pc, restore }) = w.stack.last_mut() else {
+                let Some(Frame::Loop {
+                    live,
+                    end_pc,
+                    restore,
+                }) = w.stack.last_mut()
+                else {
                     panic!("LoopTest without Loop frame in `{}`", self.program.name);
                 };
                 *live &= cond_lanes & !exited;
@@ -720,9 +743,9 @@ impl<'a> Sm<'a> {
         let line = self.config.l1_line_bytes;
         let mut lines = [0u32; 32];
         let mut n = 0;
-        for l in 0..32 {
+        for (l, &a) in addrs.iter().enumerate() {
             if w.active & (1 << l) != 0 {
-                let la = addrs[l] / line;
+                let la = a / line;
                 if !lines[..n].contains(&la) {
                     lines[n] = la;
                     n += 1;

@@ -112,8 +112,8 @@ impl Warp {
     pub fn predicate_mask(&self, reg: u16) -> u32 {
         let vals = &self.regs[reg as usize];
         let mut m = 0u32;
-        for lane in 0..32 {
-            if vals[lane] != 0 {
+        for (lane, &v) in vals.iter().enumerate() {
+            if v != 0 {
                 m |= 1 << lane;
             }
         }

@@ -3,6 +3,8 @@
 //! outputs, and functional results must be invariant across machine
 //! configurations.
 
+#![allow(clippy::needless_range_loop)]
+
 use catt_frontend::parse_kernel;
 use catt_ir::LaunchConfig;
 use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, LaunchStats};
@@ -29,11 +31,20 @@ fn kernel_src() -> String {
 fn run(config: &GpuConfig) -> (LaunchStats, Vec<f32>) {
     let k = parse_kernel(&kernel_src()).unwrap();
     let mut mem = GlobalMem::new();
-    let a = mem.alloc_f32(&(0..2048 * 3 + 24).map(|v| (v % 13) as f32).collect::<Vec<_>>());
+    let a = mem.alloc_f32(
+        &(0..2048 * 3 + 24)
+            .map(|v| (v % 13) as f32)
+            .collect::<Vec<_>>(),
+    );
     let out = mem.alloc_zeroed(2048);
     let mut gpu = Gpu::new(config.clone());
     let stats = gpu
-        .launch(&k, LaunchConfig::d1(8, 256), &[Arg::Buf(a), Arg::Buf(out)], &mut mem)
+        .launch(
+            &k,
+            LaunchConfig::d1(8, 256),
+            &[Arg::Buf(a), Arg::Buf(out)],
+            &mut mem,
+        )
         .unwrap();
     (stats, mem.read_f32(out))
 }
@@ -137,8 +148,13 @@ fn deeply_nested_divergence_is_correct() {
     let mut mem = GlobalMem::new();
     let out = mem.alloc_zeroed(64);
     let mut gpu = Gpu::new(GpuConfig::titan_v_1sm());
-    gpu.launch(&k, LaunchConfig::d1(2, 32), &[Arg::Buf(out), Arg::I32(64)], &mut mem)
-        .unwrap();
+    gpu.launch(
+        &k,
+        LaunchConfig::d1(2, 32),
+        &[Arg::Buf(out), Arg::I32(64)],
+        &mut mem,
+    )
+    .unwrap();
     let o = mem.read_f32(out);
     for i in 0..64usize {
         // Host replica.

@@ -31,7 +31,12 @@ fn run(dyncta: Option<DynctaConfig>) -> (LaunchStats, Vec<f32>) {
     let tmp = mem.alloc_zeroed(1024);
     let mut gpu = Gpu::new(cfg);
     let stats = gpu
-        .launch(&k, LaunchConfig::d1(4, 256), &[Arg::Buf(a), Arg::Buf(tmp)], &mut mem)
+        .launch(
+            &k,
+            LaunchConfig::d1(4, 256),
+            &[Arg::Buf(a), Arg::Buf(tmp)],
+            &mut mem,
+        )
         .unwrap();
     (stats, mem.read_f32(tmp))
 }
@@ -73,15 +78,20 @@ fn dyncta_leaves_a_healthy_kernel_roughly_alone() {
             b[i] = a[i] * 2.0f;
         }";
     let k = parse_kernel(src).unwrap();
-    let mut run = |dyncta: Option<DynctaConfig>| {
+    let run = |dyncta: Option<DynctaConfig>| {
         let mut cfg = GpuConfig::titan_v_1sm();
         cfg.dyncta = dyncta;
         let mut mem = GlobalMem::new();
         let a = mem.alloc_f32(&vec![1.0; 8192]);
         let b = mem.alloc_zeroed(8192);
         let mut gpu = Gpu::new(cfg);
-        gpu.launch(&k, LaunchConfig::d1(32, 256), &[Arg::Buf(a), Arg::Buf(b)], &mut mem)
-            .unwrap()
+        gpu.launch(
+            &k,
+            LaunchConfig::d1(32, 256),
+            &[Arg::Buf(a), Arg::Buf(b)],
+            &mut mem,
+        )
+        .unwrap()
     };
     let base = run(None);
     let dynr = run(Some(DynctaConfig::default()));
@@ -128,7 +138,12 @@ fn catt_beats_dyncta_on_phase_change() {
         let out = mem.alloc_zeroed(1024);
         let mut gpu = Gpu::new(c);
         let stats = gpu
-            .launch(k, launch, &[Arg::Buf(a), Arg::Buf(tmp), Arg::Buf(out)], &mut mem)
+            .launch(
+                k,
+                launch,
+                &[Arg::Buf(a), Arg::Buf(tmp), Arg::Buf(out)],
+                &mut mem,
+            )
             .unwrap();
         assert!(mem.read_f32(out).iter().all(|&v| v == 512.0));
         stats

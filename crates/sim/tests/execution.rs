@@ -1,6 +1,8 @@
 //! Functional integration tests: kernels parsed from CUDA source, run on
 //! the simulator, outputs validated against host computation.
 
+#![allow(clippy::needless_range_loop)]
+
 use catt_frontend::parse_kernel;
 use catt_ir::LaunchConfig;
 use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig};
@@ -32,7 +34,12 @@ fn saxpy_matches_host() {
     run(
         src,
         LaunchConfig::d1(n.div_ceil(128), 128),
-        &[Arg::Buf(bx), Arg::Buf(by), Arg::F32(3.0), Arg::I32(n as i32)],
+        &[
+            Arg::Buf(bx),
+            Arg::Buf(by),
+            Arg::F32(3.0),
+            Arg::I32(n as i32),
+        ],
         &mut mem,
     );
     let out = mem.read_f32(by);
@@ -71,7 +78,11 @@ fn matvec_accumulation_loop() {
     let out = mem.read_f32(by);
     for i in 0..n {
         let expect: f32 = (0..n).map(|j| a[i * n + j] * x[j]).sum();
-        assert!((out[i] - expect).abs() < 1e-3, "row {i}: {} vs {expect}", out[i]);
+        assert!(
+            (out[i] - expect).abs() < 1e-3,
+            "row {i}: {} vs {expect}",
+            out[i]
+        );
     }
 }
 
@@ -348,6 +359,10 @@ fn intrinsics_evaluate() {
     let out = mem.read_f32(bo);
     for i in 0..32usize {
         let expect = i as f32 + (i as f32).min(1.0) + (i.max(3)) as f32;
-        assert!((out[i] - expect).abs() < 1e-4, "lane {i}: {} vs {expect}", out[i]);
+        assert!(
+            (out[i] - expect).abs() < 1e-4,
+            "lane {i}: {} vs {expect}",
+            out[i]
+        );
     }
 }

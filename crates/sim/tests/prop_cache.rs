@@ -1,8 +1,10 @@
-//! Property tests for the L1D model and the coalescer-facing invariants.
+//! Randomized tests for the L1D model and the coalescer-facing invariants,
+//! drawn from a fixed-seed [`catt_prng::Rng`] so every run sees the same
+//! traces.
 
+use catt_prng::Rng;
 use catt_sim::cache::L1Cache;
 use catt_sim::config::L1Config;
-use proptest::prelude::*;
 
 fn cache(size_lines: u32, assoc: u32) -> L1Cache {
     L1Cache::new(L1Config {
@@ -12,38 +14,48 @@ fn cache(size_lines: u32, assoc: u32) -> L1Cache {
     })
 }
 
-proptest! {
-    /// Accounting invariant: hits + merges + off-chip-loads == accesses
-    /// (stores are counted separately), and residency never exceeds
-    /// capacity.
-    #[test]
-    fn accounting_invariants(
-        addrs in prop::collection::vec(0u32..(1 << 20), 1..600),
-        size_lines in prop::sample::select(vec![8u32, 32, 256]),
-        assoc in prop::sample::select(vec![2u32, 4, 8]),
-    ) {
+fn addr_vec(r: &mut Rng, max_addr: u32, max_len: usize) -> Vec<u32> {
+    let len = r.range_usize(1, max_len);
+    (0..len).map(|_| r.range_u32(0, max_addr)).collect()
+}
+
+/// Accounting invariant: hits + merges + off-chip-loads == accesses
+/// (stores are counted separately), and residency never exceeds capacity.
+#[test]
+fn accounting_invariants() {
+    let mut r = Rng::from_tag("cache-accounting");
+    for case in 0..256 {
+        let addrs = addr_vec(&mut r, 1 << 20, 600);
+        let size_lines = *r.choose(&[8u32, 32, 256]);
+        let assoc = *r.choose(&[2u32, 4, 8]);
         let mut c = cache(size_lines, assoc);
         let mut t = 0u64;
         let mut load_offchip = 0u64;
         for a in &addrs {
-            let r = c.access_load(*a, t, 28, || t + 400);
-            if r.offchip {
+            let res = c.access_load(*a, t, 28, || t + 400);
+            if res.offchip {
                 load_offchip += 1;
             }
-            prop_assert!(r.data_ready >= t);
+            assert!(res.data_ready >= t, "case {case}");
             t += 7;
         }
-        prop_assert_eq!(c.hits + c.mshr_merges + load_offchip, c.accesses);
-        prop_assert_eq!(c.offchip_requests, load_offchip);
-        prop_assert!(c.resident_lines() <= (size_lines) as usize);
+        assert_eq!(
+            c.hits + c.mshr_merges + load_offchip,
+            c.accesses,
+            "case {case}: {size_lines} lines, assoc {assoc}"
+        );
+        assert_eq!(c.offchip_requests, load_offchip, "case {case}");
+        assert!(c.resident_lines() <= size_lines as usize, "case {case}");
     }
+}
 
-    /// Inclusion-ish monotonicity: a larger cache of the same geometry
-    /// never produces more off-chip requests on the same trace.
-    #[test]
-    fn bigger_cache_never_requests_more(
-        addrs in prop::collection::vec(0u32..(1 << 16), 1..400),
-    ) {
+/// Inclusion-ish monotonicity: a larger cache of the same geometry never
+/// produces more off-chip requests on the same trace.
+#[test]
+fn bigger_cache_never_requests_more() {
+    let mut r = Rng::from_tag("cache-monotonic");
+    for case in 0..256 {
+        let addrs = addr_vec(&mut r, 1 << 16, 400);
         let mut small = cache(16, 4);
         let mut big = cache(256, 4);
         let mut t = 0u64;
@@ -52,15 +64,21 @@ proptest! {
             big.access_load(*a, t, 28, || t + 400);
             t += 11;
         }
-        prop_assert!(big.offchip_requests <= small.offchip_requests,
-            "big {} vs small {}", big.offchip_requests, small.offchip_requests);
+        assert!(
+            big.offchip_requests <= small.offchip_requests,
+            "case {case}: big {} vs small {}",
+            big.offchip_requests,
+            small.offchip_requests
+        );
     }
+}
 
-    /// Determinism: the same trace produces identical statistics.
-    #[test]
-    fn cache_is_deterministic(
-        addrs in prop::collection::vec(0u32..(1 << 18), 1..300),
-    ) {
+/// Determinism: the same trace produces identical statistics.
+#[test]
+fn cache_is_deterministic() {
+    let mut r = Rng::from_tag("cache-deterministic");
+    for _ in 0..128 {
+        let addrs = addr_vec(&mut r, 1 << 18, 300);
         let run = || {
             let mut c = cache(32, 4);
             let mut t = 0u64;
@@ -70,25 +88,29 @@ proptest! {
             }
             (c.hits, c.mshr_merges, c.offchip_requests)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Single-line reuse always hits after the first access, regardless
-    /// of interleaved traffic to at most assoc-1 other lines in other
-    /// sets.
-    #[test]
-    fn temporal_reuse_of_one_line_survives(offsets in prop::collection::vec(0u32..128, 2..50)) {
+/// Single-line reuse always hits after the first access, regardless of
+/// the offsets within the line.
+#[test]
+fn temporal_reuse_of_one_line_survives() {
+    let mut r = Rng::from_tag("cache-reuse");
+    for case in 0..256 {
+        let n = r.range_usize(2, 50);
+        let offsets: Vec<u32> = (0..n).map(|_| r.range_u32(0, 128)).collect();
         let mut c = cache(64, 4);
         let base = 4096u32;
         let mut t = 0u64;
         let mut first = true;
         for off in &offsets {
-            let r = c.access_load(base + off, t, 28, || t + 400);
+            let res = c.access_load(base + off, t, 28, || t + 400);
             if first {
-                prop_assert!(!r.hit);
+                assert!(!res.hit, "case {case}: first access must miss");
                 first = false;
             } else {
-                prop_assert!(r.hit, "same line must keep hitting");
+                assert!(res.hit, "case {case}: same line must keep hitting");
             }
             t += 500;
         }
@@ -99,16 +121,14 @@ mod coalescing {
     use catt_frontend::parse_kernel;
     use catt_ir::LaunchConfig;
     use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig};
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The coalescer bound of paper Eq. 7: a warp's strided access
-        /// produces min(ceil(stride·4·32 / 128), 32) transactions — always
-        /// within [1, 32] and exactly `stride.min(32)` for element strides.
-        #[test]
-        fn strided_warp_requests_match_eq7(stride in 1u32..64) {
+    /// The coalescer bound of paper Eq. 7: a warp's strided access
+    /// produces min(ceil(stride·4·32 / 128), 32) transactions — always
+    /// within [1, 32] and exactly `stride.min(32)` for element strides.
+    /// Exhaustive over the strides the old property test sampled.
+    #[test]
+    fn strided_warp_requests_match_eq7() {
+        for stride in 1u32..64 {
             let src = format!(
                 "__global__ void k(float *a, float *out) {{
                      int i = blockIdx.x * blockDim.x + threadIdx.x;
@@ -123,12 +143,17 @@ mod coalescing {
             let out = mem.alloc_zeroed(32);
             let mut gpu = Gpu::new(cfg);
             let stats = gpu
-                .launch(&kernel, LaunchConfig::d1(1, 32), &[Arg::Buf(a), Arg::Buf(out)], &mut mem)
+                .launch(
+                    &kernel,
+                    LaunchConfig::d1(1, 32),
+                    &[Arg::Buf(a), Arg::Buf(out)],
+                    &mut mem,
+                )
                 .unwrap();
             let expected = stride.min(32);
             // First trace entry is the load (the second is the store).
-            prop_assert_eq!(stats.trace.requests[0], expected);
-            prop_assert!(stats.trace.requests.iter().all(|&r| (1..=32).contains(&r)));
+            assert_eq!(stats.trace.requests[0], expected, "stride {stride}");
+            assert!(stats.trace.requests.iter().all(|&r| (1..=32).contains(&r)));
         }
     }
 }

@@ -122,9 +122,9 @@ fn fewer_resident_warps_raise_hit_rate_under_contention() {
     let n = 512;
     let crowded = atax_like(n, 32, 2, 256); // 16 warps resident
     let throttled = atax_like(n, 32, 8, 64); // 8×2=16... blocks of 2 warps
-    // With 64-thread blocks the SM still fills its warp slots unless the
-    // block count per SM is limited; instead compare hit rates at equal
-    // resident warps but different L1 pressure... use 1 block of 64:
+                                             // With 64-thread blocks the SM still fills its warp slots unless the
+                                             // block count per SM is limited; instead compare hit rates at equal
+                                             // resident warps but different L1 pressure... use 1 block of 64:
     let light = atax_like(n, 32, 1, 64); // 2 warps resident, partial grid
     assert!(
         light.l1_hit_rate() > crowded.l1_hit_rate(),
@@ -225,7 +225,10 @@ fn dummy_shared_reduces_resident_tbs() {
     let b = run(base);
     let t = run(throttled);
     assert_eq!(b.resident_tbs_per_sm, 8);
-    assert_eq!(t.resident_tbs_per_sm, 2, "48 KB dummy on 96 KB carve-out → 2 TBs");
+    assert_eq!(
+        t.resident_tbs_per_sm, 2,
+        "48 KB dummy on 96 KB carve-out → 2 TBs"
+    );
 }
 
 #[test]
@@ -239,7 +242,7 @@ fn multi_sm_splits_work_and_shortens_critical_path() {
          }}"
     );
     let k = parse_kernel(&src).unwrap();
-    let mut run = |sms: u32| {
+    let run = |sms: u32| {
         let mut cfg = GpuConfig::titan_v();
         cfg.num_sms = sms;
         let mut mem = GlobalMem::new();
@@ -292,9 +295,9 @@ fn request_trace_records_coalescing_degree() {
         .unwrap();
     assert!(!stats.trace.requests.is_empty());
     // The strided A-loads are fully diverged: 32 lines per access.
-    assert!(stats.trace.requests.iter().any(|&r| r == 32));
+    assert!(stats.trace.requests.contains(&32));
     // The coalesced out-store is 1 line.
-    assert!(stats.trace.requests.iter().any(|&r| r == 1));
+    assert!(stats.trace.requests.contains(&1));
 }
 
 #[test]

@@ -43,8 +43,10 @@ __global__ void btree_search(int *keys, int *queries, int *results) {
 }
 ";
 
-const LAUNCHES: &[(&str, LaunchConfig)] =
-    &[("btree_search", LaunchConfig::d1((QUERIES / 256) as u32, 256))];
+const LAUNCHES: &[(&str, LaunchConfig)] = &[(
+    "btree_search",
+    LaunchConfig::d1((QUERIES / 256) as u32, 256),
+)];
 
 /// Internal nodes of a complete tree of the given fan-out/levels
 /// (`(8^4 − 1) / 7` in the default geometry).

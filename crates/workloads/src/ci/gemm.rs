@@ -46,6 +46,7 @@ const LAUNCHES: &[(&str, LaunchConfig)] = &[(
 )];
 
 /// Host GEMM used by 2MM/3MM as well.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn host_gemm(
     a: &[f32],
     b: &[f32],

@@ -63,7 +63,9 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     if validate {
         let out = mem.read_i32(bo);
         for i in 0..NT {
-            let expect: i32 = (0..CHUNK).map(|s| table[symbols[s * NT + i] as usize]).sum();
+            let expect: i32 = (0..CHUNK)
+                .map(|s| table[symbols[s * NT + i] as usize])
+                .sum();
             assert_eq!(out[i], expect, "HM out[{i}]");
         }
     }

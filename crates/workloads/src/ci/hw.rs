@@ -39,8 +39,10 @@ __global__ void heartwall_track(float *frame, float *tmpl, float *corr) {
 }
 ";
 
-const LAUNCHES: &[(&str, LaunchConfig)] =
-    &[("heartwall_track", LaunchConfig::d1((WINDOWS / 256) as u32, 256))];
+const LAUNCHES: &[(&str, LaunchConfig)] = &[(
+    "heartwall_track",
+    LaunchConfig::d1((WINDOWS / 256) as u32, 256),
+)];
 
 fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let frame = data::vector("hw:frame", FRAME);

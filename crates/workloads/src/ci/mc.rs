@@ -37,8 +37,7 @@ __global__ void myocyte_kernel(float *v0, float *w0, float *vout, float *wout, f
 }
 ";
 
-const LAUNCHES: &[(&str, LaunchConfig)] =
-    &[("myocyte_kernel", LaunchConfig::d1(1, CELLS as u32))];
+const LAUNCHES: &[(&str, LaunchConfig)] = &[("myocyte_kernel", LaunchConfig::d1(1, CELLS as u32))];
 
 fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let v0 = data::vector("mc:v", CELLS);

@@ -38,8 +38,7 @@ const LC: LaunchConfig = LaunchConfig {
     grid: Dim3::xy((N / 32) as u32, (N / 8) as u32),
     block: Dim3::xy(32, 8),
 };
-const LAUNCHES: &[(&str, LaunchConfig)] =
-    &[("mm2_kernel1", LC), ("mm2_kernel2", LC)];
+const LAUNCHES: &[(&str, LaunchConfig)] = &[("mm2_kernel1", LC), ("mm2_kernel2", LC)];
 
 fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let a = data::matrix("2mm:A", N, N);

@@ -53,7 +53,12 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let stats = exec_sequence(
         kernels,
         &[LAUNCHES[0].1],
-        &[vec![Arg::Buf(bat), Arg::Buf(bc), Arg::F32(ALPHA), Arg::F32(BETA)]],
+        &[vec![
+            Arg::Buf(bat),
+            Arg::Buf(bc),
+            Arg::F32(ALPHA),
+            Arg::F32(BETA),
+        ]],
         config,
         &mut mem,
     );

@@ -108,7 +108,8 @@ mod tests {
     #[test]
     fn baseline_validates() {
         let w = workload();
-        let out = harness::run_baseline(&w, &harness::eval_config_max_l1d());
+        let out = harness::run_baseline(&w, &harness::eval_config_max_l1d())
+            .expect("policy run succeeds");
         assert!(out.cycles() > 0);
     }
 
@@ -116,7 +117,7 @@ mod tests {
     fn catt_throttles_kernel1_only_and_validates() {
         let w = workload();
         let cfg = harness::eval_config_max_l1d();
-        let (out, app) = harness::run_catt(&w, &cfg);
+        let (out, app) = harness::run_catt(&w, &cfg).expect("policy run succeeds");
         assert!(app.kernels[0].is_transformed(), "kernel 1 is contended");
         assert!(!app.kernels[1].is_transformed(), "kernel 2 is coalesced");
         assert!(out.cycles() > 0);
@@ -125,7 +126,10 @@ mod tests {
         // at ours).
         let k1 = &app.kernels[0].analysis;
         assert_eq!(k1.baseline_tlp(), (8, 5));
-        assert_eq!(k1.loops[0].tlp(k1.warps_per_tb, k1.plan.resident_tbs), (4, 5));
+        assert_eq!(
+            k1.loops[0].tlp(k1.warps_per_tb, k1.plan.resident_tbs),
+            (4, 5)
+        );
     }
 
     #[test]
@@ -133,8 +137,11 @@ mod tests {
         // Table 3 shape (32 KB L1D): kernel 1 throttled to one warp.
         let w = workload();
         let cfg = harness::eval_config_32kb_l1d();
-        let (_, app) = harness::run_catt(&w, &cfg);
+        let (_, app) = harness::run_catt(&w, &cfg).expect("policy run succeeds");
         let k1 = &app.kernels[0].analysis;
-        assert_eq!(k1.loops[0].tlp(k1.warps_per_tb, k1.plan.resident_tbs), (1, 5));
+        assert_eq!(
+            k1.loops[0].tlp(k1.warps_per_tb, k1.plan.resident_tbs),
+            (1, 5)
+        );
     }
 }

@@ -63,8 +63,8 @@ fn host_bfs(starts: &[i32], edges: &[i32]) -> Vec<i32> {
     while !frontier.is_empty() {
         let mut next = Vec::new();
         for &v in &frontier {
-            for e in starts[v] as usize..starts[v + 1] as usize {
-                let nb = edges[e] as usize;
+            for &edge in &edges[starts[v] as usize..starts[v + 1] as usize] {
+                let nb = edge as usize;
                 if cost[nb] == -1 {
                     cost[nb] = cost[v] + 1;
                     next.push(nb);
@@ -158,7 +158,8 @@ mod tests {
     #[test]
     fn irregular_bfs_is_left_at_full_tlp() {
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         for (i, k) in app.kernels.iter().enumerate() {
             assert!(

@@ -95,8 +95,14 @@ fn host_reference(neighbors: &[i32], d0: &[f32], e0: &[f32]) -> (Vec<f32>, Vec<f
 
 fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let neighbors = data::mesh_neighbors("cfd", CELLS, NNB);
-    let d0: Vec<f32> = data::vector("cfd:d", CELLS).iter().map(|v| v + 0.5).collect();
-    let e0: Vec<f32> = data::vector("cfd:e", CELLS).iter().map(|v| v + 1.0).collect();
+    let d0: Vec<f32> = data::vector("cfd:d", CELLS)
+        .iter()
+        .map(|v| v + 0.5)
+        .collect();
+    let e0: Vec<f32> = data::vector("cfd:e", CELLS)
+        .iter()
+        .map(|v| v + 1.0)
+        .collect();
     let mut mem = GlobalMem::new();
     let bnb = mem.alloc_i32(&neighbors);
     let bd = mem.alloc_f32(&d0);
@@ -111,8 +117,20 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
             &[LAUNCHES[0].1, LAUNCHES[1].1, LAUNCHES[2].1],
             &[
                 vec![Arg::Buf(bd), Arg::Buf(be), Arg::Buf(bsf)],
-                vec![Arg::Buf(bnb), Arg::Buf(bd), Arg::Buf(be), Arg::Buf(bfd), Arg::Buf(bfe)],
-                vec![Arg::Buf(bd), Arg::Buf(be), Arg::Buf(bfd), Arg::Buf(bfe), Arg::Buf(bsf)],
+                vec![
+                    Arg::Buf(bnb),
+                    Arg::Buf(bd),
+                    Arg::Buf(be),
+                    Arg::Buf(bfd),
+                    Arg::Buf(bfe),
+                ],
+                vec![
+                    Arg::Buf(bd),
+                    Arg::Buf(be),
+                    Arg::Buf(bfd),
+                    Arg::Buf(bfe),
+                    Arg::Buf(bsf),
+                ],
             ],
             config,
             &mut mem,
@@ -151,7 +169,8 @@ mod tests {
     #[test]
     fn cfd_baseline_tlp_is_6_10_and_untouched() {
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         // 192-thread blocks: 6 warps, 10 resident blocks (64-warp limit).
         let flux = &app.kernels[1].analysis;

@@ -140,7 +140,12 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
         &[
             vec![Arg::Buf(bdin), Arg::Buf(bmean)],
             vec![Arg::Buf(bdin), Arg::Buf(bmean), Arg::Buf(bstd)],
-            vec![Arg::Buf(bdin), Arg::Buf(bmean), Arg::Buf(bstd), Arg::Buf(bdata)],
+            vec![
+                Arg::Buf(bdin),
+                Arg::Buf(bmean),
+                Arg::Buf(bstd),
+                Arg::Buf(bdata),
+            ],
             vec![Arg::Buf(bdata), Arg::Buf(bsym), Arg::Buf(bstd)],
         ],
         config,
@@ -185,7 +190,8 @@ mod tests {
     #[test]
     fn corr_is_unresolvable_and_left_alone() {
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         // Baseline TLP (8, 1) — Table 3's CORR row.
         let k4 = &app.kernels[3].analysis;

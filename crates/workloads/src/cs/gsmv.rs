@@ -100,11 +100,13 @@ mod tests {
     fn table3_row_gsmv() {
         let w = workload();
         // Max L1D: baseline (8, 2) → CATT (4, 2); 32 KB: (1, 2).
-        let (_, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (_, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         let k = &app.kernels[0].analysis;
         assert_eq!(k.baseline_tlp(), (8, 2));
         assert_eq!(k.loops[0].tlp(k.warps_per_tb, k.plan.resident_tbs), (4, 2));
-        let (_, app) = harness::run_catt(&w, &harness::eval_config_32kb_l1d());
+        let (_, app) =
+            harness::run_catt(&w, &harness::eval_config_32kb_l1d()).expect("policy run succeeds");
         let k = &app.kernels[0].analysis;
         assert_eq!(k.loops[0].tlp(k.warps_per_tb, k.plan.resident_tbs), (1, 2));
     }

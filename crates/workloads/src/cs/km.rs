@@ -127,10 +127,14 @@ mod tests {
     fn both_kernels_throttled_at_32kb() {
         // Table 3, 32 KB: KM #1 (1, 8), #2 (1, 8).
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_32kb_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_32kb_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         for (i, ck) in app.kernels.iter().enumerate() {
-            assert!(ck.is_transformed(), "kernel {i} should be throttled at 32 KB");
+            assert!(
+                ck.is_transformed(),
+                "kernel {i} should be throttled at 32 KB"
+            );
             let a = &ck.analysis;
             assert_eq!(a.baseline_tlp(), (8, 8), "kernel {i}");
             let throttled: Vec<_> = a

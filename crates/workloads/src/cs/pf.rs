@@ -163,7 +163,13 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
         kernels,
         &[LAUNCHES[0].1, LAUNCHES[1].1, LAUNCHES[2].1, LAUNCHES[3].1],
         &[
-            vec![Arg::Buf(bax), Arg::Buf(bay), Arg::Buf(bind), Arg::Buf(blik), Arg::Buf(bw)],
+            vec![
+                Arg::Buf(bax),
+                Arg::Buf(bay),
+                Arg::Buf(bind),
+                Arg::Buf(blik),
+                Arg::Buf(bw),
+            ],
             vec![Arg::Buf(bw), Arg::Buf(bpartial)],
             vec![Arg::Buf(bw), Arg::Buf(bpartial), Arg::I32(GRID as i32)],
             vec![Arg::Buf(bcdf), Arg::Buf(bu), Arg::Buf(bxj)],
@@ -202,7 +208,8 @@ mod tests {
     #[test]
     fn per_loop_decisions_inside_kernel1() {
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         let k1 = &app.kernels[0].analysis;
         // 4 KB shared memory → carve-out planned, L1D below 128 KB.

@@ -51,7 +51,12 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     let stats = exec_sequence(
         kernels,
         &[LAUNCHES[0].1],
-        &[vec![Arg::Buf(ba), Arg::Buf(bb), Arg::Buf(bc), Arg::F32(ALPHA)]],
+        &[vec![
+            Arg::Buf(ba),
+            Arg::Buf(bb),
+            Arg::Buf(bc),
+            Arg::F32(ALPHA),
+        ]],
         config,
         &mut mem,
     );
@@ -93,7 +98,8 @@ mod tests {
     #[test]
     fn multidimensional_block_analysis_finds_divergence() {
         let w = workload();
-        let (out, app) = harness::run_catt(&w, &harness::eval_config_max_l1d());
+        let (out, app) =
+            harness::run_catt(&w, &harness::eval_config_max_l1d()).expect("policy run succeeds");
         assert!(out.cycles() > 0);
         let k = &app.kernels[0].analysis;
         // B[j*K+k] with j along x: inter-thread distance K.

@@ -4,38 +4,37 @@
 //! throttling variant within a run) sees identical data — required for the
 //! output-equivalence checks between baseline and transformed kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use catt_prng::Rng;
 
 /// The fixed seed all generators use.
 pub const SEED: u64 = 0x5EED_CA77;
 
 /// A seeded RNG for workload `tag` (different workloads get decorrelated
 /// streams).
-pub fn rng(tag: &str) -> StdRng {
+pub fn rng(tag: &str) -> Rng {
     let mut seed = SEED;
     for b in tag.bytes() {
         seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
     }
-    StdRng::seed_from_u64(seed)
+    Rng::seed(seed)
 }
 
 /// Dense matrix with entries in [0, 1), row-major, `rows × cols`.
 pub fn matrix(tag: &str, rows: usize, cols: usize) -> Vec<f32> {
     let mut r = rng(tag);
-    (0..rows * cols).map(|_| r.gen_range(0.0..1.0)).collect()
+    (0..rows * cols).map(|_| r.f32()).collect()
 }
 
 /// Vector with entries in [0, 1).
 pub fn vector(tag: &str, n: usize) -> Vec<f32> {
     let mut r = rng(tag);
-    (0..n).map(|_| r.gen_range(0.0..1.0)).collect()
+    (0..n).map(|_| r.f32()).collect()
 }
 
 /// Vector of small positive integers in [0, k).
 pub fn int_vector(tag: &str, n: usize, k: i32) -> Vec<i32> {
     let mut r = rng(tag);
-    (0..n).map(|_| r.gen_range(0..k)).collect()
+    (0..n).map(|_| r.range_i32(0, k)).collect()
 }
 
 /// A CSR graph with `nodes` nodes and roughly `avg_degree` out-edges per
@@ -47,14 +46,14 @@ pub fn csr_graph(tag: &str, nodes: usize, avg_degree: usize) -> (Vec<i32>, Vec<i
     let mut edges = Vec::new();
     starts.push(0);
     for v in 0..nodes {
-        let deg = r.gen_range(0..=avg_degree * 2);
+        let deg = r.range_usize(0, avg_degree * 2 + 1);
         for _ in 0..deg {
             // Mix local and far edges so BFS reaches most of the graph
             // while neighbour lists stay irregular.
-            let target = if r.gen_bool(0.5) {
-                ((v + r.gen_range(1..=16)) % nodes) as i32
+            let target = if r.bool(0.5) {
+                ((v + r.range_usize(1, 17)) % nodes) as i32
             } else {
-                r.gen_range(0..nodes as i32)
+                r.range_i32(0, nodes as i32)
             };
             edges.push(target);
         }
@@ -70,12 +69,12 @@ pub fn mesh_neighbors(tag: &str, cells: usize, k: usize) -> Vec<i32> {
     (0..cells * k)
         .map(|i| {
             let cell = i / k;
-            if r.gen_bool(0.7) {
+            if r.bool(0.7) {
                 // Mostly near neighbours (mesh locality)...
-                ((cell + r.gen_range(1..=8)) % cells) as i32
+                ((cell + r.range_usize(1, 9)) % cells) as i32
             } else {
                 // ...with far jumps from mesh irregularity.
-                r.gen_range(0..cells as i32)
+                r.range_i32(0, cells as i32)
             }
         })
         .collect()

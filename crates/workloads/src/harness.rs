@@ -1,10 +1,66 @@
 //! Run workloads under the three evaluation policies: baseline, CATT,
 //! and BFTT (the paper's Figures 6–10 machinery).
+//!
+//! All policy runs go through the process-wide [`Engine`]: simulations
+//! are memoized in the content-addressed cache (keyed by lowered
+//! kernels + launch geometry + [`GpuConfig`]), and failures surface as
+//! [`EvalError`]s instead of panics. BFTT probe runs skip output
+//! validation and are cached under a separate `<abbrev>#probe` scope so
+//! a validated run is never served from an unvalidated probe's entry.
 
 use crate::registry::Workload;
-use catt_core::bftt::{self, BfttResult};
+use catt_core::bftt::{self, BfttResult, SweepError};
+use catt_core::engine::{Engine, JobError};
 use catt_core::pipeline::{CompiledApp, Pipeline};
+use catt_ir::LaunchConfig;
 use catt_sim::{GpuConfig, LaunchStats};
+use std::fmt;
+
+/// A policy run failed.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// CATT compilation of one kernel failed.
+    Compile {
+        /// Workload abbreviation.
+        abbrev: &'static str,
+        /// Kernel that failed to compile.
+        kernel: String,
+        /// The pipeline's error message.
+        message: String,
+    },
+    /// A simulation job failed (panicked or errored).
+    Sim(JobError),
+    /// A BFTT sweep candidate failed.
+    Sweep(SweepError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Compile {
+                abbrev,
+                kernel,
+                message,
+            } => write!(f, "{abbrev}: compiling kernel `{kernel}`: {message}"),
+            EvalError::Sim(e) => e.fmt(f),
+            EvalError::Sweep(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<JobError> for EvalError {
+    fn from(e: JobError) -> EvalError {
+        EvalError::Sim(e)
+    }
+}
+
+impl From<SweepError> for EvalError {
+    fn from(e: SweepError) -> EvalError {
+        EvalError::Sweep(e)
+    }
+}
 
 /// Outcome of one policy run.
 #[derive(Debug, Clone)]
@@ -20,41 +76,77 @@ impl RunOutcome {
     }
 }
 
-/// Run the application untransformed.
-pub fn run_baseline(w: &Workload, config: &GpuConfig) -> RunOutcome {
-    let kernels = w.kernels();
-    let stats = (w.run)(&kernels, config, true);
-    RunOutcome { stats }
+/// Declared launch geometry of every kernel, in order — the launch part
+/// of the workload's simulation-cache identity. (Iterative apps such as
+/// BFS derive their actual launch sequence from these deterministically.)
+fn declared_launches(w: &Workload, n_kernels: usize) -> Vec<LaunchConfig> {
+    (0..n_kernels).map(|i| w.launch(i)).collect()
+}
+
+/// Run (possibly transformed) `kernels` of `w` through the global
+/// [`Engine`]'s simulation cache. `validate` selects host-side output
+/// validation and, with it, the cache scope: validated runs and
+/// unvalidated timing probes never share entries (a validated result
+/// must never be served from a run that skipped validation).
+pub fn run_cached(
+    w: &Workload,
+    kernels: &[catt_ir::Kernel],
+    config: &GpuConfig,
+    validate: bool,
+) -> Result<RunOutcome, EvalError> {
+    let scope = if validate {
+        w.abbrev.to_string()
+    } else {
+        format!("{}#probe", w.abbrev)
+    };
+    let launches = declared_launches(w, kernels.len());
+    let stats = Engine::global().sim_app(&scope, kernels, &launches, config, || {
+        (w.run)(kernels, config, validate)
+    })?;
+    Ok(RunOutcome { stats })
+}
+
+/// Run the application untransformed, memoized on the global [`Engine`].
+pub fn run_baseline(w: &Workload, config: &GpuConfig) -> Result<RunOutcome, EvalError> {
+    run_cached(w, &w.kernels(), config, true)
 }
 
 /// Compile the application with CATT and run the transformed kernels.
 /// Returns the outcome together with the compilation record (per-loop
 /// decisions, Table 3 data).
-pub fn run_catt(w: &Workload, config: &GpuConfig) -> (RunOutcome, CompiledApp) {
+pub fn run_catt(w: &Workload, config: &GpuConfig) -> Result<(RunOutcome, CompiledApp), EvalError> {
     let pipe = Pipeline::new(config.clone());
     let kernels = w.kernels();
     let mut compiled = Vec::new();
     for (i, k) in kernels.iter().enumerate() {
         compiled.push(
             pipe.compile_kernel(k, w.launch(i))
-                .unwrap_or_else(|e| panic!("{}: {e}", w.abbrev)),
+                .map_err(|e| EvalError::Compile {
+                    abbrev: w.abbrev,
+                    kernel: k.name.clone(),
+                    message: e.to_string(),
+                })?,
         );
     }
     let app = CompiledApp { kernels: compiled };
     let transformed = app.transformed_kernels();
-    let stats = (w.run)(&transformed, config, true);
-    (RunOutcome { stats }, app)
+    let out = run_cached(w, &transformed, config, true)?;
+    Ok((out, app))
 }
 
 /// Run the BFTT exhaustive sweep for the application and return the best
 /// candidate's outcome plus the full sweep record.
 ///
-/// Candidate runs skip output validation (they are timing probes); the
-/// winning configuration is re-run with validation on.
-pub fn run_bftt(w: &Workload, config: &GpuConfig) -> (RunOutcome, BfttResult) {
+/// Candidate runs skip output validation (they are timing probes) and
+/// are cached under the `<abbrev>#probe` scope; the winning
+/// configuration is re-run with validation on under the plain scope.
+pub fn run_bftt(w: &Workload, config: &GpuConfig) -> Result<(RunOutcome, BfttResult), EvalError> {
     let kernels = w.kernels();
     let launch = w.block_launch();
-    let result = bftt::sweep(&kernels, launch, config, |ks, cfg| (w.run)(ks, cfg, false));
+    let probe_scope = format!("{}#probe", w.abbrev);
+    let result = bftt::sweep(&probe_scope, &kernels, launch, config, |ks, cfg| {
+        (w.run)(ks, cfg, false)
+    })?;
     let best = result.best_candidate();
     // Re-run the winner with validation.
     let warps = launch.warps_per_block();
@@ -71,8 +163,8 @@ pub fn run_bftt(w: &Workload, config: &GpuConfig) -> (RunOutcome, BfttResult) {
             )
         })
         .collect();
-    let stats = (w.run)(&transformed, config, true);
-    (RunOutcome { stats }, result)
+    let out = run_cached(w, &transformed, config, true)?;
+    Ok((out, result))
 }
 
 /// Launch a sequence of kernels back to back on one device, accumulating
@@ -99,11 +191,13 @@ pub fn exec_sequence(
 }
 
 /// Geometric mean of a slice (the paper reports geomean speedups).
-pub fn geomean(xs: &[f64]) -> f64 {
+/// `None` on an empty slice — callers that need a neutral element for an
+/// empty group use `.unwrap_or(1.0)` (the geomean identity).
+pub fn geomean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
-        return 0.0;
+        return None;
     }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
 /// The evaluation GPU: one Titan V SM with the maximum L1D (the
@@ -126,9 +220,9 @@ mod tests {
 
     #[test]
     fn geomean_basics() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
     }
 
     #[test]

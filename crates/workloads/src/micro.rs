@@ -43,7 +43,10 @@ pub fn source(lines_per_warp: u32) -> String {
 /// launch statistics; the kernel's output is validated internally.
 pub fn run(full_with: u32, tlp: u32, config: &GpuConfig) -> LaunchStats {
     assert!((1..=32).contains(&tlp), "tlp must be 1..=32 warps");
-    assert!(WARP_PASSES % tlp == 0, "tlp must divide the work budget");
+    assert!(
+        WARP_PASSES.is_multiple_of(tlp),
+        "tlp must divide the work budget"
+    );
     let l1_lines = config.l1d_bytes() / config.l1_line_bytes;
     let lines_per_warp = (l1_lines / full_with).max(1);
     let passes = WARP_PASSES / tlp;

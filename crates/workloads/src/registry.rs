@@ -173,7 +173,12 @@ mod tests {
     #[test]
     fn smem_declared_matches_table() {
         for w in all_workloads() {
-            let declared: u32 = w.kernels().iter().map(|k| k.shared_mem_bytes()).max().unwrap();
+            let declared: u32 = w
+                .kernels()
+                .iter()
+                .map(|k| k.shared_mem_bytes())
+                .max()
+                .unwrap();
             let expected_kb = w.smem_kb;
             let declared_kb = declared as f64 / 1024.0;
             assert!(

@@ -10,13 +10,16 @@ use catt_repro::workloads::{self, registry};
 fn main() {
     let w = registry::find("ATAX").expect("ATAX in registry");
     for (label, config) in [
-        ("Max. L1D (128 KB)", workloads::harness::eval_config_max_l1d()),
+        (
+            "Max. L1D (128 KB)",
+            workloads::harness::eval_config_max_l1d(),
+        ),
         ("32 KB L1D", workloads::harness::eval_config_32kb_l1d()),
     ] {
         println!("=== {label} ===");
-        let base = workloads::run_baseline(&w, &config);
-        let (catt, app) = workloads::run_catt(&w, &config);
-        let (bftt, sweep) = workloads::run_bftt(&w, &config);
+        let base = workloads::run_baseline(&w, &config).expect("baseline runs");
+        let (catt, app) = workloads::run_catt(&w, &config).expect("CATT compiles and runs");
+        let (bftt, sweep) = workloads::run_bftt(&w, &config).expect("BFTT sweep succeeds");
 
         for ck in &app.kernels {
             let a = &ck.analysis;

@@ -66,13 +66,15 @@ fn main() {
         let tmp = mem.alloc_zeroed(n_rows);
         let mut gpu = Gpu::new(config.clone());
         let stats = gpu
-            .launch(kernel, launch, &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(tmp)], &mut mem)
+            .launch(
+                kernel,
+                launch,
+                &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(tmp)],
+                &mut mem,
+            )
             .unwrap();
         // Correctness: every row sums to 2 * NY.
-        assert!(mem
-            .read_f32(tmp)
-            .iter()
-            .all(|&v| v == 2.0 * n_cols as f32));
+        assert!(mem.read_f32(tmp).iter().all(|&v| v == 2.0 * n_cols as f32));
         stats
     };
     let base = run(&ck.original);
@@ -91,8 +93,5 @@ fn main() {
         100.0 * catt.l1_hit_rate(),
         catt.offchip_requests
     );
-    println!(
-        "speedup:  {:.2}x",
-        base.cycles as f64 / catt.cycles as f64
-    );
+    println!("speedup:  {:.2}x", base.cycles as f64 / catt.cycles as f64);
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Repository checks: formatting, lints, and the tier-1 build + test gate.
+# Usage: scripts/check.sh [--offline]
+# Pass --offline (default in the sandboxed build environment) to forbid
+# registry access; the workspace is dependency-free so this always works.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OFFLINE="--offline"
+if [ "${1:-}" = "--online" ]; then
+    OFFLINE=""
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release --workspace $OFFLINE
+cargo test --release --workspace $OFFLINE -q
+
+echo "==> all checks passed"

@@ -17,7 +17,7 @@
 //! Launch syntax: `<kernel>=<grid>x<block>` (1-D) or
 //! `<kernel>=<gx>,<gy>x<bx>,<by>` (2-D). Repeat `--launch` per kernel.
 
-use catt_repro::core::Pipeline;
+use catt_repro::core::{Engine, Pipeline};
 use catt_repro::ir::{Dim3, LaunchConfig};
 use catt_repro::sim::{Arg, GlobalMem, Gpu, GpuConfig};
 use std::process::ExitCode;
@@ -108,8 +108,7 @@ fn main() -> ExitCode {
         config.l1_cap_bytes = Some(kb * 1024);
     }
     let pipe = Pipeline::new(config.clone());
-    let refs: Vec<(&str, LaunchConfig)> =
-        launches.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    let refs: Vec<(&str, LaunchConfig)> = launches.iter().map(|(n, l)| (n.as_str(), *l)).collect();
     let app = match pipe.compile_source(&src, &refs) {
         Ok(a) => a,
         Err(e) => {
@@ -168,6 +167,10 @@ fn main() -> ExitCode {
                 eprintln!("catt run: --args is required (e.g. --args f:1024,f:64,si:64)");
                 return ExitCode::from(2);
             };
+            // Simulations are memoized in the persistent cache under
+            // results/.simcache/ (CATT_SIMCACHE=off forces cold runs); the
+            // --args spec is part of the cache scope (input identity).
+            let engine = Engine::init_global_persistent();
             for (ki, ck) in app.kernels.iter().enumerate() {
                 let exec = |kernel: &catt_repro::ir::Kernel| {
                     let mut mem = GlobalMem::new();
@@ -180,8 +183,9 @@ fn main() -> ExitCode {
                             "f" => {
                                 let len: u32 =
                                     val.parse().map_err(|_| format!("bad length `{val}`"))?;
-                                let data: Vec<f32> =
-                                    (0..len).map(|v| ((v * 7 + ai as u32) % 13) as f32).collect();
+                                let data: Vec<f32> = (0..len)
+                                    .map(|v| ((v * 7 + ai as u32) % 13) as f32)
+                                    .collect();
                                 Arg::Buf(mem.alloc_f32(&data))
                             }
                             "i" => {
@@ -200,6 +204,17 @@ fn main() -> ExitCode {
                     let mut gpu = Gpu::new(config.clone());
                     gpu.launch(kernel, ck.launch, &args, &mut mem)
                         .map_err(|e| e.to_string())
+                };
+                let exec = |kernel: &catt_repro::ir::Kernel| {
+                    engine
+                        .sim_app(
+                            &format!("catt-run:{spec}"),
+                            std::slice::from_ref(kernel),
+                            &[ck.launch],
+                            &config,
+                            || exec(kernel).unwrap_or_else(|e| panic!("{e}")),
+                        )
+                        .map_err(|e| e.message)
                 };
                 let base = match exec(&ck.original) {
                     Ok(s) => s,
@@ -220,6 +235,7 @@ fn main() -> ExitCode {
                     base.cycles as f64 / catt.cycles as f64,
                 );
             }
+            engine.print_summary();
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -47,10 +47,21 @@ mod tempfile_path {
 fn analyze_reports_decision() {
     let f = demo_file();
     let out = catt()
-        .args(["analyze", f.0.to_str().unwrap(), "--launch", "walk=2x256", "--l1", "32"])
+        .args([
+            "analyze",
+            f.0.to_str().unwrap(),
+            "--launch",
+            "walk=2x256",
+            "--l1",
+            "32",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("kernel `walk`"), "{stdout}");
     assert!(stdout.contains("contended=true"), "{stdout}");
@@ -73,7 +84,11 @@ fn compile_emits_parsable_source() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let emitted = std::fs::read_to_string(&out_file).unwrap();
     let _ = std::fs::remove_file(&out_file);
     assert!(emitted.contains("__syncthreads();"), "{emitted}");
@@ -96,7 +111,11 @@ fn run_reports_speedup() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("speedup"), "{stdout}");
 }
@@ -105,6 +124,9 @@ fn run_reports_speedup() {
 fn bad_usage_exits_nonzero() {
     let out = catt().args(["analyze"]).output().unwrap();
     assert!(!out.status.success());
-    let out = catt().args(["frobnicate", "x.cu", "--launch", "k=1x32"]).output().unwrap();
+    let out = catt()
+        .args(["frobnicate", "x.cu", "--launch", "k=1x32"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }

@@ -12,8 +12,8 @@ use catt_repro::workloads::{harness, run_baseline, run_catt};
 fn gsmv_speeds_up_at_32kb() {
     let w = find("GSMV").unwrap();
     let cfg = harness::eval_config_32kb_l1d();
-    let base = run_baseline(&w, &cfg);
-    let (catt, app) = run_catt(&w, &cfg);
+    let base = run_baseline(&w, &cfg).expect("baseline runs");
+    let (catt, app) = run_catt(&w, &cfg).expect("CATT runs");
     assert!(app.kernels[0].is_transformed());
     assert!(
         catt.cycles() < base.cycles(),
@@ -38,9 +38,13 @@ fn cache_sensitivity_classification_holds() {
         let small = {
             let mut c = GpuConfig::titan_v_1sm();
             c.l1_cap_bytes = Some(32 * 1024);
-            run_baseline(&w, &c).stats.l1_hit_rate()
+            run_baseline(&w, &c)
+                .expect("baseline runs")
+                .stats
+                .l1_hit_rate()
         };
         let large = run_baseline(&w, &harness::eval_config_max_l1d())
+            .expect("baseline runs")
             .stats
             .l1_hit_rate();
         let gain = large - small;
@@ -64,8 +68,8 @@ fn cache_sensitivity_classification_holds() {
 fn corr_matches_baseline_exactly() {
     let w = find("CORR").unwrap();
     let cfg = harness::eval_config_max_l1d();
-    let base = run_baseline(&w, &cfg);
-    let (catt, app) = run_catt(&w, &cfg);
+    let base = run_baseline(&w, &cfg).expect("baseline runs");
+    let (catt, app) = run_catt(&w, &cfg).expect("CATT runs");
     assert!(app.kernels.iter().all(|k| !k.is_transformed()));
     assert_eq!(base.cycles(), catt.cycles());
 }
@@ -77,8 +81,8 @@ fn irregular_apps_keep_original_tlp() {
     for abbrev in ["BFS", "BT"] {
         let w = find(abbrev).unwrap();
         let cfg = harness::eval_config_max_l1d();
-        let base = run_baseline(&w, &cfg);
-        let (catt, app) = run_catt(&w, &cfg);
+        let base = run_baseline(&w, &cfg).expect("baseline runs");
+        let (catt, app) = run_catt(&w, &cfg).expect("CATT runs");
         assert!(
             app.kernels.iter().all(|k| !k.is_transformed()),
             "{abbrev} must be untouched"
@@ -115,8 +119,8 @@ fn ci_group_is_never_transformed() {
 fn gains_grow_as_l1d_shrinks() {
     let w = find("ATAX").unwrap();
     let speedup = |cfg: &GpuConfig| {
-        let base = run_baseline(&w, cfg);
-        let (catt, _) = run_catt(&w, cfg);
+        let base = run_baseline(&w, cfg).expect("baseline runs");
+        let (catt, _) = run_catt(&w, cfg).expect("CATT runs");
         base.cycles() as f64 / catt.cycles() as f64
     };
     let at_max = speedup(&harness::eval_config_max_l1d());

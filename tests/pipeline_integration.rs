@@ -46,7 +46,12 @@ fn paper_running_example_end_to_end() {
         let tmp = mem.alloc_zeroed(n as u32);
         let mut gpu = Gpu::new(config.clone());
         let stats = gpu
-            .launch(k, launch, &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(tmp)], &mut mem)
+            .launch(
+                k,
+                launch,
+                &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(tmp)],
+                &mut mem,
+            )
             .unwrap();
         let out = mem.read_f32(tmp);
         assert!(out.iter().all(|&v| v == 256.0), "functional mismatch");
@@ -91,12 +96,21 @@ fn transforms_preserve_semantics_across_factor_grid() {
     let config = GpuConfig::titan_v_1sm();
     let run = |k: &catt_repro::ir::Kernel| {
         let mut mem = GlobalMem::new();
-        let a = mem.alloc_f32(&(0..n * n).map(|v| (v % 17) as f32 * 0.25).collect::<Vec<_>>());
+        let a = mem.alloc_f32(
+            &(0..n * n)
+                .map(|v| (v % 17) as f32 * 0.25)
+                .collect::<Vec<_>>(),
+        );
         let x = mem.alloc_f32(&(0..n).map(|v| (v % 5) as f32).collect::<Vec<_>>());
         let out = mem.alloc_zeroed(n as u32);
         let mut gpu = Gpu::new(config.clone());
-        gpu.launch(k, launch, &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(out)], &mut mem)
-            .unwrap();
+        gpu.launch(
+            k,
+            launch,
+            &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(out)],
+            &mut mem,
+        )
+        .unwrap();
         mem.read_f32(out)
     };
     let reference = run(&kernel);
