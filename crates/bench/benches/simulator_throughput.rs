@@ -39,6 +39,7 @@ fn main() {
                 &[Arg::Buf(a), Arg::Buf(x), Arg::Buf(y)],
                 &mut mem,
             )
+            .expect("benchmark kernel launches cleanly")
         });
     }
 }

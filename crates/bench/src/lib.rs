@@ -95,7 +95,9 @@ pub fn eval_group(
     workloads
         .iter()
         .map(|w| {
-            eprintln!("  evaluating {} ...", w.abbrev);
+            if engine::Progress::from_env() != engine::Progress::Off {
+                eprintln!("  evaluating {} ...", w.abbrev);
+            }
             eval_app(w, config, with_bftt)
         })
         .collect()

@@ -9,8 +9,11 @@ use catt_ir::kernel::{Kernel, LaunchConfig};
 use catt_sim::{max_resident_tbs, GpuConfig, LaunchStats};
 use std::fmt;
 
-/// A sweep failed: one candidate's simulation panicked or errored. Names
-/// the `(n, m)` candidate so the offending configuration is identifiable.
+/// A sweep failed outright: the *baseline* candidate `(n=1, m=0)` — the
+/// untransformed application every speedup is measured against — panicked
+/// or errored, so no meaningful result exists. Non-baseline candidate
+/// faults do **not** raise this: they are recorded as
+/// [`CandidateOutcome::Faulted`] and excluded from the argmin.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepError {
     /// Warp divisor of the failing candidate.
@@ -52,17 +55,38 @@ pub struct BfttCandidate {
     pub stats: LaunchStats,
 }
 
+/// Outcome of one sweep candidate: measured, or faulted and excluded.
+#[derive(Debug, Clone)]
+pub enum CandidateOutcome {
+    /// The candidate simulated successfully.
+    Healthy(BfttCandidate),
+    /// The candidate's simulation faulted (deadlock, fuel exhaustion,
+    /// panic, …). Recorded for diagnostics, excluded from the argmin.
+    Faulted {
+        /// Warp divisor of the faulted candidate.
+        n: u32,
+        /// TB reduction of the faulted candidate.
+        m: u32,
+        /// What went wrong.
+        error: JobError,
+    },
+}
+
 /// Result of a BFTT sweep.
 #[derive(Debug, Clone)]
 pub struct BfttResult {
-    /// All candidates, in sweep order (`(n=1, m=0)` first — the baseline).
+    /// Every grid point's outcome, in sweep order (`(n=1, m=0)` first).
+    pub outcomes: Vec<CandidateOutcome>,
+    /// The healthy candidates, in sweep order (`(n=1, m=0)` first — the
+    /// baseline, which is guaranteed healthy: a faulted baseline fails
+    /// the sweep with a [`SweepError`] instead).
     pub candidates: Vec<BfttCandidate>,
-    /// Index of the fastest candidate.
+    /// Index of the fastest candidate (into `candidates`).
     pub best: usize,
 }
 
 impl BfttResult {
-    /// The fastest candidate.
+    /// The fastest healthy candidate.
     pub fn best_candidate(&self) -> &BfttCandidate {
         &self.candidates[self.best]
     }
@@ -75,6 +99,17 @@ impl BfttResult {
     /// Speedup of the best candidate over the baseline.
     pub fn best_speedup(&self) -> f64 {
         self.baseline().stats.cycles as f64 / self.best_candidate().stats.cycles as f64
+    }
+
+    /// The faulted candidates (empty on a fully healthy sweep).
+    pub fn faulted(&self) -> Vec<(u32, u32, &JobError)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                CandidateOutcome::Faulted { n, m, error } => Some((*n, *m, error)),
+                CandidateOutcome::Healthy(_) => None,
+            })
+            .collect()
     }
 }
 
@@ -116,9 +151,12 @@ where
 /// bounded worker pool. `scope` names the application and its inputs in
 /// the simulation-cache key (registry workloads pass their abbreviation).
 ///
-/// A candidate whose simulation panics or errors fails the whole sweep
-/// with a [`SweepError`] identifying its `(n, m)` setting — the old
-/// behaviour was an opaque `expect("sweep thread completed")` panic.
+/// The sweep degrades gracefully: a non-baseline candidate whose
+/// simulation panics or errors is recorded as
+/// [`CandidateOutcome::Faulted`] and excluded from the argmin, so one bad
+/// `(n, m)` setting cannot take down the run. Only a faulted *baseline*
+/// `(n=1, m=0)` — without which there is nothing to compare against —
+/// fails the sweep, with a [`SweepError`] identifying it.
 ///
 /// All kernels must share one block geometry (true of every workload in
 /// the paper's Table 2; mixed-geometry applications would need a
@@ -183,17 +221,35 @@ where
         })
     });
 
-    let mut candidates = Vec::with_capacity(grid.len());
-    for (result, &(n, m)) in results.into_iter().zip(&grid) {
-        candidates.push(result.map_err(|cause| SweepError { n, m, cause })?);
+    let mut outcomes = Vec::with_capacity(grid.len());
+    let mut candidates = Vec::new();
+    for (idx, (result, &(n, m))) in results.into_iter().zip(&grid).enumerate() {
+        match result {
+            Ok(candidate) => {
+                candidates.push(candidate.clone());
+                outcomes.push(CandidateOutcome::Healthy(candidate));
+            }
+            Err(cause) => {
+                if idx == 0 {
+                    // The baseline is the denominator of every speedup;
+                    // without it the sweep has no meaning.
+                    return Err(SweepError { n, m, cause });
+                }
+                outcomes.push(CandidateOutcome::Faulted { n, m, error: cause });
+            }
+        }
     }
     let best = candidates
         .iter()
         .enumerate()
         .min_by_key(|(_, c)| c.stats.cycles)
         .map(|(i, _)| i)
-        .expect("non-empty candidate grid");
-    Ok(BfttResult { candidates, best })
+        .expect("baseline candidate is healthy");
+    Ok(BfttResult {
+        outcomes,
+        candidates,
+        best,
+    })
 }
 
 #[cfg(test)]

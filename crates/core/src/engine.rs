@@ -20,6 +20,20 @@
 //!   cache — the request trace is diagnostic and deliberately not
 //!   serialized.
 //!
+//! ## Guard rails
+//!
+//! The engine is the fault boundary of the evaluation stack. Job failures
+//! are classified as *fatal* (a [`catt_sim::SimError`], a panic, a
+//! validation failure — rerunning cannot help) or *retryable* (transient
+//! I/O); retryable failures are retried with linear backoff up to
+//! `CATT_ENGINE_RETRIES` times. Each job's wall-clock time is compared
+//! against the optional `CATT_JOB_DEADLINE_MS` watchdog deadline and
+//! overruns are counted and reported. The persistent simcache is
+//! versioned and checksummed per line, rewritten atomically
+//! (tempfile-then-rename), and corrupt or stale lines are skipped with a
+//! reported count — never a crash. The [`crate::fault`] module can
+//! inject worker panics and cache corruption to exercise all of it.
+//!
 //! Environment knobs (read by [`Engine::global`] /
 //! [`Engine::init_global_persistent`]):
 //!
@@ -27,8 +41,15 @@
 //! * `CATT_SIMCACHE=mem` — in-memory layer only, nothing persisted;
 //! * `CATT_SIMCACHE=<dir>` — persist under `<dir>` instead of
 //!   `results/.simcache/`;
-//! * `CATT_ENGINE_WORKERS=<n>` — override the worker-pool bound.
+//! * `CATT_ENGINE_WORKERS=<n>` — override the worker-pool bound;
+//! * `CATT_ENGINE_PROGRESS=off|summary|full` — stderr verbosity
+//!   (default `summary`: one line per batch, no per-job ticker);
+//! * `CATT_ENGINE_RETRIES=<n>` — retry budget for retryable failures
+//!   (default 2);
+//! * `CATT_JOB_DEADLINE_MS=<ms>` — per-job wall-clock watchdog;
+//! * `CATT_FAULT_PLAN=...` — fault injection, see [`crate::fault`].
 
+use crate::fault::FaultPlan;
 use catt_ir::kernel::{Kernel, LaunchConfig};
 use catt_sim::{Fnv64, GpuConfig, LaunchStats};
 use std::collections::HashMap;
@@ -37,7 +58,7 @@ use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -49,19 +70,65 @@ pub struct JobError {
     pub label: String,
     /// What went wrong.
     pub message: String,
+    /// Whether rerunning the job could plausibly succeed (transient
+    /// I/O: yes; a deterministic simulator verdict or a panic: no).
+    /// Retryable failures get [`Engine`]'s bounded retry with backoff.
+    pub retryable: bool,
 }
 
 impl JobError {
-    /// Build an error for `label` out of a caught panic payload.
+    /// A fatal (non-retryable) failure: a deterministic simulator error,
+    /// failed validation, or any other fault rerunning cannot fix.
+    pub fn fatal(label: impl Into<String>, message: impl Into<String>) -> JobError {
+        JobError {
+            label: label.into(),
+            message: message.into(),
+            retryable: false,
+        }
+    }
+
+    /// A transient failure (e.g. cache I/O) worth retrying with backoff.
+    pub fn transient(label: impl Into<String>, message: impl Into<String>) -> JobError {
+        JobError {
+            label: label.into(),
+            message: message.into(),
+            retryable: true,
+        }
+    }
+
+    /// Build an error for `label` out of a caught panic payload. Panics
+    /// are always fatal: the worker state that produced them is gone.
     fn from_panic(label: &str, payload: Box<dyn std::any::Any + Send>) -> JobError {
         let message = payload
             .downcast_ref::<&str>()
             .map(|s| s.to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "job panicked (non-string payload)".to_string());
-        JobError {
-            label: label.to_string(),
-            message,
+        JobError::fatal(label, message)
+    }
+}
+
+/// Stderr verbosity of the engine (`CATT_ENGINE_PROGRESS`): `Off` is
+/// silent, `Summary` (the default) prints one line per job batch,
+/// `Full` adds the live per-job ticker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Progress {
+    /// No engine output at all.
+    Off,
+    /// One line per batch plus the final cache summary.
+    Summary,
+    /// Per-job progress ticker on top of `Summary`.
+    Full,
+}
+
+impl Progress {
+    /// Parse `CATT_ENGINE_PROGRESS` (default [`Progress::Summary`];
+    /// unknown values also fall back to `Summary`).
+    pub fn from_env() -> Progress {
+        match std::env::var("CATT_ENGINE_PROGRESS").as_deref() {
+            Ok("off") => Progress::Off,
+            Ok("full") => Progress::Full,
+            _ => Progress::Summary,
         }
     }
 }
@@ -85,6 +152,10 @@ pub struct CacheCounters {
     pub hits: u64,
     /// Jobs actually simulated.
     pub misses: u64,
+    /// Persistent-cache lines dropped at load time (corrupt checksum,
+    /// stale version, unparsable) — each skip costs one recomputation,
+    /// never a crash.
+    pub skipped: u64,
 }
 
 impl CacheCounters {
@@ -124,10 +195,8 @@ pub fn job_digest(
     let mut h = Fnv64::new();
     h.write_str("catt-simcache-v1").write_str(scope);
     for k in kernels {
-        let program = catt_sim::lower(k).map_err(|e| JobError {
-            label: scope.to_string(),
-            message: format!("kernel `{}`: {e}", k.name),
-        })?;
+        let program = catt_sim::lower(k)
+            .map_err(|e| JobError::fatal(scope, format!("kernel `{}`: {e}", k.name)))?;
         h.write_debug(&program.content_digest());
     }
     h.write_debug(&launches);
@@ -146,53 +215,121 @@ enum CacheMode {
 }
 
 /// The content-addressed simulation cache.
+///
+/// Persistent format (v2): one JSON object per line,
+/// `{"v":2,"crc":"<16 hex>","key":"<16 hex>",<stat fields>}`, where `crc`
+/// is the FNV-1a 64 digest of everything after it (`"key":...` to the
+/// closing brace, exclusive). Loads drop any line whose version, checksum,
+/// or fields don't check out — counting them in
+/// [`CacheCounters::skipped`] — and immediately rewrite a clean file.
+/// Writes rewrite the whole file to a tempfile and `rename` it into
+/// place, so a killed process can truncate at most a file that the next
+/// load repairs, never wedge it.
 struct SimCache {
     mode: CacheMode,
     mem: Mutex<HashMap<u64, LaunchStats>>,
-    /// Append handle for the persistent layer (lazily opened).
-    log: Mutex<Option<fs::File>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Lines dropped at load time (bad checksum / stale version).
+    skipped: AtomicU64,
+    /// Fault injection: corrupt the checksum of one persisted line.
+    corrupt_armed: AtomicBool,
+    /// The key whose line is rendered with a poisoned checksum.
+    poisoned: Mutex<Option<u64>>,
 }
 
 impl SimCache {
     const FILE: &'static str = "cache.jsonl";
+    const LINE_PREFIX: &'static str = "{\"v\":2,\"crc\":\"";
 
     fn new(mode: CacheMode) -> SimCache {
-        let mem = match &mode {
+        let (mem, skipped) = match &mode {
             CacheMode::Persistent(dir) => Self::load(dir),
-            _ => HashMap::new(),
+            _ => (HashMap::new(), 0),
         };
-        SimCache {
+        let cache = SimCache {
             mode,
             mem: Mutex::new(mem),
-            log: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            skipped: AtomicU64::new(skipped),
+            corrupt_armed: AtomicBool::new(false),
+            poisoned: Mutex::new(None),
+        };
+        // Repair the file right away when corrupt/stale lines were
+        // dropped, so the damage is paid for exactly once.
+        if skipped > 0 {
+            cache.persist();
         }
+        cache
     }
 
-    /// Read the JSONL log. Unparsable lines are skipped (treated as
-    /// misses), so a truncated final line from a killed process never
-    /// wedges the cache.
-    fn load(dir: &Path) -> HashMap<u64, LaunchStats> {
+    /// Arm fault injection: the next inserted entry is persisted with a
+    /// deliberately wrong checksum (see [`FaultPlan::corrupt_cache`]).
+    fn arm_corruption(&self) {
+        self.corrupt_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// The `"key":...` payload of one persistent line.
+    fn line_payload(key: u64, stats: &LaunchStats) -> String {
+        format!(
+            "\"key\":\"{}\",{}",
+            JobKey(key).hex(),
+            stats.to_json_fields()
+        )
+    }
+
+    /// Checksum of a line payload.
+    fn crc(payload: &str) -> u64 {
+        Fnv64::new().write_str(payload).finish()
+    }
+
+    /// Render one v2 line; a poisoned line gets a bitwise-inverted
+    /// checksum so the next load must reject it.
+    fn render_line(key: u64, stats: &LaunchStats, poison: bool) -> String {
+        let payload = Self::line_payload(key, stats);
+        let mut crc = Self::crc(&payload);
+        if poison {
+            crc = !crc;
+        }
+        format!("{}{:016x}\",{}}}", Self::LINE_PREFIX, crc, payload)
+    }
+
+    /// Parse and verify one v2 line.
+    fn parse_line(line: &str) -> Option<(u64, LaunchStats)> {
+        let rest = line.strip_prefix(Self::LINE_PREFIX)?;
+        let crc = u64::from_str_radix(rest.get(..16)?, 16).ok()?;
+        let payload = rest.get(16..)?.strip_prefix("\",")?.strip_suffix('}')?;
+        if Self::crc(payload) != crc {
+            return None;
+        }
+        let key_hex = payload.strip_prefix("\"key\":\"")?.get(..16)?;
+        let key = u64::from_str_radix(key_hex, 16).ok()?;
+        Some((key, LaunchStats::from_json_line(payload)?))
+    }
+
+    /// Read the JSONL log. Every line that fails the version, checksum,
+    /// or field check is dropped and counted — a truncated final line
+    /// from a killed process or a flipped bit on disk costs one
+    /// recomputation, never a wedged cache.
+    fn load(dir: &Path) -> (HashMap<u64, LaunchStats>, u64) {
         let mut map = HashMap::new();
+        let mut skipped = 0u64;
         let Ok(text) = fs::read_to_string(dir.join(Self::FILE)) else {
-            return map;
+            return (map, skipped);
         };
         for line in text.lines() {
-            let Some(key) = line
-                .find("\"key\":\"")
-                .and_then(|i| line.get(i + 7..i + 23))
-                .and_then(|hexstr| u64::from_str_radix(hexstr, 16).ok())
-            else {
+            if line.is_empty() {
                 continue;
-            };
-            if let Some(stats) = LaunchStats::from_json_line(line) {
-                map.insert(key, stats);
+            }
+            match Self::parse_line(line) {
+                Some((key, stats)) => {
+                    map.insert(key, stats);
+                }
+                None => skipped += 1,
             }
         }
-        map
+        (map, skipped)
     }
 
     fn lookup(&self, key: JobKey) -> Option<LaunchStats> {
@@ -207,39 +344,49 @@ impl SimCache {
         found
     }
 
+    /// Rewrite the persistent file atomically from the in-memory map:
+    /// render every entry (sorted by key for determinism) into
+    /// `cache.jsonl.tmp.<pid>`, then `rename` over the live file. Holding
+    /// the `mem` lock across the write serializes concurrent persists.
+    fn persist(&self) {
+        let CacheMode::Persistent(dir) = &self.mode else {
+            return;
+        };
+        let mem = self.mem.lock().unwrap();
+        let poisoned = *self.poisoned.lock().unwrap();
+        let mut entries: Vec<(&u64, &LaunchStats)> = mem.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        let mut text = String::new();
+        for (key, stats) in entries {
+            text.push_str(&Self::render_line(*key, stats, poisoned == Some(*key)));
+            text.push('\n');
+        }
+        let tmp = dir.join(format!("{}.tmp.{}", Self::FILE, std::process::id()));
+        let write = fs::create_dir_all(dir)
+            .and_then(|_| fs::File::create(&tmp))
+            .and_then(|mut f| f.write_all(text.as_bytes()))
+            .and_then(|_| fs::rename(&tmp, dir.join(Self::FILE)));
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            eprintln!(
+                "[engine] warning: cannot persist simcache under {}: {e}",
+                dir.display()
+            );
+        }
+    }
+
     fn insert(&self, key: JobKey, stats: &LaunchStats) {
         match &self.mode {
             CacheMode::Off => {}
             CacheMode::Memory => {
                 self.mem.lock().unwrap().insert(key.0, stats.clone());
             }
-            CacheMode::Persistent(dir) => {
+            CacheMode::Persistent(_) => {
                 self.mem.lock().unwrap().insert(key.0, stats.clone());
-                let mut log = self.log.lock().unwrap();
-                if log.is_none() {
-                    *log = fs::create_dir_all(dir)
-                        .and_then(|_| {
-                            fs::OpenOptions::new()
-                                .create(true)
-                                .append(true)
-                                .open(dir.join(Self::FILE))
-                        })
-                        .map_err(|e| {
-                            eprintln!(
-                                "[engine] warning: cannot persist simcache under {}: {e}",
-                                dir.display()
-                            )
-                        })
-                        .ok();
+                if self.corrupt_armed.swap(false, Ordering::Relaxed) {
+                    *self.poisoned.lock().unwrap() = Some(key.0);
                 }
-                if let Some(f) = log.as_mut() {
-                    let _ = writeln!(
-                        f,
-                        "{{\"key\":\"{}\",{}}}",
-                        key.hex(),
-                        stats.to_json_fields()
-                    );
-                }
+                self.persist();
             }
         }
     }
@@ -248,6 +395,7 @@ impl SimCache {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -256,6 +404,22 @@ impl SimCache {
 pub struct Engine {
     workers: usize,
     cache: SimCache,
+    /// Armed fault injections (from `CATT_FAULT_PLAN` or
+    /// [`Engine::with_fault_plan`]).
+    fault: FaultPlan,
+    /// Lifetime job-execution counter (drives `panic-job=N` injection).
+    job_seq: AtomicU64,
+    /// Retry budget for retryable job failures.
+    retries: u32,
+    /// Backoff unit between retries (linear: attempt × unit).
+    retry_backoff: Duration,
+    /// Per-job wall-clock watchdog deadline.
+    deadline: Option<Duration>,
+    /// Jobs that overran the deadline (reported, not killed: the
+    /// simulator's fuel budget is the hard stop; the watchdog names slow
+    /// jobs so mis-sized budgets are visible).
+    deadline_exceeded: AtomicU64,
+    progress: Progress,
 }
 
 impl Default for Engine {
@@ -282,38 +446,93 @@ impl Engine {
             })
     }
 
+    /// Retry budget: `CATT_ENGINE_RETRIES` or 2.
+    fn default_retries() -> u32 {
+        std::env::var("CATT_ENGINE_RETRIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2)
+    }
+
+    /// Watchdog deadline: `CATT_JOB_DEADLINE_MS` or none.
+    fn default_deadline() -> Option<Duration> {
+        std::env::var("CATT_JOB_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms: &u64| ms > 0)
+            .map(Duration::from_millis)
+    }
+
+    /// Assemble an engine from a cache mode plus the environment knobs
+    /// (workers, retries, deadline, progress, fault plan).
+    fn build(workers: usize, mode: CacheMode) -> Engine {
+        let fault = FaultPlan::from_env();
+        let engine = Engine {
+            workers: workers.max(1),
+            cache: SimCache::new(mode),
+            fault,
+            job_seq: AtomicU64::new(0),
+            retries: Self::default_retries(),
+            retry_backoff: Duration::from_millis(10),
+            deadline: Self::default_deadline(),
+            deadline_exceeded: AtomicU64::new(0),
+            progress: Progress::from_env(),
+        };
+        if engine.fault.corrupt_cache {
+            engine.cache.arm_corruption();
+        }
+        engine
+    }
+
     /// Engine with an in-memory cache and the default worker bound.
     pub fn new() -> Engine {
-        Engine {
-            workers: Self::default_workers(),
-            cache: SimCache::new(CacheMode::Memory),
-        }
+        Self::build(Self::default_workers(), CacheMode::Memory)
     }
 
     /// Engine with an explicit worker bound (clamped to ≥ 1) and an
     /// in-memory cache.
     pub fn with_workers(workers: usize) -> Engine {
-        Engine {
-            workers: workers.max(1),
-            cache: SimCache::new(CacheMode::Memory),
-        }
+        Self::build(workers, CacheMode::Memory)
     }
 
     /// Engine whose cache persists as JSONL under `dir` (loaded eagerly,
-    /// appended on every miss).
+    /// rewritten atomically on every miss).
     pub fn persistent(dir: impl Into<PathBuf>) -> Engine {
-        Engine {
-            workers: Self::default_workers(),
-            cache: SimCache::new(CacheMode::Persistent(dir.into())),
-        }
+        Self::build(Self::default_workers(), CacheMode::Persistent(dir.into()))
     }
 
     /// Engine with caching disabled (every job simulates).
     pub fn uncached() -> Engine {
-        Engine {
-            workers: Self::default_workers(),
-            cache: SimCache::new(CacheMode::Off),
+        Self::build(Self::default_workers(), CacheMode::Off)
+    }
+
+    /// Replace the fault plan (builder-style; used by the fault-injection
+    /// tests — production engines read `CATT_FAULT_PLAN` on construction).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Engine {
+        if plan.corrupt_cache {
+            self.cache.arm_corruption();
         }
+        self.fault = plan;
+        self
+    }
+
+    /// Replace the retry policy (builder-style).
+    pub fn with_retry_policy(mut self, retries: u32, backoff: Duration) -> Engine {
+        self.retries = retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Replace the watchdog deadline (builder-style).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Engine {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replace the progress mode (builder-style).
+    pub fn with_progress(mut self, progress: Progress) -> Engine {
+        self.progress = progress;
+        self
     }
 
     /// Engine honoring the `CATT_SIMCACHE` environment variable, with
@@ -325,10 +544,7 @@ impl Engine {
             Ok(dir) if !dir.is_empty() => CacheMode::Persistent(PathBuf::from(dir)),
             _ => default_mode,
         };
-        Engine {
-            workers: Self::default_workers(),
-            cache: SimCache::new(mode),
-        }
+        Self::build(Self::default_workers(), mode)
     }
 
     /// The process-wide engine. Defaults to an in-memory cache (tests and
@@ -359,12 +575,39 @@ impl Engine {
         self.cache.counters()
     }
 
+    /// Jobs that overran the `CATT_JOB_DEADLINE_MS` watchdog deadline.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// The stderr verbosity this engine runs at.
+    pub fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    /// The armed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
     /// Print a one-line cache/pool summary to stderr (bench binaries call
-    /// this after their last evaluation).
+    /// this after their last evaluation). Silent under
+    /// `CATT_ENGINE_PROGRESS=off`.
     pub fn print_summary(&self) {
+        if self.progress == Progress::Off {
+            return;
+        }
         let c = self.cache_counters();
+        let mut extras = String::new();
+        if c.skipped > 0 {
+            extras.push_str(&format!(" | {} corrupt line(s) skipped", c.skipped));
+        }
+        let overdue = self.deadline_exceeded();
+        if overdue > 0 {
+            extras.push_str(&format!(" | {overdue} job(s) over deadline"));
+        }
         eprintln!(
-            "[engine] {} workers | simcache: {} hits / {} misses ({:.0}% hit)",
+            "[engine] {} workers | simcache: {} hits / {} misses ({:.0}% hit){extras}",
             self.workers,
             c.hits,
             c.misses,
@@ -372,9 +615,45 @@ impl Engine {
         );
     }
 
+    /// Execute one job body with fault injection, panic capture, and
+    /// bounded retry-with-backoff for retryable failures.
+    fn run_one<J, T, F>(&self, i: usize, job: &J, f: &F) -> Result<T, JobError>
+    where
+        F: Fn(usize, &J) -> Result<T, JobError>,
+    {
+        let max_attempts = 1 + self.retries;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let seq = self.job_seq.fetch_add(1, Ordering::Relaxed);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if self.fault.panic_at_job == Some(seq) {
+                    panic!("fault injection: worker panic at job {seq}");
+                }
+                f(i, job)
+            }))
+            .unwrap_or_else(|payload| Err(JobError::from_panic(&format!("job #{i}"), payload)));
+            match result {
+                Err(e) if e.retryable && attempt < max_attempts => {
+                    if self.progress == Progress::Full {
+                        eprintln!(
+                            "[engine] job #{i} attempt {attempt}/{max_attempts} failed \
+                             (retryable): {} — backing off",
+                            e.message
+                        );
+                    }
+                    std::thread::sleep(self.retry_backoff * attempt);
+                }
+                final_result => return final_result,
+            }
+        }
+    }
+
     /// Run `jobs` through `f` on the bounded pool. Results come back in
     /// job order; each job's panic is caught and surfaced as its own
-    /// `Err`. `label` names the batch in the stderr progress line.
+    /// `Err`, retryable failures are retried with backoff, and the
+    /// watchdog counts jobs that overran the wall-clock deadline. `label`
+    /// names the batch in the stderr progress line.
     pub fn run_jobs<J, T, F>(&self, label: &str, jobs: &[J], f: F) -> Vec<Result<T, JobError>>
     where
         J: Sync,
@@ -402,9 +681,7 @@ impl Engine {
                         break;
                     }
                     let t0 = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| f(i, &jobs[i]))).unwrap_or_else(
-                        |payload| Err(JobError::from_panic(&format!("job #{i}"), payload)),
-                    );
+                    let result = self.run_one(i, &jobs[i], f);
                     if tx.send((i, t0.elapsed(), result)).is_err() {
                         break;
                     }
@@ -415,17 +692,32 @@ impl Engine {
             while let Ok((i, took, result)) = rx.recv() {
                 slots[i] = Some(result);
                 done += 1;
-                let c = self.cache_counters();
-                eprint!(
-                    "\r[engine] {label}: {done}/{total} jobs | cache {}h/{}m | last {:>6.1?}   ",
-                    c.hits, c.misses, took
+                if let Some(deadline) = self.deadline {
+                    if took > deadline {
+                        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        if self.progress >= Progress::Summary {
+                            eprintln!(
+                                "[engine] warning: {label} job #{i} took {took:.1?}, \
+                                 over the {deadline:.1?} deadline"
+                            );
+                        }
+                    }
+                }
+                if self.progress == Progress::Full {
+                    let c = self.cache_counters();
+                    eprint!(
+                        "\r[engine] {label}: {done}/{total} jobs | cache {}h/{}m | last {:>6.1?}   ",
+                        c.hits, c.misses, took
+                    );
+                }
+            }
+            if self.progress >= Progress::Summary {
+                eprintln!(
+                    "\r[engine] {label}: {total}/{total} jobs in {:.2?} on {} workers        ",
+                    started.elapsed(),
+                    threads
                 );
             }
-            eprintln!(
-                "\r[engine] {label}: {total}/{total} jobs in {:.2?} on {} workers        ",
-                started.elapsed(),
-                threads
-            );
         });
         slots
             .into_iter()

@@ -30,6 +30,7 @@
 pub mod analysis;
 pub mod bftt;
 pub mod engine;
+pub mod fault;
 pub mod multiversion;
 pub mod occupancy;
 pub mod pipeline;
@@ -38,8 +39,9 @@ pub mod transform;
 pub use analysis::{
     analyze_kernel, AccessAnalysis, KernelAnalysis, LoopAnalysis, ThrottleDecision,
 };
-pub use bftt::{BfttCandidate, BfttResult, SweepError};
-pub use engine::{CacheCounters, Engine, JobError};
+pub use bftt::{BfttCandidate, BfttResult, CandidateOutcome, SweepError};
+pub use engine::{CacheCounters, Engine, JobError, Progress};
+pub use fault::FaultPlan;
 pub use multiversion::MultiVersioned;
 pub use occupancy::L1SmemPlan;
 pub use pipeline::{CompiledApp, CompiledKernel, Pipeline};

@@ -50,6 +50,18 @@ impl MultiVersioned {
             .map(|v| &v.compiled)
     }
 
+    /// Diagnostics of variants whose transform failed and fell back to
+    /// the original code: `(variant index, diagnostic)` pairs, empty when
+    /// every variant compiled cleanly. The fallback variants are still
+    /// dispatchable — correct, merely unthrottled.
+    pub fn fallback_diagnostics(&self) -> Vec<(usize, &str)> {
+        self.variants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.compiled.fallback_diagnostic.as_deref().map(|d| (i, d)))
+            .collect()
+    }
+
     /// Emit all variants as one translation unit (what the source-to-
     /// source compiler writes out next to the dispatch code).
     pub fn emitted_source(&self) -> String {

@@ -1,12 +1,14 @@
 //! End-to-end CATT driver: `parse → analyze → transform → emit`.
 
 use crate::analysis::{analyze_kernel, search_factors, KernelAnalysis};
+use crate::fault::FaultPlan;
 use crate::transform::{tb_throttle, warp_throttle};
 use catt_frontend::parse_module;
 use catt_ir::kernel::{Kernel, LaunchConfig};
 use catt_ir::printer;
 use catt_sim::{GpuConfig, SMEM_CONFIGS_KB};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Pipeline error (parse or lowering failure, or an unlaunchable kernel).
 #[derive(Debug, Clone, PartialEq)]
@@ -36,12 +38,21 @@ pub struct CompiledKernel {
     pub analysis: KernelAnalysis,
     /// Re-emitted CUDA source of the transformed kernel.
     pub emitted_source: String,
+    /// Why the throttling transform was abandoned, when it was: the
+    /// kernel fell back to its original code (`transformed == original`)
+    /// and this records the diagnostic. `None` on a clean compile.
+    pub fallback_diagnostic: Option<String>,
 }
 
 impl CompiledKernel {
     /// Whether CATT changed this kernel.
     pub fn is_transformed(&self) -> bool {
         self.original != self.transformed
+    }
+
+    /// Whether the transform failed and the original code is being used.
+    pub fn is_fallback(&self) -> bool {
+        self.fallback_diagnostic.is_some()
     }
 }
 
@@ -67,12 +78,24 @@ impl CompiledApp {
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     base_config: GpuConfig,
+    /// Armed fault injections (`fail-transform` forces the fallback path).
+    fault: FaultPlan,
 }
 
 impl Pipeline {
     /// A pipeline targeting `config` (e.g. [`GpuConfig::titan_v`]).
+    /// Honors the `CATT_FAULT_PLAN` environment variable.
     pub fn new(base_config: GpuConfig) -> Pipeline {
-        Pipeline { base_config }
+        Pipeline {
+            base_config,
+            fault: FaultPlan::from_env(),
+        }
+    }
+
+    /// Replace the fault plan (builder-style, for fault-injection tests).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Pipeline {
+        self.fault = fault;
+        self
     }
 
     /// The target configuration.
@@ -146,7 +169,7 @@ impl Pipeline {
             analysis.plan.l1d_bytes = analysis.plan.config.l1d_bytes();
         }
 
-        let transformed = apply_decisions(kernel, &analysis);
+        let (transformed, fallback_diagnostic) = self.transform_with_fallback(kernel, &analysis);
         let emitted_source = printer::kernel_to_string(&transformed);
         Ok(CompiledKernel {
             original: kernel.clone(),
@@ -154,7 +177,43 @@ impl Pipeline {
             launch,
             analysis,
             emitted_source,
+            fallback_diagnostic,
         })
+    }
+
+    /// Apply the throttling decisions with a guard rail: a transform that
+    /// panics or produces a kernel that no longer lowers falls back to
+    /// the *original* code — correct, merely unthrottled — with the
+    /// diagnostic recorded. A mis-transformed kernel must never be worse
+    /// than no transform at all.
+    fn transform_with_fallback(
+        &self,
+        kernel: &Kernel,
+        analysis: &KernelAnalysis,
+    ) -> (Kernel, Option<String>) {
+        if self.fault.fail_transform {
+            return (
+                kernel.clone(),
+                Some("fault injection: transform forced to fail".to_string()),
+            );
+        }
+        match catch_unwind(AssertUnwindSafe(|| apply_decisions(kernel, analysis))) {
+            Ok(transformed) => match catt_sim::lower(&transformed) {
+                Ok(_) => (transformed, None),
+                Err(e) => (
+                    kernel.clone(),
+                    Some(format!("transformed kernel fails to lower: {e}")),
+                ),
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                (kernel.clone(), Some(format!("transform panicked: {msg}")))
+            }
+        }
     }
 }
 

@@ -1,0 +1,117 @@
+//! Environment-driven fault-injection pass, run by `scripts/check.sh`
+//! (and CI) as:
+//!
+//! ```sh
+//! CATT_FAULT_PLAN="panic-job=2,corrupt-cache" \
+//!     cargo test -p catt-core --test fault_env
+//! ```
+//!
+//! Unlike `faults.rs` (programmatic plans), this binary exercises the
+//! real `CATT_FAULT_PLAN` wiring end to end: the engine constructors
+//! read the plan from the environment themselves. When the variable is
+//! unset the test degenerates to a plain healthy sweep, so it is safe
+//! under a bare `cargo test`.
+
+use catt_core::bftt::sweep_on;
+use catt_core::engine::Engine;
+use catt_core::fault::FaultPlan;
+use catt_frontend::parse_kernel;
+use catt_ir::kernel::{Kernel, LaunchConfig};
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, LaunchStats};
+
+const N: usize = 256;
+
+fn mv_kernel() -> Kernel {
+    let src = format!(
+        "#define N {N}
+         __global__ void mv(float *A, float *B, float *tmp) {{
+             int i = blockIdx.x * blockDim.x + threadIdx.x;
+             if (i < N) {{
+                 for (int j = 0; j < N; j++) {{
+                     tmp[i] += A[i * N + j] * B[j];
+                 }}
+             }}
+         }}"
+    );
+    parse_kernel(&src).unwrap()
+}
+
+fn simulate(kernels: &[Kernel], launch: LaunchConfig, cfg: &GpuConfig) -> LaunchStats {
+    let mut mem = GlobalMem::new();
+    let a = mem.alloc_f32(&vec![1.0; N * N]);
+    let b = mem.alloc_f32(&vec![1.0; N]);
+    let tmp = mem.alloc_zeroed(N as u32);
+    let mut gpu = Gpu::new(cfg.clone());
+    gpu.launch(
+        &kernels[0],
+        launch,
+        &[Arg::Buf(a), Arg::Buf(b), Arg::Buf(tmp)],
+        &mut mem,
+    )
+    .unwrap()
+}
+
+#[test]
+fn sweep_completes_under_the_env_fault_plan() {
+    let plan = FaultPlan::from_env();
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let mut cfg = GpuConfig::titan_v_1sm();
+    cfg.l1_cap_bytes = Some(32 * 1024);
+
+    let dir = std::env::temp_dir().join(format!("catt-faultenv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // `Engine::persistent` reads CATT_FAULT_PLAN itself — the point of
+    // this test. One worker keeps the lifetime job counter aligned with
+    // the sweep grid, so `panic-job=N` (N > 0) hits a non-baseline
+    // candidate deterministically.
+    let run_sweep = || {
+        let engine = Engine::persistent(&dir);
+        assert_eq!(engine.fault_plan(), &plan, "engine must read the env plan");
+        if plan.panic_at_job.is_some() {
+            assert_eq!(
+                engine.workers(),
+                1,
+                "drivers must pin CATT_ENGINE_WORKERS=1 with panic-job=N \
+                 so the job counter aligns with the sweep grid"
+            );
+        }
+        sweep_on(
+            &engine,
+            "fault-env",
+            std::slice::from_ref(&kernel),
+            launch,
+            &cfg,
+            |kernels: &[Kernel], c: &GpuConfig| simulate(kernels, launch, c),
+        )
+        .expect("sweep completes under the fault plan")
+    };
+
+    let result = run_sweep();
+    let expected_faults = usize::from(plan.panic_at_job.is_some());
+    assert_eq!(result.faulted().len(), expected_faults);
+    assert_eq!((result.baseline().n, result.baseline().m), (1, 0));
+    assert!(result.best_speedup() >= 1.0);
+
+    // Second pass over the same cache directory: if `corrupt-cache` was
+    // armed, exactly one line must be skipped (and repaired); the sweep
+    // must still complete warm.
+    let second = Engine::persistent(&dir);
+    if plan.corrupt_cache {
+        assert_eq!(
+            second.cache_counters().skipped,
+            1,
+            "one corrupt line skipped"
+        );
+    } else {
+        assert_eq!(second.cache_counters().skipped, 0);
+    }
+    let rerun = run_sweep();
+    assert_eq!(
+        (rerun.best_candidate().n, rerun.best_candidate().m),
+        (result.best_candidate().n, result.best_candidate().m),
+        "warm sweep agrees with the cold one"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

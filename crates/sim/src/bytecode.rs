@@ -249,7 +249,7 @@ pub struct Program {
 }
 
 /// Lowering error.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LowerError {
     pub message: String,
 }

@@ -105,7 +105,24 @@ pub struct GpuConfig {
     /// stall behaviour and raises/lowers the number of schedulable
     /// resident blocks at run time. `None` = plain hardware.
     pub dyncta: Option<DynctaConfig>,
+    /// Explicit cycle-fuel budget per launch. `None` derives a generous
+    /// default from the memory footprint (see [`GpuConfig::fuel_budget`]);
+    /// the `CATT_SIM_FUEL` environment variable overrides both (`0` or
+    /// `off` disables the budget entirely). Excluded from
+    /// [`GpuConfig::content_digest`] — fuel bounds the simulation, it does
+    /// not change its result.
+    pub sim_fuel: Option<u64>,
 }
+
+/// Baseline cycle allowance of the derived fuel budget (covers dispatch
+/// and small kernels regardless of footprint).
+pub const FUEL_BASE: u64 = 1 << 24;
+
+/// Derived-fuel cycles granted per byte of allocated global memory. Real
+/// workloads re-walk their footprint many times; 4096 cycles/byte is
+/// orders of magnitude above any legitimate workload in this repo while
+/// still terminating a runaway loop in bounded time.
+pub const FUEL_PER_BYTE: u64 = 4096;
 
 /// Parameters of the DYNCTA-style dynamic throttler (Kayiran et al.,
 /// PACT'13, as summarized in the paper's §2.2): sample the fraction of
@@ -153,6 +170,7 @@ impl GpuConfig {
             latencies: Latencies::default(),
             trace_requests: false,
             dyncta: None,
+            sim_fuel: None,
         }
     }
 
@@ -185,7 +203,44 @@ impl GpuConfig {
             latencies: Latencies::default(),
             trace_requests: false,
             dyncta: None,
+            sim_fuel: None,
         }
+    }
+
+    /// Resolve the per-launch cycle-fuel budget for a kernel touching
+    /// `footprint_bytes` of global memory. Resolution order:
+    ///
+    /// 1. a `fuel=C` entry in the `CATT_FAULT_PLAN` environment variable
+    ///    (the fault-injection harness, see `catt_core::fault`);
+    /// 2. `CATT_SIM_FUEL` environment variable (`0`/`off` = unlimited);
+    /// 3. [`GpuConfig::sim_fuel`];
+    /// 4. derived default: [`FUEL_BASE`] `+ footprint_bytes ×`
+    ///    [`FUEL_PER_BYTE`] (saturating).
+    ///
+    /// Returns `None` for "no budget".
+    pub fn fuel_budget(&self, footprint_bytes: u64) -> Option<u64> {
+        if let Ok(plan) = std::env::var("CATT_FAULT_PLAN") {
+            for entry in plan.split(',') {
+                if let Some(c) = entry.trim().strip_prefix("fuel=") {
+                    if let Ok(n) = c.trim().parse::<u64>() {
+                        return Some(n);
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("CATT_SIM_FUEL") {
+            let v = v.trim();
+            if v == "0" || v.eq_ignore_ascii_case("off") {
+                return None;
+            }
+            if let Ok(n) = v.parse::<u64>() {
+                return Some(n);
+            }
+        }
+        if let Some(n) = self.sim_fuel {
+            return Some(n);
+        }
+        Some(FUEL_BASE.saturating_add(footprint_bytes.saturating_mul(FUEL_PER_BYTE)))
     }
 
     /// Configure the shared-memory carve-out to the smallest option (in
@@ -275,6 +330,21 @@ mod tests {
         c.smem_carveout_bytes = 96 * 1024;
         c.l1_cap_bytes = Some(64 * 1024);
         assert_eq!(c.l1d_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn fuel_resolution_order() {
+        // No env in unit tests (the env paths are covered by the
+        // dedicated integration tests): explicit field wins, otherwise
+        // the budget derives from the footprint.
+        let mut c = GpuConfig::small();
+        assert_eq!(c.fuel_budget(0), Some(FUEL_BASE));
+        assert_eq!(c.fuel_budget(10), Some(FUEL_BASE + 10 * FUEL_PER_BYTE));
+        c.sim_fuel = Some(500);
+        assert_eq!(c.fuel_budget(1 << 20), Some(500));
+        // Saturates instead of overflowing on absurd footprints.
+        c.sim_fuel = None;
+        assert_eq!(c.fuel_budget(u64::MAX), Some(u64::MAX));
     }
 
     #[test]

@@ -83,10 +83,15 @@ impl Program {
 impl GpuConfig {
     /// Stable digest over every architectural parameter (geometry,
     /// capacities, latencies, DYNCTA settings). Any change invalidates
-    /// cached simulation results keyed on this config.
+    /// cached simulation results keyed on this config. The cycle-fuel
+    /// budget (`sim_fuel`) is excluded: fuel bounds a simulation, it never
+    /// changes the result of one that completes, so tightening or lifting
+    /// the budget must not invalidate cached results.
     pub fn content_digest(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.sim_fuel = None;
         let mut h = Fnv64::new();
-        h.write_debug(self);
+        h.write_debug(&canonical);
         h.finish()
     }
 }
@@ -120,5 +125,13 @@ mod tests {
         capped.l1_cap_bytes = Some(32 * 1024);
         assert_ne!(base.content_digest(), capped.content_digest());
         assert_eq!(base.content_digest(), base.clone().content_digest());
+    }
+
+    #[test]
+    fn fuel_budget_does_not_change_the_digest() {
+        let base = GpuConfig::titan_v_1sm();
+        let mut fueled = base.clone();
+        fueled.sim_fuel = Some(1_000);
+        assert_eq!(base.content_digest(), fueled.content_digest());
     }
 }

@@ -41,6 +41,7 @@ pub mod bytecode;
 pub mod cache;
 pub mod config;
 pub mod digest;
+pub mod error;
 pub mod mem;
 pub mod metrics;
 pub mod occupancy;
@@ -48,8 +49,9 @@ pub mod sm;
 pub mod warp;
 
 pub use bytecode::{lower, LowerError, Program};
-pub use config::{GpuConfig, L1Config, Latencies, SMEM_CONFIGS_KB};
+pub use config::{GpuConfig, L1Config, Latencies, FUEL_BASE, FUEL_PER_BYTE, SMEM_CONFIGS_KB};
 pub use digest::Fnv64;
+pub use error::SimError;
 pub use mem::{Arg, Buffer, GlobalMem};
 pub use metrics::{LaunchStats, RequestTrace};
 pub use occupancy::{max_resident_tbs, OccupancyLimits};
@@ -82,15 +84,19 @@ impl Gpu {
     /// kernel's shared-memory and register usage. Reported `cycles` is the
     /// maximum over SMs (they run independently; the shared L2/DRAM is a
     /// per-SM latency/bandwidth model, see DESIGN.md).
+    ///
+    /// All user-reachable failures — lowering errors, bad arguments,
+    /// barrier deadlocks, cycle-budget exhaustion — come back as a
+    /// structured [`SimError`], never a panic (see `error` module docs).
     pub fn launch(
         &mut self,
         kernel: &Kernel,
         launch: LaunchConfig,
         args: &[Arg],
         mem: &mut GlobalMem,
-    ) -> Result<LaunchStats, LowerError> {
+    ) -> Result<LaunchStats, SimError> {
         let program = bytecode::lower(kernel)?;
-        Ok(self.launch_program(&program, launch, args, mem))
+        self.launch_program(&program, launch, args, mem)
     }
 
     /// Run an already-lowered [`Program`]. Useful when the same kernel is
@@ -101,7 +107,7 @@ impl Gpu {
         launch: LaunchConfig,
         args: &[Arg],
         mem: &mut GlobalMem,
-    ) -> LaunchStats {
+    ) -> Result<LaunchStats, SimError> {
         sm::run_launch(&self.config, program, launch, args, mem)
     }
 }

@@ -1,5 +1,7 @@
 //! Simulated global (off-chip) memory and kernel arguments.
 
+use crate::error::SimError;
+
 /// Handle to a device buffer in [`GlobalMem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Buffer {
@@ -105,22 +107,42 @@ impl GlobalMem {
             .collect()
     }
 
-    /// Overwrite a buffer's contents with floats (must fit).
-    pub fn write_f32(&mut self, b: Buffer, data: &[f32]) {
-        assert!(data.len() as u32 <= b.len, "write exceeds buffer length");
+    /// Check that a host-side write of `len` elements fits in `b`,
+    /// reporting the first out-of-range byte address and the offending
+    /// buffer handle otherwise.
+    fn check_write(b: Buffer, len: usize) -> Result<(), SimError> {
+        if len as u32 <= b.len {
+            Ok(())
+        } else {
+            Err(SimError::OutOfBounds {
+                kernel: "<host>".into(),
+                pc: 0,
+                addr: b.addr + b.len * 4,
+                buffer: format!("{b:?}"),
+            })
+        }
+    }
+
+    /// Overwrite a buffer's contents with floats. Writes past the end of
+    /// the allocation return [`SimError::OutOfBounds`] naming the buffer.
+    pub fn write_f32(&mut self, b: Buffer, data: &[f32]) -> Result<(), SimError> {
+        Self::check_write(b, data.len())?;
         let start = b.addr as usize / 4;
         for (i, v) in data.iter().enumerate() {
             self.words[start + i] = v.to_bits();
         }
+        Ok(())
     }
 
-    /// Overwrite a buffer's contents with ints (must fit).
-    pub fn write_i32(&mut self, b: Buffer, data: &[i32]) {
-        assert!(data.len() as u32 <= b.len, "write exceeds buffer length");
+    /// Overwrite a buffer's contents with ints. Writes past the end of
+    /// the allocation return [`SimError::OutOfBounds`] naming the buffer.
+    pub fn write_i32(&mut self, b: Buffer, data: &[i32]) -> Result<(), SimError> {
+        Self::check_write(b, data.len())?;
         let start = b.addr as usize / 4;
         for (i, v) in data.iter().enumerate() {
             self.words[start + i] = *v as u32;
         }
+        Ok(())
     }
 
     /// Load a word by byte address. Out-of-bounds reads return 0 (the
@@ -190,7 +212,23 @@ mod tests {
     fn write_f32_overwrites() {
         let mut m = GlobalMem::new();
         let a = m.alloc_zeroed(3);
-        m.write_f32(a, &[1.0, 2.0, 3.0]);
+        m.write_f32(a, &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(m.read_f32(a), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn oversized_write_reports_the_buffer_handle() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_zeroed(2);
+        let err = m.write_f32(a, &[0.0; 3]).unwrap_err();
+        match &err {
+            SimError::OutOfBounds { kernel, buffer, .. } => {
+                assert_eq!(kernel, "<host>");
+                assert_eq!(buffer, &format!("{a:?}"));
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        let err = m.write_i32(a, &[0; 5]).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
     }
 }

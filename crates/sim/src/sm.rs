@@ -24,6 +24,7 @@
 use crate::bytecode::{builtin_reg, CmpOp, FBinOp, FUnOp, IBinOp, Op, Program};
 use crate::cache::L1Cache;
 use crate::config::GpuConfig;
+use crate::error::SimError;
 use crate::mem::{Arg, GlobalMem};
 use crate::metrics::LaunchStats;
 use crate::occupancy::max_resident_tbs;
@@ -36,21 +37,28 @@ use std::collections::VecDeque;
 /// each SM to completion. SMs interact only through (functional) global
 /// memory; timing-wise each has its own L1D and off-chip port, so they are
 /// simulated independently and total `cycles` is the maximum over SMs.
+///
+/// Every user-reachable failure — bad arguments, unlaunchable geometry,
+/// barrier deadlock, cycle-budget exhaustion — returns a structured
+/// [`SimError`] instead of panicking, so one bad candidate in a sweep is a
+/// recordable outcome, not a dead worker.
 pub fn run_launch(
     config: &GpuConfig,
     program: &Program,
     launch: LaunchConfig,
     args: &[Arg],
     mem: &mut GlobalMem,
-) -> LaunchStats {
-    assert_eq!(
-        args.len(),
-        program.param_regs.len(),
-        "kernel `{}` takes {} argument(s), {} given",
-        program.name,
-        program.param_regs.len(),
-        args.len()
-    );
+) -> Result<LaunchStats, SimError> {
+    if args.len() != program.param_regs.len() {
+        return Err(SimError::BadArgument {
+            kernel: program.name.clone(),
+            message: format!(
+                "takes {} argument(s), {} given",
+                program.param_regs.len(),
+                args.len()
+            ),
+        });
+    }
     // Like the CUDA driver, auto-raise the shared-memory carve-out when
     // the kernel's static shared memory exceeds the configured one.
     let auto_cfg;
@@ -58,12 +66,13 @@ pub fn run_launch(
         auto_cfg = config
             .clone()
             .with_smem_for(program.smem_bytes)
-            .unwrap_or_else(|| {
-                panic!(
-                    "kernel `{}` declares {} B of shared memory, above the largest carve-out",
-                    program.name, program.smem_bytes
-                )
-            });
+            .ok_or_else(|| SimError::BadArgument {
+                kernel: program.name.clone(),
+                message: format!(
+                    "declares {} B of shared memory, above the largest carve-out",
+                    program.smem_bytes
+                ),
+            })?;
         &auto_cfg
     } else {
         config
@@ -75,15 +84,18 @@ pub fn run_launch(
         launch.threads_per_block(),
     );
     let resident = occ.resident_tbs();
-    assert!(
-        resident > 0,
-        "kernel `{}` cannot launch: a single block exceeds SM resources \
-         (smem {} B, {} regs/thread, {} threads/block)",
-        program.name,
-        program.smem_bytes,
-        program.num_regs,
-        launch.threads_per_block()
-    );
+    if resident == 0 {
+        return Err(SimError::BadArgument {
+            kernel: program.name.clone(),
+            message: format!(
+                "cannot launch: a single block exceeds SM resources \
+                 (smem {} B, {} regs/thread, {} threads/block)",
+                program.smem_bytes,
+                program.num_regs,
+                launch.threads_per_block()
+            ),
+        });
+    }
 
     let num_blocks = launch.num_blocks();
     let mut total = LaunchStats {
@@ -91,8 +103,10 @@ pub fn run_launch(
         ..LaunchStats::default()
     };
     if num_blocks == 0 {
-        return total;
+        return Ok(total);
     }
+
+    let fuel = config.fuel_budget(mem.footprint_bytes() as u64);
 
     // Round-robin distribution of linear block ids over SMs.
     let num_sms = config.num_sms.max(1);
@@ -102,8 +116,17 @@ pub fn run_launch(
             continue;
         }
         let trace_this_sm = config.trace_requests && sm_id == 0;
-        let mut sm = Sm::new(config, program, launch, args, mem, resident, trace_this_sm);
-        let stats = sm.run(blocks);
+        let mut sm = Sm::new(
+            config,
+            program,
+            launch,
+            args,
+            mem,
+            resident,
+            trace_this_sm,
+            fuel,
+        );
+        let stats = sm.run(blocks)?;
         total.instructions += stats.instructions;
         total.l1_accesses += stats.l1_accesses;
         total.l1_hits += stats.l1_hits;
@@ -115,7 +138,7 @@ pub fn run_launch(
             total.trace = stats.trace;
         }
     }
-    total
+    Ok(total)
 }
 
 struct TbSlot {
@@ -153,11 +176,15 @@ struct Sm<'a> {
     active_tb_limit: usize,
     /// DYNCTA sampling-window state: (window start cycle, busy cycles).
     dyncta_window: (u64, u64),
+    /// Cycle-fuel budget for this launch (`None` = unlimited). Checked at
+    /// the top of the run loop, so skip-ahead jumps are charged too.
+    fuel: Option<u64>,
     trace: bool,
     stats: LaunchStats,
 }
 
 impl<'a> Sm<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         config: &'a GpuConfig,
         program: &'a Program,
@@ -166,6 +193,7 @@ impl<'a> Sm<'a> {
         mem: &'a mut GlobalMem,
         resident: u32,
         trace: bool,
+        fuel: Option<u64>,
     ) -> Sm<'a> {
         let warps_per_tb = launch.warps_per_block();
         let nwarps = (resident * warps_per_tb) as usize;
@@ -196,8 +224,35 @@ impl<'a> Sm<'a> {
             dispatch_age: 0,
             active_tb_limit: resident as usize,
             dyncta_window: (0, 0),
+            fuel,
             trace,
             stats: LaunchStats::default(),
+        }
+    }
+
+    /// Warps currently parked at a `__syncthreads()` barrier.
+    fn parked_warps(&self) -> usize {
+        self.warps
+            .iter()
+            .filter(|w| w.state == WarpState::AtBarrier)
+            .count()
+    }
+
+    /// The fuel ran out: classify the failure. Warps still parked at a
+    /// barrier mean a peer never arrived (e.g. a spinning sibling warp) —
+    /// report that as the deadlock it is; otherwise it is a plain runaway.
+    fn out_of_fuel(&self) -> SimError {
+        let parked = self.parked_warps();
+        if parked > 0 {
+            SimError::BarrierDeadlock {
+                kernel: self.program.name.clone(),
+                parked_warps: parked,
+            }
+        } else {
+            SimError::FuelExhausted {
+                kernel: self.program.name.clone(),
+                cycles: self.cycle,
+            }
         }
     }
 
@@ -228,8 +283,13 @@ impl<'a> Sm<'a> {
         self.dyncta_window = (self.cycle, 0);
     }
 
-    fn run(&mut self, mut pending: VecDeque<u32>) -> LaunchStats {
+    fn run(&mut self, mut pending: VecDeque<u32>) -> Result<LaunchStats, SimError> {
         loop {
+            if let Some(fuel) = self.fuel {
+                if self.cycle >= fuel {
+                    return Err(self.out_of_fuel());
+                }
+            }
             self.release_barriers();
             self.retire_and_refill(&mut pending);
             if pending.is_empty() && self.tbs.iter().all(|t| t.block.is_none()) {
@@ -238,7 +298,7 @@ impl<'a> Sm<'a> {
             let mut issued = false;
             for sched in 0..self.last_issued.len() {
                 if let Some(w) = self.pick(sched) {
-                    self.issue(w);
+                    self.issue(w)?;
                     self.stall_until[w] = self.cycle;
                     self.last_issued[sched] = Some(w);
                     issued = true;
@@ -258,18 +318,15 @@ impl<'a> Sm<'a> {
                         }
                         // No Ready warp can ever issue. Barriers release at
                         // the top of the loop; reaching here with parked
-                        // warps means a real deadlock (a bug).
-                        let parked = self
-                            .warps
-                            .iter()
-                            .filter(|w| w.state == WarpState::AtBarrier)
-                            .count();
-                        assert!(
-                            parked == 0,
-                            "simulator deadlock in `{}`: {} warp(s) parked at a barrier with no runnable peer",
-                            self.program.name,
-                            parked
-                        );
+                        // warps means a real deadlock — a peer that will
+                        // never arrive.
+                        let parked = self.parked_warps();
+                        if parked > 0 {
+                            return Err(SimError::BarrierDeadlock {
+                                kernel: self.program.name.clone(),
+                                parked_warps: parked,
+                            });
+                        }
                     }
                 }
             }
@@ -279,7 +336,7 @@ impl<'a> Sm<'a> {
         stats.l1_accesses = self.cache.accesses;
         stats.l1_hits = self.cache.hits + self.cache.mshr_merges;
         stats.offchip_requests = self.cache.offchip_requests;
-        stats
+        Ok(stats)
     }
 
     // ----- dispatch ------------------------------------------------------
@@ -465,7 +522,18 @@ impl<'a> Sm<'a> {
 
     // ----- execution -----------------------------------------------------
 
-    fn issue(&mut self, wi: usize) {
+    /// A divergence-stack mismatch is a lowering bug; surfacing it as
+    /// [`SimError::MalformedProgram`] keeps one bad program from killing a
+    /// whole evaluation worker.
+    fn malformed(&self, pc: usize, message: &str) -> SimError {
+        SimError::MalformedProgram {
+            kernel: self.program.name.clone(),
+            pc: pc as u32,
+            message: message.to_string(),
+        }
+    }
+
+    fn issue(&mut self, wi: usize) -> Result<(), SimError> {
         self.stats.instructions += 1;
         let pc = self.warps[wi].pc as usize;
         let op = self.program.ops[pc];
@@ -638,7 +706,7 @@ impl<'a> Sm<'a> {
             Op::Else { end_pc } => {
                 let w = &mut self.warps[wi];
                 let Some(Frame::If { else_mask, .. }) = w.stack.last_mut() else {
-                    panic!("Else without If frame in `{}`", self.program.name);
+                    return Err(self.malformed(pc, "Else without If frame"));
                 };
                 let em = *else_mask;
                 if em != 0 {
@@ -652,7 +720,7 @@ impl<'a> Sm<'a> {
             Op::EndIf => {
                 let w = &mut self.warps[wi];
                 let Some(Frame::If { restore, .. }) = w.stack.pop() else {
-                    panic!("EndIf without If frame in `{}`", self.program.name);
+                    return Err(self.malformed(pc, "EndIf without If frame"));
                 };
                 w.active = restore & !w.exited & w.innermost_loop_live();
                 w.pc += 1;
@@ -676,7 +744,7 @@ impl<'a> Sm<'a> {
                     restore,
                 }) = w.stack.last_mut()
                 else {
-                    panic!("LoopTest without Loop frame in `{}`", self.program.name);
+                    return Err(self.malformed(pc, "LoopTest without Loop frame"));
                 };
                 *live &= cond_lanes & !exited;
                 if *live == 0 {
@@ -692,7 +760,7 @@ impl<'a> Sm<'a> {
             Op::LoopJump { cond_pc } => {
                 let w = &mut self.warps[wi];
                 let Some(Frame::Loop { live, .. }) = w.stack.last() else {
-                    panic!("LoopJump without Loop frame in `{}`", self.program.name);
+                    return Err(self.malformed(pc, "LoopJump without Loop frame"));
                 };
                 w.active = *live;
                 w.pc = cond_pc;
@@ -708,7 +776,9 @@ impl<'a> Sm<'a> {
                         break;
                     }
                 }
-                assert!(found, "Break outside loop in `{}`", self.program.name);
+                if !found {
+                    return Err(self.malformed(pc, "Break outside loop"));
+                }
                 w.active = 0;
                 w.pc += 1;
             }
@@ -723,6 +793,7 @@ impl<'a> Sm<'a> {
                 w.state = WarpState::Done;
             }
         }
+        Ok(())
     }
 
     fn finish_alu(&mut self, wi: usize, dst: u16, sfu: bool) {

@@ -1,0 +1,43 @@
+//! `CATT_SIM_FUEL` environment override. Kept to a single test so the
+//! process-global environment mutation cannot race another test in the
+//! same binary.
+
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, SimError, FUEL_BASE};
+
+#[test]
+fn env_fuel_overrides_config_and_off_disables_it() {
+    let src = "
+        __global__ void spin(float *a, int n) {
+            for (int j = 0; j < n; j++) { a[j % 32] += 1.0; }
+        }";
+    let k = parse_kernel(src).unwrap();
+    let launch = LaunchConfig::d1(1, 32);
+
+    // Env beats the (generous) config budget: a tiny env fuel starves
+    // the loop even though the config would allow it.
+    std::env::set_var("CATT_SIM_FUEL", "1500");
+    let mut config = GpuConfig::small();
+    config.sim_fuel = Some(FUEL_BASE);
+    assert_eq!(config.fuel_budget(0), Some(1_500));
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let err = Gpu::new(config.clone())
+        .launch(&k, launch, &[Arg::Buf(ba), Arg::I32(1_000_000)], &mut mem)
+        .unwrap_err();
+    assert!(matches!(err, SimError::FuelExhausted { .. }), "{err}");
+
+    // "off" (or "0") disables the budget entirely: a finite loop that
+    // would overrun 1500 cycles now completes.
+    std::env::set_var("CATT_SIM_FUEL", "off");
+    assert_eq!(config.fuel_budget(0), None);
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let stats = Gpu::new(config)
+        .launch(&k, launch, &[Arg::Buf(ba), Arg::I32(500)], &mut mem)
+        .unwrap();
+    assert!(stats.cycles > 1_500);
+
+    std::env::remove_var("CATT_SIM_FUEL");
+}

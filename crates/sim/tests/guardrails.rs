@@ -1,0 +1,156 @@
+//! Guard-rail integration tests: every user-reachable failure on the
+//! execution path must surface as a structured [`SimError`], never a
+//! panic. Fuel budgets are set per-test through `GpuConfig::sim_fuel`
+//! (the programmatic knob behind `CATT_SIM_FUEL`), so no test depends on
+//! process environment.
+
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, SimError};
+
+fn launch(
+    src: &str,
+    launch: LaunchConfig,
+    args: &[Arg],
+    mem: &mut GlobalMem,
+    fuel: Option<u64>,
+) -> Result<catt_sim::LaunchStats, SimError> {
+    let k = parse_kernel(src).unwrap();
+    let mut config = GpuConfig::small();
+    config.sim_fuel = fuel;
+    Gpu::new(config).launch(&k, launch, args, mem)
+}
+
+#[test]
+fn starved_barrier_is_reported_as_deadlock() {
+    // Warp 0 grinds through a long loop while warp 1 parks at the
+    // barrier. Under a tiny fuel budget the loop never finishes, so the
+    // exhaustion is classified as a barrier deadlock (a warp was still
+    // parked waiting on peers when the budget ran out).
+    let src = "
+        __global__ void starve(float *a, int n) {
+            int w = threadIdx.x / 32;
+            if (w == 0) {
+                for (int j = 0; j < n; j++) { a[j % 32] += 1.0; }
+            }
+            __syncthreads();
+            a[threadIdx.x] = 2.0;
+        }";
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(64);
+    let err = launch(
+        src,
+        LaunchConfig::d1(1, 64),
+        &[Arg::Buf(ba), Arg::I32(1_000_000)],
+        &mut mem,
+        Some(2_000),
+    )
+    .unwrap_err();
+    match err {
+        SimError::BarrierDeadlock {
+            kernel,
+            parked_warps,
+        } => {
+            assert_eq!(kernel, "starve");
+            assert!(parked_warps >= 1, "parked {parked_warps}");
+        }
+        other => panic!("expected BarrierDeadlock, got {other}"),
+    }
+}
+
+#[test]
+fn runaway_loop_exhausts_fuel() {
+    // A single warp spinning in a long loop with no barrier: fuel runs
+    // out with nothing parked, so the error is FuelExhausted.
+    let src = "
+        __global__ void spin(float *a, int n) {
+            for (int j = 0; j < n; j++) { a[j % 32] += 1.0; }
+        }";
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let err = launch(
+        src,
+        LaunchConfig::d1(1, 32),
+        &[Arg::Buf(ba), Arg::I32(1_000_000)],
+        &mut mem,
+        Some(2_000),
+    )
+    .unwrap_err();
+    match err {
+        SimError::FuelExhausted { kernel, cycles } => {
+            assert_eq!(kernel, "spin");
+            assert!(cycles >= 2_000, "cycles {cycles}");
+        }
+        other => panic!("expected FuelExhausted, got {other}"),
+    }
+    // The message points the user at the escape hatch.
+    let rendered = format!(
+        "{}",
+        SimError::FuelExhausted {
+            kernel: "spin".into(),
+            cycles: 2_000,
+        }
+    );
+    assert!(rendered.contains("CATT_SIM_FUEL"), "{rendered}");
+}
+
+#[test]
+fn same_kernel_finishes_under_the_default_budget() {
+    // The derived footprint-based budget is generous enough for a real
+    // (finite) run of the same loop.
+    let src = "
+        __global__ void spin(float *a, int n) {
+            for (int j = 0; j < n; j++) { a[j % 32] += 1.0; }
+        }";
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let stats = launch(
+        src,
+        LaunchConfig::d1(1, 32),
+        &[Arg::Buf(ba), Arg::I32(100)],
+        &mut mem,
+        None,
+    )
+    .unwrap();
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn argument_count_mismatch_is_a_bad_argument() {
+    let src = "
+        __global__ void two(float *a, int n) {
+            a[threadIdx.x] = 1.0;
+        }";
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let err = launch(
+        src,
+        LaunchConfig::d1(1, 32),
+        &[Arg::Buf(ba)], // kernel expects two arguments
+        &mut mem,
+        None,
+    )
+    .unwrap_err();
+    match err {
+        SimError::BadArgument { kernel, message } => {
+            assert_eq!(kernel, "two");
+            assert!(message.contains('2') && message.contains('1'), "{message}");
+        }
+        other => panic!("expected BadArgument, got {other}"),
+    }
+}
+
+#[test]
+fn host_write_past_buffer_end_names_the_buffer() {
+    let mut mem = GlobalMem::new();
+    let b = mem.alloc_zeroed(4);
+    let err = mem.write_f32(b, &[0.0; 8]).unwrap_err();
+    match err {
+        SimError::OutOfBounds { buffer, .. } => {
+            assert!(!buffer.is_empty());
+        }
+        other => panic!("expected OutOfBounds, got {other}"),
+    }
+    // The original contents are untouched after a rejected write.
+    assert_eq!(mem.read_f32(b), vec![0.0; 4]);
+}

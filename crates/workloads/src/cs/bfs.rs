@@ -97,7 +97,8 @@ fn run(kernels: &[Kernel], config: &GpuConfig, validate: bool) -> LaunchStats {
     // Host loop: launch the kernel pair until kernel 2 stops raising the
     // flag (Rodinia's `stop` protocol). Bounded to the worst diameter.
     for _level in 0..NODES {
-        mem.write_i32(bflag, &[0]);
+        mem.write_i32(bflag, &[0])
+            .expect("flag buffer fits one word");
         let stats = exec_sequence(
             kernels,
             &[LAUNCHES[0].1, LAUNCHES[1].1],

@@ -22,4 +22,22 @@ echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --workspace $OFFLINE
 cargo test --release --workspace $OFFLINE -q
 
+echo "==> guard rails: no panic!/bare assert! on the simulator execution path"
+# The execution path must fail through SimError, not panics. Strip test
+# modules (everything from the #[cfg(test)] marker on) before grepping;
+# debug_assert! stays allowed (compiled out of release).
+for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
+         crates/sim/src/lib.rs crates/sim/src/cache.rs; do
+    [ -f "$f" ] || continue
+    if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^[[:space:]]*//' \
+        | grep -nE '(^|[^_a-zA-Z])(panic!|assert!|assert_eq!|assert_ne!|unreachable!|todo!|unimplemented!)\(' ; then
+        echo "error: panic/assert on the execution path in $f (use SimError)" >&2
+        exit 1
+    fi
+done
+
+echo "==> fault injection: sweep + cache survive an armed CATT_FAULT_PLAN"
+CATT_ENGINE_WORKERS=1 CATT_FAULT_PLAN="panic-job=2,corrupt-cache" \
+    cargo test --release -p catt-core $OFFLINE -q --test fault_env
+
 echo "==> all checks passed"

@@ -3,7 +3,7 @@
 //! ```text
 //! catt compile kernels.cu --launch atax_kernel1=320x256 [--l1 32] [-o out.cu]
 //! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
-//! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32]
+//! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>]
 //! ```
 //!
 //! * `analyze` prints the per-loop footprint analysis and throttling
@@ -25,7 +25,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
-         [--launch ...] [--l1 <KB>] [--args <spec,...>] [-o <out.cu>]"
+         [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--args <spec,...>] [-o <out.cu>]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +60,7 @@ fn main() -> ExitCode {
     let path = &argv[1];
     let mut launches: Vec<(String, LaunchConfig)> = Vec::new();
     let mut l1_kb: Option<u32> = None;
+    let mut fuel: Option<u64> = None;
     let mut out_path: Option<String> = None;
     let mut arg_spec: Option<String> = None;
     let mut i = 2;
@@ -75,6 +76,10 @@ fn main() -> ExitCode {
             }
             "--l1" if i + 1 < argv.len() => {
                 l1_kb = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--fuel" if i + 1 < argv.len() => {
+                fuel = argv[i + 1].parse().ok();
                 i += 2;
             }
             "--args" if i + 1 < argv.len() => {
@@ -106,6 +111,9 @@ fn main() -> ExitCode {
     let mut config = GpuConfig::titan_v_1sm();
     if let Some(kb) = l1_kb {
         config.l1_cap_bytes = Some(kb * 1024);
+    }
+    if let Some(n) = fuel {
+        config.sim_fuel = Some(n);
     }
     let pipe = Pipeline::new(config.clone());
     let refs: Vec<(&str, LaunchConfig)> = launches.iter().map(|(n, l)| (n.as_str(), *l)).collect();
