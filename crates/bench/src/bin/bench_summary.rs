@@ -1,0 +1,193 @@
+//! `bench_summary` — wall-clock throughput of the simulator itself, in
+//! both execution modes (DESIGN.md "Parallel SM execution").
+//!
+//! Runs every registry workload directly (no simulation cache, no output
+//! validation — this measures the simulator, not the harness) under the
+//! sequential and the parallel per-SM path, reports the median wall time
+//! of N samples plus simulated-cycles-per-second, and writes the machine-
+//! readable summary to `BENCH_sim.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p catt-bench --bin bench_summary -- \
+//!     [--samples N] [--apps bfs,spmv] [--sms N] [--out path.json]
+//! ```
+//!
+//! Non-gating: CI runs this as an artifact-producing step only. Speedup
+//! on a single-core runner is expected to hover around 1x (the parallel
+//! path clamps its thread budget to `available_parallelism`); the ≥ 4-core
+//! target is where the per-SM fan-out pays off.
+
+use catt_sim::GpuConfig;
+use catt_workloads::registry;
+use std::time::Instant;
+
+struct AppRow {
+    abbrev: &'static str,
+    /// Median wall time per run, sequential / parallel (milliseconds).
+    seq_ms: f64,
+    par_ms: f64,
+    /// Simulated cycles of one run (identical across modes by the
+    /// equivalence suite; asserted here too).
+    sim_cycles: u64,
+}
+
+impl AppRow {
+    fn speedup(&self) -> f64 {
+        self.seq_ms / self.par_ms
+    }
+    /// Simulated megacycles per wall-clock second, parallel mode.
+    fn mcycles_per_s(&self) -> f64 {
+        self.sim_cycles as f64 / 1e3 / self.par_ms
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn mode_config(sms: u32, parallel: bool) -> GpuConfig {
+    let mut c = GpuConfig::titan_v();
+    c.num_sms = sms;
+    // Explicit mode select; thread budget left to the derived default
+    // (available_parallelism / active engine workers).
+    c.sm_parallel = Some(parallel);
+    c
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut samples = 3usize;
+    let mut sms = 8u32;
+    let mut apps: Option<Vec<String>> = None;
+    let mut out = "BENCH_sim.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--samples" if i + 1 < argv.len() => {
+                samples = argv[i + 1].parse().unwrap_or(samples).max(1);
+                i += 2;
+            }
+            "--sms" if i + 1 < argv.len() => {
+                sms = argv[i + 1].parse().unwrap_or(sms).max(1);
+                i += 2;
+            }
+            "--apps" if i + 1 < argv.len() => {
+                apps = Some(argv[i + 1].split(',').map(str::to_string).collect());
+                i += 2;
+            }
+            "--out" if i + 1 < argv.len() => {
+                out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!(
+                    "bench_summary: unknown option `{other}` \
+                     (want --samples N | --apps a,b | --sms N | --out path)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("bench_summary: {sms} SMs, {samples} samples/mode, host parallelism {host_threads}");
+
+    let mut rows: Vec<AppRow> = Vec::new();
+    for w in registry::all_workloads() {
+        if let Some(filter) = &apps {
+            if !filter.iter().any(|a| a == w.abbrev) {
+                continue;
+            }
+        }
+        let kernels = w.kernels();
+        let time_mode = |parallel: bool| -> (f64, u64) {
+            let cfg = mode_config(sms, parallel);
+            // Warm-up run (first-touch allocation, lazy statics).
+            let warm = (w.run)(&kernels, &cfg, false);
+            let mut wall: Vec<f64> = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let t0 = Instant::now();
+                let stats = (w.run)(&kernels, &cfg, false);
+                wall.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(stats.cycles, warm.cycles, "{}: non-deterministic", w.abbrev);
+            }
+            (median(&mut wall), warm.cycles)
+        };
+        let (seq_ms, seq_cycles) = time_mode(false);
+        let (par_ms, par_cycles) = time_mode(true);
+        assert_eq!(
+            seq_cycles, par_cycles,
+            "{}: modes disagree on simulated cycles",
+            w.abbrev
+        );
+        let row = AppRow {
+            abbrev: w.abbrev,
+            seq_ms,
+            par_ms,
+            sim_cycles: seq_cycles,
+        };
+        println!(
+            "  {:<6} seq {:>9.2} ms | par {:>9.2} ms | speedup {:>5.2}x | {:>8.1} Mcyc/s",
+            row.abbrev,
+            row.seq_ms,
+            row.par_ms,
+            row.speedup(),
+            row.mcycles_per_s(),
+        );
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        eprintln!("bench_summary: no workloads matched");
+        std::process::exit(2);
+    }
+
+    let geomean_speedup =
+        (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let total_seq: f64 = rows.iter().map(|r| r.seq_ms).sum();
+    let total_par: f64 = rows.iter().map(|r| r.par_ms).sum();
+    println!(
+        "total: seq {total_seq:.1} ms | par {total_par:.1} ms | \
+         geomean speedup {geomean_speedup:.2}x"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{ \"num_sms\": {sms}, \"samples\": {samples}, \
+         \"host_parallelism\": {host_threads} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"geomean_speedup\": {geomean_speedup:.4},\n  \"apps\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \
+             \"speedup\": {:.4}, \"sim_cycles\": {}, \"mcycles_per_s\": {:.1} }}{}\n",
+            json_escape(r.abbrev),
+            r.seq_ms,
+            r.par_ms,
+            r.speedup(),
+            r.sim_cycles,
+            r.mcycles_per_s(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_summary: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

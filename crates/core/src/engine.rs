@@ -41,7 +41,11 @@
 //! * `CATT_SIMCACHE=mem` — in-memory layer only, nothing persisted;
 //! * `CATT_SIMCACHE=<dir>` — persist under `<dir>` instead of
 //!   `results/.simcache/`;
-//! * `CATT_ENGINE_WORKERS=<n>` — override the worker-pool bound;
+//! * `CATT_ENGINE_WORKERS=<n>` — override the worker-pool bound. The
+//!   active count is published to `catt-sim` for the duration of each
+//!   batch, so per-launch SM parallelism (`CATT_SIM_SM_PARALLEL`) budgets
+//!   `available_parallelism / workers` threads per launch instead of
+//!   oversubscribing the machine;
 //! * `CATT_ENGINE_PROGRESS=off|summary|full` — stderr verbosity
 //!   (default `summary`: one line per batch, no per-job ticker);
 //! * `CATT_ENGINE_RETRIES=<n>` — retry budget for retryable failures
@@ -670,6 +674,11 @@ impl Engine {
         slots.resize_with(total, || None);
         let (tx, rx) = mpsc::channel::<(usize, Duration, Result<T, JobError>)>();
         let threads = self.workers.min(total);
+        // Publish this batch's worker count to the simulator so per-launch
+        // SM parallelism divides the machine instead of multiplying into
+        // it (W workers × S SM threads): each job's launches derive their
+        // SM thread budget as available_parallelism / active workers.
+        catt_sim::add_active_engine_workers(threads);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -719,6 +728,7 @@ impl Engine {
                 );
             }
         });
+        catt_sim::remove_active_engine_workers(threads);
         slots
             .into_iter()
             .map(|s| s.expect("every job slot filled by the pool"))
@@ -813,6 +823,19 @@ mod tests {
             Ok(())
         });
         assert!(peak.load(Ordering::SeqCst) <= 3, "peak {:?}", peak);
+    }
+
+    #[test]
+    fn run_jobs_publishes_engine_worker_count_to_the_simulator() {
+        // The simulator's SM thread budget divides by the active worker
+        // count; each job must observe at least this batch's pool size
+        // (other concurrently-running test batches can only add to it).
+        let engine = Engine::with_workers(3);
+        let jobs: Vec<u32> = (0..6).collect();
+        let out = engine.run_jobs("hint", &jobs, |_, _| Ok(catt_sim::engine_workers_hint()));
+        for r in out {
+            assert!(r.unwrap() >= 3);
+        }
     }
 
     #[test]

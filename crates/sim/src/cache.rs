@@ -36,7 +36,13 @@ pub struct AccessResult {
 /// L1 data cache (tag store + MSHR timing).
 pub struct L1Cache {
     cfg: L1Config,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one contiguous allocation: set `s` occupies
+    /// `lines[s * assoc .. (s + 1) * assoc]`. One flat `Vec` instead of a
+    /// `Vec<Vec<Line>>` keeps each set's ways on a single cache line of
+    /// the *host* and kills the per-access pointer chase — this structure
+    /// is probed on every simulated load and store.
+    lines: Vec<Line>,
+    assoc: usize,
     use_counter: u64,
     /// Statistics: load accesses.
     pub accesses: u64,
@@ -51,10 +57,20 @@ pub struct L1Cache {
 impl L1Cache {
     /// Empty cache with the given geometry.
     pub fn new(cfg: L1Config) -> L1Cache {
-        let sets = vec![Vec::new(); cfg.num_sets() as usize];
+        let assoc = (cfg.assoc as usize).max(1);
+        let lines = vec![
+            Line {
+                tag: 0,
+                ready: 0,
+                last_use: 0,
+                valid: false,
+            };
+            cfg.num_sets() as usize * assoc
+        ];
         L1Cache {
             cfg,
-            sets,
+            lines,
+            assoc,
             use_counter: 0,
             accesses: 0,
             hits: 0,
@@ -104,8 +120,8 @@ impl L1Cache {
         self.use_counter += 1;
         let line_addr = byte_addr / self.cfg.line_bytes;
         let (set_idx, tag) = self.set_and_tag(line_addr);
-        let assoc = self.cfg.assoc as usize;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.assoc;
+        let set = &mut self.lines[base..base + self.assoc];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = self.use_counter;
@@ -136,14 +152,18 @@ impl L1Cache {
                 last_use: self.use_counter,
                 valid: true,
             };
-            if set.len() < assoc {
-                set.push(new_line);
-            } else {
-                let lru = set
-                    .iter_mut()
-                    .min_by_key(|l| l.last_use)
-                    .expect("non-empty set");
-                *lru = new_line;
+            // Fill the first invalid way; with the set full, evict the
+            // LRU (only valid ways matter: their `last_use` is always
+            // above an invalid way's 0 once touched).
+            match set.iter_mut().find(|l| !l.valid) {
+                Some(slot) => *slot = new_line,
+                None => {
+                    let lru = set
+                        .iter_mut()
+                        .min_by_key(|l| l.last_use)
+                        .expect("assoc >= 1 ways per set");
+                    *lru = new_line;
+                }
             }
             AccessResult {
                 hit: false,
@@ -161,7 +181,8 @@ impl L1Cache {
         self.offchip_requests += 1;
         let line_addr = byte_addr / self.cfg.line_bytes;
         let (set_idx, tag) = self.set_and_tag(line_addr);
-        if let Some(line) = self.sets[set_idx]
+        let base = set_idx * self.assoc;
+        if let Some(line) = self.lines[base..base + self.assoc]
             .iter_mut()
             .find(|l| l.valid && l.tag == tag)
         {
@@ -180,10 +201,7 @@ impl L1Cache {
 
     /// Number of resident (valid) lines — for invariants in tests.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 }
 

@@ -112,6 +112,21 @@ pub struct GpuConfig {
     /// [`GpuConfig::content_digest`] — fuel bounds the simulation, it does
     /// not change its result.
     pub sim_fuel: Option<u64>,
+    /// Run the per-SM simulation loops of one launch on parallel worker
+    /// threads (snapshot + store-log memory, bit-identical results — see
+    /// DESIGN.md "Parallel SM execution"). `None` follows the
+    /// `CATT_SIM_SM_PARALLEL` environment variable (`off`/`0`/`false`
+    /// disables; default on); `Some` wins over the environment. Excluded
+    /// from [`GpuConfig::content_digest`] — parallelism is an execution
+    /// strategy, not a simulated parameter.
+    pub sm_parallel: Option<bool>,
+    /// Cap on the number of SM worker threads per launch. `None` follows
+    /// `CATT_SIM_SM_THREADS`, and failing that derives
+    /// `available_parallelism / active engine workers` (min 1) so a sweep
+    /// of W engine workers × S SM threads cannot oversubscribe the
+    /// machine (see [`engine_workers_hint`]). Excluded from
+    /// [`GpuConfig::content_digest`].
+    pub sm_threads: Option<usize>,
 }
 
 /// Baseline cycle allowance of the derived fuel budget (covers dispatch
@@ -171,6 +186,8 @@ impl GpuConfig {
             trace_requests: false,
             dyncta: None,
             sim_fuel: None,
+            sm_parallel: None,
+            sm_threads: None,
         }
     }
 
@@ -204,6 +221,8 @@ impl GpuConfig {
             trace_requests: false,
             dyncta: None,
             sim_fuel: None,
+            sm_parallel: None,
+            sm_threads: None,
         }
     }
 
@@ -279,6 +298,79 @@ impl GpuConfig {
     pub fn regs_per_sm(&self) -> u32 {
         self.regfile_bytes_per_sm / 4
     }
+
+    /// Whether this launch may run its SMs on parallel worker threads.
+    /// Resolution order: [`GpuConfig::sm_parallel`] (explicit config
+    /// wins, so tests and CLI flags are immune to ambient environment),
+    /// then `CATT_SIM_SM_PARALLEL` (`off`/`0`/`false`/`no` disables),
+    /// then the default: on. Parallel and sequential execution produce
+    /// bit-identical results (see DESIGN.md), so this is purely a
+    /// throughput knob.
+    pub fn sm_parallel_enabled(&self) -> bool {
+        if let Some(explicit) = self.sm_parallel {
+            return explicit;
+        }
+        match std::env::var("CATT_SIM_SM_PARALLEL") {
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            ),
+            Err(_) => true,
+        }
+    }
+
+    /// Resolve the SM worker-thread budget for one launch (≥ 1).
+    /// Resolution order: [`GpuConfig::sm_threads`], then
+    /// `CATT_SIM_SM_THREADS`, then the derived default
+    /// `available_parallelism / active engine workers` — so W engine
+    /// workers each running a launch get `cores / W` SM threads apiece
+    /// instead of W × cores oversubscription.
+    pub fn sm_thread_budget(&self) -> usize {
+        if let Some(n) = self.sm_threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("CATT_SIM_SM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (avail / engine_workers_hint().max(1)).max(1)
+    }
+}
+
+/// Number of engine worker threads currently running simulation jobs in
+/// this process. `catt_core::engine` raises it for the duration of each
+/// `run_jobs` batch; the per-launch SM thread budget divides
+/// `available_parallelism` by it (see [`GpuConfig::sm_thread_budget`]).
+static ACTIVE_ENGINE_WORKERS: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Register `n` additional active engine workers (call when a worker
+/// batch starts; pair with [`remove_active_engine_workers`]). Counting —
+/// rather than set/restore — keeps concurrent batches correct: two
+/// overlapping pools of 2 workers really are 4 threads competing for the
+/// machine.
+pub fn add_active_engine_workers(n: usize) {
+    ACTIVE_ENGINE_WORKERS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Deregister `n` active engine workers (batch finished).
+pub fn remove_active_engine_workers(n: usize) {
+    ACTIVE_ENGINE_WORKERS.fetch_sub(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current engine-worker count used to divide the machine between
+/// sweep-level and SM-level parallelism (≥ 1; 1 when no engine batch is
+/// running, i.e. single-launch paths get the whole machine).
+pub fn engine_workers_hint() -> usize {
+    ACTIVE_ENGINE_WORKERS
+        .load(std::sync::atomic::Ordering::Relaxed)
+        .max(1)
 }
 
 #[cfg(test)]
@@ -353,5 +445,49 @@ mod tests {
         let l1 = c.l1_config();
         assert_eq!(l1.num_lines(), 32);
         assert_eq!(l1.num_sets(), 8);
+    }
+
+    #[test]
+    fn explicit_sm_parallel_config_wins() {
+        // Env paths are covered by the integration suites; unit tests
+        // only pin the explicit-config precedence.
+        let mut c = GpuConfig::small();
+        c.sm_parallel = Some(false);
+        assert!(!c.sm_parallel_enabled());
+        c.sm_parallel = Some(true);
+        assert!(c.sm_parallel_enabled());
+    }
+
+    #[test]
+    fn explicit_sm_thread_budget_wins_and_clamps() {
+        let mut c = GpuConfig::small();
+        c.sm_threads = Some(6);
+        assert_eq!(c.sm_thread_budget(), 6);
+        c.sm_threads = Some(0);
+        assert_eq!(c.sm_thread_budget(), 1, "budget is clamped to >= 1");
+        c.sm_threads = None;
+        assert!(c.sm_thread_budget() >= 1);
+    }
+
+    #[test]
+    fn engine_worker_accounting_divides_the_derived_budget() {
+        // This test is the only unit-test user of the counter in this
+        // process, so exact arithmetic is safe.
+        assert_eq!(engine_workers_hint(), 1, "idle process counts as 1");
+        add_active_engine_workers(3);
+        assert_eq!(engine_workers_hint(), 3);
+        add_active_engine_workers(2);
+        assert_eq!(engine_workers_hint(), 5, "concurrent batches sum");
+        remove_active_engine_workers(5);
+        assert_eq!(engine_workers_hint(), 1);
+        // With many engine workers active, the derived SM budget bottoms
+        // out at 1 instead of underflowing (skipped when the environment
+        // pins an explicit thread count).
+        add_active_engine_workers(1_000);
+        if std::env::var("CATT_SIM_SM_THREADS").is_err() {
+            let c = GpuConfig::small();
+            assert_eq!(c.sm_thread_budget(), 1);
+        }
+        remove_active_engine_workers(1_000);
     }
 }

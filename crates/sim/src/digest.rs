@@ -86,10 +86,16 @@ impl GpuConfig {
     /// cached simulation results keyed on this config. The cycle-fuel
     /// budget (`sim_fuel`) is excluded: fuel bounds a simulation, it never
     /// changes the result of one that completes, so tightening or lifting
-    /// the budget must not invalidate cached results.
+    /// the budget must not invalidate cached results. The SM-parallelism
+    /// knobs (`sm_parallel`, `sm_threads`) are excluded for the same
+    /// reason: parallel and sequential execution are bit-identical (see
+    /// DESIGN.md "Parallel SM execution"), so flipping them must keep
+    /// serving cached results.
     pub fn content_digest(&self) -> u64 {
         let mut canonical = self.clone();
         canonical.sim_fuel = None;
+        canonical.sm_parallel = None;
+        canonical.sm_threads = None;
         let mut h = Fnv64::new();
         h.write_debug(&canonical);
         h.finish()
@@ -133,5 +139,18 @@ mod tests {
         let mut fueled = base.clone();
         fueled.sim_fuel = Some(1_000);
         assert_eq!(base.content_digest(), fueled.content_digest());
+    }
+
+    #[test]
+    fn sm_parallelism_knobs_do_not_change_the_digest() {
+        // Parallel and sequential launches are bit-identical, so a cached
+        // result must survive flipping the execution-strategy knobs.
+        let base = GpuConfig::titan_v_1sm();
+        let mut tuned = base.clone();
+        tuned.sm_parallel = Some(false);
+        tuned.sm_threads = Some(7);
+        assert_eq!(base.content_digest(), tuned.content_digest());
+        tuned.sm_parallel = Some(true);
+        assert_eq!(base.content_digest(), tuned.content_digest());
     }
 }

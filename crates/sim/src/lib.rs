@@ -49,10 +49,13 @@ pub mod sm;
 pub mod warp;
 
 pub use bytecode::{lower, LowerError, Program};
-pub use config::{GpuConfig, L1Config, Latencies, FUEL_BASE, FUEL_PER_BYTE, SMEM_CONFIGS_KB};
+pub use config::{
+    add_active_engine_workers, engine_workers_hint, remove_active_engine_workers, GpuConfig,
+    L1Config, Latencies, FUEL_BASE, FUEL_PER_BYTE, SMEM_CONFIGS_KB,
+};
 pub use digest::Fnv64;
 pub use error::SimError;
-pub use mem::{Arg, Buffer, GlobalMem};
+pub use mem::{Arg, Buffer, DeviceMem, GlobalMem, ShadowMem, StoreLog};
 pub use metrics::{LaunchStats, RequestTrace};
 pub use occupancy::{max_resident_tbs, OccupancyLimits};
 
@@ -83,7 +86,10 @@ impl Gpu {
     /// each SM runs its blocks under the occupancy limits implied by the
     /// kernel's shared-memory and register usage. Reported `cycles` is the
     /// maximum over SMs (they run independently; the shared L2/DRAM is a
-    /// per-SM latency/bandwidth model, see DESIGN.md).
+    /// per-SM latency/bandwidth model, see DESIGN.md). By default the SMs
+    /// are simulated on parallel worker threads with bit-identical results
+    /// (`CATT_SIM_SM_PARALLEL` / [`GpuConfig::sm_parallel`] fall back to
+    /// the sequential path; see DESIGN.md "Parallel SM execution").
     ///
     /// All user-reachable failures — lowering errors, bad arguments,
     /// barrier deadlocks, cycle-budget exhaustion — come back as a

@@ -25,18 +25,28 @@ use crate::bytecode::{builtin_reg, CmpOp, FBinOp, FUnOp, IBinOp, Op, Program};
 use crate::cache::L1Cache;
 use crate::config::GpuConfig;
 use crate::error::SimError;
-use crate::mem::{Arg, GlobalMem};
+use crate::mem::{Arg, DeviceMem, GlobalMem, ShadowMem, StoreLog};
 use crate::metrics::LaunchStats;
 use crate::occupancy::max_resident_tbs;
 use crate::warp::{Frame, Warp, WarpState};
 use catt_ir::expr::Builtin;
 use catt_ir::LaunchConfig;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Execute a full launch: distribute blocks round-robin over SMs and run
 /// each SM to completion. SMs interact only through (functional) global
 /// memory; timing-wise each has its own L1D and off-chip port, so they are
 /// simulated independently and total `cycles` is the maximum over SMs.
+///
+/// When [`GpuConfig::sm_parallel_enabled`] holds (the default), SMs run on
+/// `std::thread::scope` worker threads: each SM reads a shared pre-launch
+/// snapshot overlaid with its own [`StoreLog`] and the logs are merged
+/// back in ascending SM-id order, so the result is bit-identical across
+/// thread budgets and runs (see DESIGN.md "Parallel SM execution"). With
+/// the knob off — or a thread budget of 1 — the sequential path runs
+/// directly against [`GlobalMem`].
 ///
 /// Every user-reachable failure — bad arguments, unlaunchable geometry,
 /// barrier deadlock, cycle-budget exhaustion — returns a structured
@@ -108,37 +118,183 @@ pub fn run_launch(
 
     let fuel = config.fuel_budget(mem.footprint_bytes() as u64);
 
+    // Shared, launch-wide precomputation: decoded scoreboard access sets
+    // (consulted on every ready-check) and the dispatch tables (per-warp
+    // lane indices, uniform dims, parameter images).
+    let access = decode_access(program);
+    let tables = DispatchTables::new(program, launch, args);
+
     // Round-robin distribution of linear block ids over SMs.
     let num_sms = config.num_sms.max(1);
-    for sm_id in 0..num_sms {
-        let blocks: VecDeque<u32> = (0..num_blocks).filter(|b| b % num_sms == sm_id).collect();
-        if blocks.is_empty() {
-            continue;
+    let per_sm: Vec<(u32, VecDeque<u32>)> = (0..num_sms)
+        .map(|sm_id| {
+            let blocks: VecDeque<u32> = (0..num_blocks).filter(|b| b % num_sms == sm_id).collect();
+            (sm_id, blocks)
+        })
+        .filter(|(_, blocks)| !blocks.is_empty())
+        .collect();
+
+    let workers = if config.sm_parallel_enabled() {
+        config.sm_thread_budget().min(per_sm.len())
+    } else {
+        1
+    };
+
+    if workers <= 1 {
+        // Sequential path: every SM mutates global memory directly. One
+        // workspace (register files, TB slots) is reused across SMs
+        // instead of reallocating per SM.
+        let mut ws = SmWorkspace::default();
+        for (sm_id, blocks) in per_sm {
+            let trace_this_sm = config.trace_requests && sm_id == 0;
+            let stats = run_sm(
+                config,
+                program,
+                &access,
+                &tables,
+                launch,
+                mem,
+                resident,
+                trace_this_sm,
+                fuel,
+                &mut ws,
+                blocks,
+            )?;
+            fold_stats(&mut total, stats, trace_this_sm);
         }
-        let trace_this_sm = config.trace_requests && sm_id == 0;
-        let mut sm = Sm::new(
-            config,
-            program,
-            launch,
-            args,
-            mem,
-            resident,
-            trace_this_sm,
-            fuel,
-        );
-        let stats = sm.run(blocks)?;
-        total.instructions += stats.instructions;
-        total.l1_accesses += stats.l1_accesses;
-        total.l1_hits += stats.l1_hits;
-        total.offchip_requests += stats.offchip_requests;
-        total.tbs += stats.tbs;
-        total.warps += stats.warps;
-        total.cycles = total.cycles.max(stats.cycles);
-        if trace_this_sm {
-            total.trace = stats.trace;
+        return Ok(total);
+    }
+
+    // Parallel path: each SM simulates against a shared read snapshot of
+    // pre-launch memory plus its own store log; logs merge back below in
+    // ascending SM-id order so the committed memory image is independent
+    // of thread scheduling.
+    let snapshot: &GlobalMem = mem;
+    let next = AtomicUsize::new(0);
+    type SmOutcome = (Result<LaunchStats, SimError>, StoreLog);
+    let results: Mutex<Vec<Option<SmOutcome>>> =
+        Mutex::new((0..per_sm.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut ws = SmWorkspace::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= per_sm.len() {
+                        break;
+                    }
+                    let (sm_id, blocks) = &per_sm[i];
+                    let trace_this_sm = config.trace_requests && *sm_id == 0;
+                    let mut shadow = ShadowMem::new(snapshot);
+                    let res = run_sm(
+                        config,
+                        program,
+                        &access,
+                        &tables,
+                        launch,
+                        &mut shadow,
+                        resident,
+                        trace_this_sm,
+                        fuel,
+                        &mut ws,
+                        blocks.clone(),
+                    );
+                    let outcome = (res, shadow.into_log());
+                    results.lock().unwrap()[i] = Some(outcome);
+                }
+            });
         }
+    });
+    let collected = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    // Deterministic commit: stats fold and store logs apply in ascending
+    // SM-id order; the first failing SM (by id) reports its error, with
+    // lower-id successes already merged — exactly the sequential
+    // behaviour.
+    for (i, outcome) in collected.into_iter().enumerate() {
+        let Some((res, log)) = outcome else {
+            // Unreachable in practice (the scope joins all workers and
+            // run_sm never panics), but a structured error beats a panic.
+            return Err(SimError::MalformedProgram {
+                kernel: program.name.clone(),
+                pc: 0,
+                message: "parallel SM worker produced no result".into(),
+            });
+        };
+        let trace_this_sm = config.trace_requests && per_sm[i].0 == 0;
+        let stats = res?;
+        fold_stats(&mut total, stats, trace_this_sm);
+        log.apply(mem);
     }
     Ok(total)
+}
+
+/// Fold one SM's stats into the launch total (`cycles` is the max over
+/// SMs — they run concurrently on the device).
+fn fold_stats(total: &mut LaunchStats, stats: LaunchStats, take_trace: bool) {
+    total.instructions += stats.instructions;
+    total.l1_accesses += stats.l1_accesses;
+    total.l1_hits += stats.l1_hits;
+    total.offchip_requests += stats.offchip_requests;
+    total.tbs += stats.tbs;
+    total.warps += stats.warps;
+    total.cycles = total.cycles.max(stats.cycles);
+    if take_trace {
+        total.trace = stats.trace;
+    }
+}
+
+/// Run one SM over its block list, borrowing warp/TB storage from `ws`
+/// and returning it when done (so the caller reuses the allocations —
+/// register files included — for the next SM on this thread).
+#[allow(clippy::too_many_arguments)]
+fn run_sm<M: DeviceMem>(
+    config: &GpuConfig,
+    program: &Program,
+    access: &[OpAccess],
+    tables: &DispatchTables,
+    launch: LaunchConfig,
+    mem: &mut M,
+    resident: u32,
+    trace: bool,
+    fuel: Option<u64>,
+    ws: &mut SmWorkspace,
+    blocks: VecDeque<u32>,
+) -> Result<LaunchStats, SimError> {
+    ws.prepare(
+        program,
+        resident,
+        launch.warps_per_block(),
+        config.schedulers_per_sm as usize,
+    );
+    let mut sm = Sm {
+        config,
+        program,
+        access,
+        tables,
+        launch,
+        mem,
+        cache: L1Cache::new(config.l1_config()),
+        l1_port_free: 0,
+        offchip_free: 0,
+        cycle: 0,
+        stall_until: std::mem::take(&mut ws.stall_until),
+        warps: std::mem::take(&mut ws.warps),
+        tbs: std::mem::take(&mut ws.tbs),
+        warps_per_tb: launch.warps_per_block(),
+        last_issued: std::mem::take(&mut ws.last_issued),
+        dispatch_age: 0,
+        active_tb_limit: resident as usize,
+        dyncta_window: (0, 0),
+        fuel,
+        trace,
+        stats: LaunchStats::default(),
+    };
+    let result = sm.run(blocks);
+    ws.stall_until = std::mem::take(&mut sm.stall_until);
+    ws.warps = std::mem::take(&mut sm.warps);
+    ws.tbs = std::mem::take(&mut sm.tbs);
+    ws.last_issued = std::mem::take(&mut sm.last_issued);
+    result
 }
 
 struct TbSlot {
@@ -148,12 +304,166 @@ struct TbSlot {
     smem: Vec<u32>,
 }
 
-struct Sm<'a> {
+/// The scoreboard registers and port usage of one op, decoded once per
+/// launch by [`decode_access`]. `issue_time` consults this on every
+/// ready-check instead of re-deriving reads/writes from the `Op` — the
+/// single hottest query in the scheduler.
+#[derive(Clone, Copy, Default)]
+struct OpAccess {
+    /// Source and destination registers (at most 3 reads + 1 write).
+    regs: [u16; 4],
+    /// How many entries of `regs` are in use.
+    n: u8,
+    /// Whether the op serializes on the L1D port (global/shared memory).
+    uses_l1_port: bool,
+}
+
+/// Decode every op's scoreboard access set, indexed by pc.
+fn decode_access(program: &Program) -> Vec<OpAccess> {
+    program
+        .ops
+        .iter()
+        .map(|op| {
+            let mut a = OpAccess::default();
+            for r in op.reads().into_iter().flatten() {
+                a.regs[a.n as usize] = r;
+                a.n += 1;
+            }
+            if let Some(d) = op.writes() {
+                a.regs[a.n as usize] = d;
+                a.n += 1;
+            }
+            a.uses_l1_port = matches!(
+                op,
+                Op::Ldg { .. } | Op::Stg { .. } | Op::Lds { .. } | Op::Sts { .. }
+            );
+            a
+        })
+        .collect()
+}
+
+/// Per-warp-in-block initial state shared by every dispatch of the launch.
+struct WarpInit {
+    /// Valid-lane mask (partial warps when `blockDim % 32 != 0`).
+    valid: u32,
+    /// Per-lane threadIdx.{x,y,z} register images.
+    tidx: [[u32; 32]; 3],
+}
+
+/// Everything about a dispatch that does not depend on *which* block is
+/// dispatched, computed once per launch: per-warp lane-index tables (the
+/// divisions in the old per-lane loop), the warp-uniform block/grid dims,
+/// and the parameter register images.
+struct DispatchTables {
+    warps: Vec<WarpInit>,
+    /// (register, value) pairs uniform across lanes and blocks.
+    uniforms: [(u16, u32); 6],
+    /// (register, image) pairs for the kernel parameters.
+    params: Vec<(u16, [u32; 32])>,
+}
+
+impl DispatchTables {
+    fn new(program: &Program, launch: LaunchConfig, args: &[Arg]) -> DispatchTables {
+        let (bx, by) = (launch.block.x.max(1), launch.block.y.max(1));
+        let threads = launch.threads_per_block();
+        let warps = (0..launch.warps_per_block())
+            .map(|wi| {
+                let base_lin = wi * 32;
+                let mut valid = 0u32;
+                let mut tidx = [[0u32; 32]; 3];
+                for lane in 0..32u32 {
+                    let lin = base_lin + lane;
+                    if lin < threads {
+                        valid |= 1 << lane;
+                    }
+                    tidx[0][lane as usize] = lin % bx;
+                    tidx[1][lane as usize] = (lin / bx) % by;
+                    tidx[2][lane as usize] = lin / (bx * by);
+                }
+                WarpInit { valid, tidx }
+            })
+            .collect();
+        let uniforms = [
+            (builtin_reg(Builtin::BlockDimX), launch.block.x),
+            (builtin_reg(Builtin::BlockDimY), launch.block.y),
+            (builtin_reg(Builtin::BlockDimZ), launch.block.z),
+            (builtin_reg(Builtin::GridDimX), launch.grid.x),
+            (builtin_reg(Builtin::GridDimY), launch.grid.y),
+            (builtin_reg(Builtin::GridDimZ), launch.grid.z),
+        ];
+        let params = program
+            .param_regs
+            .iter()
+            .zip(args)
+            .map(|(p, arg)| (*p, [arg.register_image(); 32]))
+            .collect();
+        DispatchTables {
+            warps,
+            uniforms,
+            params,
+        }
+    }
+}
+
+/// Reusable per-thread SM storage: warp slots (register files included)
+/// and TB slots survive from one SM to the next instead of being
+/// reallocated per SM — the dominant allocation cost of a multi-SM launch.
+#[derive(Default)]
+struct SmWorkspace {
+    warps: Vec<Warp>,
+    stall_until: Vec<u64>,
+    tbs: Vec<TbSlot>,
+    last_issued: Vec<Option<usize>>,
+}
+
+impl SmWorkspace {
+    /// Shape the workspace for one SM of this launch and reset all
+    /// per-SM state. Storage is reused whenever the geometry matches;
+    /// warp register files are *not* cleared here — `Warp::reset` zeroes
+    /// them at dispatch, exactly as the per-SM allocation path did.
+    fn prepare(&mut self, program: &Program, resident: u32, warps_per_tb: u32, nsched: usize) {
+        let nwarps = (resident * warps_per_tb) as usize;
+        let num_regs = program.num_regs as usize;
+        if self.warps.len() != nwarps
+            || self.warps.first().is_some_and(|w| w.regs.len() != num_regs)
+        {
+            self.warps = (0..nwarps).map(|_| Warp::idle(num_regs)).collect();
+        } else {
+            for w in &mut self.warps {
+                w.state = WarpState::Idle;
+            }
+        }
+        self.stall_until.clear();
+        self.stall_until.resize(nwarps, 0);
+        let smem_words = (program.smem_bytes as usize).div_ceil(4);
+        if self.tbs.len() != resident as usize
+            || self.tbs.first().is_some_and(|t| t.smem.len() != smem_words)
+        {
+            self.tbs = (0..resident)
+                .map(|_| TbSlot {
+                    block: None,
+                    smem: vec![0; smem_words],
+                })
+                .collect();
+        } else {
+            for t in &mut self.tbs {
+                t.block = None;
+            }
+        }
+        self.last_issued.clear();
+        self.last_issued.resize(nsched, None);
+    }
+}
+
+struct Sm<'a, M: DeviceMem> {
     config: &'a GpuConfig,
     program: &'a Program,
+    /// Memoized per-op scoreboard access sets, indexed by pc.
+    access: &'a [OpAccess],
+    /// Launch-wide dispatch precomputation.
+    tables: &'a DispatchTables,
     launch: LaunchConfig,
-    args: &'a [Arg],
-    mem: &'a mut GlobalMem,
+    mem: &'a mut M,
     cache: L1Cache,
     /// Next cycle the L1D port is free (1 transaction / cycle).
     l1_port_free: u64,
@@ -183,53 +493,7 @@ struct Sm<'a> {
     stats: LaunchStats,
 }
 
-impl<'a> Sm<'a> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        config: &'a GpuConfig,
-        program: &'a Program,
-        launch: LaunchConfig,
-        args: &'a [Arg],
-        mem: &'a mut GlobalMem,
-        resident: u32,
-        trace: bool,
-        fuel: Option<u64>,
-    ) -> Sm<'a> {
-        let warps_per_tb = launch.warps_per_block();
-        let nwarps = (resident * warps_per_tb) as usize;
-        let warps = (0..nwarps)
-            .map(|_| Warp::idle(program.num_regs as usize))
-            .collect();
-        let tbs = (0..resident)
-            .map(|_| TbSlot {
-                block: None,
-                smem: vec![0; (program.smem_bytes as usize).div_ceil(4)],
-            })
-            .collect();
-        Sm {
-            config,
-            program,
-            launch,
-            args,
-            mem,
-            cache: L1Cache::new(config.l1_config()),
-            l1_port_free: 0,
-            offchip_free: 0,
-            cycle: 0,
-            stall_until: vec![0; nwarps],
-            warps,
-            tbs,
-            warps_per_tb,
-            last_issued: vec![None; config.schedulers_per_sm as usize],
-            dispatch_age: 0,
-            active_tb_limit: resident as usize,
-            dyncta_window: (0, 0),
-            fuel,
-            trace,
-            stats: LaunchStats::default(),
-        }
-    }
-
+impl<M: DeviceMem> Sm<'_, M> {
     /// Warps currently parked at a `__syncthreads()` barrier.
     fn parked_warps(&self) -> usize {
         self.warps
@@ -369,48 +633,35 @@ impl<'a> Sm<'a> {
         self.tbs[slot].smem.fill(0);
         self.stats.tbs += 1;
         let (gx, gy) = (self.launch.grid.x, self.launch.grid.y);
-        let (bx, by) = (self.launch.block.x, self.launch.block.y);
-        let bix = block % gx;
-        let biy = (block / gx) % gy;
-        let biz = block / (gx * gy);
-        let threads = self.launch.threads_per_block();
+        // Warp-uniform values: the block indices vary per dispatch, the
+        // dims/params come from the launch-wide tables. All are written
+        // as one `[v; 32]` store per register instead of 32 scalar writes
+        // per lane; the per-lane threadIdx divisions were precomputed
+        // once in `DispatchTables::new`.
+        let block_idx = [
+            (builtin_reg(Builtin::BlockIdxX), block % gx),
+            (builtin_reg(Builtin::BlockIdxY), (block / gx) % gy),
+            (builtin_reg(Builtin::BlockIdxZ), block / (gx * gy)),
+        ];
+        let tables = self.tables;
         let lo = slot * self.warps_per_tb as usize;
-        for wi in 0..self.warps_per_tb {
-            let w = &mut self.warps[lo + wi as usize];
-            let base_lin = wi * 32;
-            let mut valid = 0u32;
-            for lane in 0..32u32 {
-                if base_lin + lane < threads {
-                    valid |= 1 << lane;
-                }
-            }
+        for (wi, init) in tables.warps.iter().enumerate() {
+            let w = &mut self.warps[lo + wi];
             self.dispatch_age += 1;
-            w.reset(valid, slot as u32, self.dispatch_age);
-            self.stall_until[lo + wi as usize] = 0;
+            w.reset(init.valid, slot as u32, self.dispatch_age);
+            self.stall_until[lo + wi] = 0;
             self.stats.warps += 1;
-            // Builtin registers.
-            for lane in 0..32u32 {
-                let lin = base_lin + lane;
-                let tx = lin % bx;
-                let ty = (lin / bx) % by;
-                let tz = lin / (bx * by);
-                let l = lane as usize;
-                w.regs[builtin_reg(Builtin::ThreadIdxX) as usize][l] = tx;
-                w.regs[builtin_reg(Builtin::ThreadIdxY) as usize][l] = ty;
-                w.regs[builtin_reg(Builtin::ThreadIdxZ) as usize][l] = tz;
-                w.regs[builtin_reg(Builtin::BlockIdxX) as usize][l] = bix;
-                w.regs[builtin_reg(Builtin::BlockIdxY) as usize][l] = biy;
-                w.regs[builtin_reg(Builtin::BlockIdxZ) as usize][l] = biz;
-                w.regs[builtin_reg(Builtin::BlockDimX) as usize][l] = self.launch.block.x;
-                w.regs[builtin_reg(Builtin::BlockDimY) as usize][l] = self.launch.block.y;
-                w.regs[builtin_reg(Builtin::BlockDimZ) as usize][l] = self.launch.block.z;
-                w.regs[builtin_reg(Builtin::GridDimX) as usize][l] = self.launch.grid.x;
-                w.regs[builtin_reg(Builtin::GridDimY) as usize][l] = self.launch.grid.y;
-                w.regs[builtin_reg(Builtin::GridDimZ) as usize][l] = self.launch.grid.z;
+            w.regs[builtin_reg(Builtin::ThreadIdxX) as usize] = init.tidx[0];
+            w.regs[builtin_reg(Builtin::ThreadIdxY) as usize] = init.tidx[1];
+            w.regs[builtin_reg(Builtin::ThreadIdxZ) as usize] = init.tidx[2];
+            for &(r, v) in &block_idx {
+                w.regs[r as usize] = [v; 32];
             }
-            // Parameter registers (uniform).
-            for (p, arg) in self.program.param_regs.iter().zip(self.args) {
-                w.regs[*p as usize] = [arg.register_image(); 32];
+            for &(r, v) in &tables.uniforms {
+                w.regs[r as usize] = [v; 32];
+            }
+            for (r, image) in &tables.params {
+                w.regs[*r as usize] = *image;
             }
         }
     }
@@ -441,23 +692,19 @@ impl<'a> Sm<'a> {
     // ----- scheduling ----------------------------------------------------
 
     /// Earliest cycle at which warp `w` could issue its next instruction,
-    /// or `None` if it is not in the Ready state.
+    /// or `None` if it is not in the Ready state. Consults the memoized
+    /// [`OpAccess`] table instead of re-decoding the op's operand lists —
+    /// this runs on every ready-check of every scheduler, every cycle.
     fn issue_time(&self, w: &Warp) -> Option<u64> {
         if w.state != WarpState::Ready {
             return None;
         }
-        let op = &self.program.ops[w.pc as usize];
+        let a = &self.access[w.pc as usize];
         let mut t = self.cycle;
-        for r in op.reads().into_iter().flatten() {
+        for &r in &a.regs[..a.n as usize] {
             t = t.max(w.ready[r as usize]);
         }
-        if let Some(d) = op.writes() {
-            t = t.max(w.ready[d as usize]);
-        }
-        if matches!(
-            op,
-            Op::Ldg { .. } | Op::Stg { .. } | Op::Lds { .. } | Op::Sts { .. }
-        ) {
+        if a.uses_l1_port {
             t = t.max(self.l1_port_free);
         }
         Some(t)

@@ -187,7 +187,34 @@ pub fn exec_sequence(
         total.resident_tbs_per_sm = stats.resident_tbs_per_sm;
         total.accumulate(&stats);
     }
+    MEM_DIGEST.with(|d| {
+        if d.get().0 {
+            d.set((true, Some(mem.content_digest())));
+        }
+    });
     total
+}
+
+thread_local! {
+    /// (capture enabled, digest of the memory image after the most recent
+    /// `exec_sequence` on this thread).
+    static MEM_DIGEST: std::cell::Cell<(bool, Option<u64>)> =
+        const { std::cell::Cell::new((false, None)) };
+}
+
+/// Enable or disable capturing the post-run memory digest in
+/// [`exec_sequence`] (thread-local; off by default because hashing the
+/// full footprint after every run is measurable in sweeps). The
+/// parallel-vs-sequential equivalence suite turns it on to assert
+/// bit-identical output buffers across execution modes.
+pub fn set_mem_digest_capture(enabled: bool) {
+    MEM_DIGEST.with(|d| d.set((enabled, None)));
+}
+
+/// The memory digest recorded by the most recent [`exec_sequence`] on this
+/// thread, if capture is enabled and a run has completed.
+pub fn last_mem_digest() -> Option<u64> {
+    MEM_DIGEST.with(|d| d.get().1)
 }
 
 /// Geometric mean of a slice (the paper reports geomean speedups).

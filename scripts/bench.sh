@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Simulator wall-clock benchmark: sequential vs parallel per-SM execution.
+# Writes BENCH_sim.json at the repo root (see bench_summary --help text in
+# crates/bench/src/bin/bench_summary.rs for knobs). Non-gating — CI runs
+# this as an artifact step; local runs track the speedup trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p catt-bench --bin bench_summary
+exec target/release/bench_summary "$@"

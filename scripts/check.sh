@@ -36,6 +36,17 @@ for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
     fi
 done
 
+echo "==> parallel-SM equivalence: default (parallel) environment"
+# The suite pins both execution modes through explicit GpuConfig fields,
+# so it is env-proof; the two passes additionally exercise the env knob
+# parsing and the sequential fallback across the sim suites.
+cargo test --release -p catt-sim $OFFLINE -q --test parallel_sm
+
+echo "==> parallel-SM equivalence: sequential-fallback environment"
+CATT_SIM_SM_PARALLEL=off CATT_SIM_SM_THREADS=1 \
+    cargo test --release -p catt-sim $OFFLINE -q \
+    --test parallel_sm --test determinism
+
 echo "==> fault injection: sweep + cache survive an armed CATT_FAULT_PLAN"
 CATT_ENGINE_WORKERS=1 CATT_FAULT_PLAN="panic-job=2,corrupt-cache" \
     cargo test --release -p catt-core $OFFLINE -q --test fault_env

@@ -3,7 +3,7 @@
 //! ```text
 //! catt compile kernels.cu --launch atax_kernel1=320x256 [--l1 32] [-o out.cu]
 //! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
-//! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>]
+//! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>] [--sm-parallel on|off]
 //! ```
 //!
 //! * `analyze` prints the per-loop footprint analysis and throttling
@@ -25,7 +25,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
-         [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--args <spec,...>] [-o <out.cu>]"
+         [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--sm-parallel <on|off>] \
+         [--args <spec,...>] [-o <out.cu>]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
     let mut launches: Vec<(String, LaunchConfig)> = Vec::new();
     let mut l1_kb: Option<u32> = None;
     let mut fuel: Option<u64> = None;
+    let mut sm_parallel: Option<bool> = None;
     let mut out_path: Option<String> = None;
     let mut arg_spec: Option<String> = None;
     let mut i = 2;
@@ -80,6 +82,17 @@ fn main() -> ExitCode {
             }
             "--fuel" if i + 1 < argv.len() => {
                 fuel = argv[i + 1].parse().ok();
+                i += 2;
+            }
+            "--sm-parallel" if i + 1 < argv.len() => {
+                sm_parallel = match argv[i + 1].as_str() {
+                    "on" => Some(true),
+                    "off" => Some(false),
+                    other => {
+                        eprintln!("catt: bad --sm-parallel value `{other}` (want on|off)");
+                        return usage();
+                    }
+                };
                 i += 2;
             }
             "--args" if i + 1 < argv.len() => {
@@ -114,6 +127,11 @@ fn main() -> ExitCode {
     }
     if let Some(n) = fuel {
         config.sim_fuel = Some(n);
+    }
+    // Explicit flag wins over CATT_SIM_SM_PARALLEL (results are
+    // bit-identical either way; this is a throughput knob).
+    if sm_parallel.is_some() {
+        config.sm_parallel = sm_parallel;
     }
     let pipe = Pipeline::new(config.clone());
     let refs: Vec<(&str, LaunchConfig)> = launches.iter().map(|(n, l)| (n.as_str(), *l)).collect();
