@@ -3,9 +3,11 @@
 //!
 //! Runs every registry workload directly (no simulation cache, no output
 //! validation — this measures the simulator, not the harness) under the
-//! sequential and the parallel per-SM path, reports the median wall time
-//! of N samples plus simulated-cycles-per-second, and writes the machine-
-//! readable summary to `BENCH_sim.json` at the repo root.
+//! sequential and the parallel per-SM path, plus a profiling-on pass
+//! (DESIGN.md §3e; capture stays off, so this times the instrumented
+//! pipeline itself), reports the median wall time of N samples plus
+//! simulated-cycles-per-second, and writes the machine-readable summary
+//! to `BENCH_sim.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p catt-bench --bin bench_summary -- \
@@ -26,6 +28,9 @@ struct AppRow {
     /// Median wall time per run, sequential / parallel (milliseconds).
     seq_ms: f64,
     par_ms: f64,
+    /// Median wall time with profiling on (parallel mode, profiles
+    /// dropped at submit — capture off), milliseconds.
+    prof_ms: f64,
     /// Simulated cycles of one run (identical across modes by the
     /// equivalence suite; asserted here too).
     sim_cycles: u64,
@@ -34,6 +39,10 @@ struct AppRow {
 impl AppRow {
     fn speedup(&self) -> f64 {
         self.seq_ms / self.par_ms
+    }
+    /// Profiling-on / profiling-off wall-time ratio, parallel mode.
+    fn prof_overhead(&self) -> f64 {
+        self.prof_ms / self.par_ms
     }
     /// Simulated megacycles per wall-clock second, parallel mode.
     fn mcycles_per_s(&self) -> f64 {
@@ -112,8 +121,9 @@ fn main() {
             }
         }
         let kernels = w.kernels();
-        let time_mode = |parallel: bool| -> (f64, u64) {
-            let cfg = mode_config(sms, parallel);
+        let time_mode = |parallel: bool, profile: bool| -> (f64, u64) {
+            let mut cfg = mode_config(sms, parallel);
+            cfg.profile = Some(profile);
             // Warm-up run (first-touch allocation, lazy statics).
             let warm = (w.run)(&kernels, &cfg, false);
             let mut wall: Vec<f64> = Vec::with_capacity(samples);
@@ -125,25 +135,35 @@ fn main() {
             }
             (median(&mut wall), warm.cycles)
         };
-        let (seq_ms, seq_cycles) = time_mode(false);
-        let (par_ms, par_cycles) = time_mode(true);
+        let (seq_ms, seq_cycles) = time_mode(false, false);
+        let (par_ms, par_cycles) = time_mode(true, false);
+        let (prof_ms, prof_cycles) = time_mode(true, true);
         assert_eq!(
             seq_cycles, par_cycles,
             "{}: modes disagree on simulated cycles",
+            w.abbrev
+        );
+        assert_eq!(
+            par_cycles, prof_cycles,
+            "{}: profiling changed simulated cycles",
             w.abbrev
         );
         let row = AppRow {
             abbrev: w.abbrev,
             seq_ms,
             par_ms,
+            prof_ms,
             sim_cycles: seq_cycles,
         };
         println!(
-            "  {:<6} seq {:>9.2} ms | par {:>9.2} ms | speedup {:>5.2}x | {:>8.1} Mcyc/s",
+            "  {:<6} seq {:>9.2} ms | par {:>9.2} ms | speedup {:>5.2}x | \
+             prof {:>9.2} ms ({:>4.2}x) | {:>8.1} Mcyc/s",
             row.abbrev,
             row.seq_ms,
             row.par_ms,
             row.speedup(),
+            row.prof_ms,
+            row.prof_overhead(),
             row.mcycles_per_s(),
         );
         rows.push(row);
@@ -155,11 +175,14 @@ fn main() {
 
     let geomean_speedup =
         (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    let geomean_overhead =
+        (rows.iter().map(|r| r.prof_overhead().ln()).sum::<f64>() / rows.len() as f64).exp();
     let total_seq: f64 = rows.iter().map(|r| r.seq_ms).sum();
     let total_par: f64 = rows.iter().map(|r| r.par_ms).sum();
     println!(
         "total: seq {total_seq:.1} ms | par {total_par:.1} ms | \
-         geomean speedup {geomean_speedup:.2}x"
+         geomean speedup {geomean_speedup:.2}x | \
+         geomean profiling overhead {geomean_overhead:.2}x"
     );
 
     let mut json = String::new();
@@ -169,16 +192,20 @@ fn main() {
          \"host_parallelism\": {host_threads} }},\n"
     ));
     json.push_str(&format!(
-        "  \"geomean_speedup\": {geomean_speedup:.4},\n  \"apps\": [\n"
+        "  \"geomean_speedup\": {geomean_speedup:.4},\n  \
+         \"geomean_profiling_overhead\": {geomean_overhead:.4},\n  \"apps\": [\n"
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{ \"app\": \"{}\", \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \
-             \"speedup\": {:.4}, \"sim_cycles\": {}, \"mcycles_per_s\": {:.1} }}{}\n",
+             \"speedup\": {:.4}, \"prof_ms\": {:.3}, \"prof_overhead\": {:.4}, \
+             \"sim_cycles\": {}, \"mcycles_per_s\": {:.1} }}{}\n",
             json_escape(r.abbrev),
             r.seq_ms,
             r.par_ms,
             r.speedup(),
+            r.prof_ms,
+            r.prof_overhead(),
             r.sim_cycles,
             r.mcycles_per_s(),
             if i + 1 < rows.len() { "," } else { "" },

@@ -16,9 +16,10 @@
 //!   [`GpuConfig`], scope tag). An in-memory layer serves repeats within a
 //!   process; an optional persistent JSONL layer under
 //!   `results/.simcache/` makes warm re-runs of any table/figure binary
-//!   near-instant. Traced runs (`GpuConfig::trace_requests`) bypass the
-//!   cache — the request trace is diagnostic and deliberately not
-//!   serialized.
+//!   near-instant. Traced runs (`GpuConfig::trace_requests`) and profiled
+//!   runs (`GpuConfig::profile` / `CATT_PROFILE`) bypass the cache — the
+//!   request trace and the launch profile are diagnostic side channels
+//!   the cache deliberately does not store.
 //!
 //! ## Guard rails
 //!
@@ -754,8 +755,13 @@ impl Engine {
             catch_unwind(AssertUnwindSafe(compute))
                 .map_err(|payload| JobError::from_panic(scope, payload))
         };
-        // Traced runs carry a request trace the cache does not store.
-        if config.trace_requests {
+        // Traced runs carry a request trace the cache does not store, and
+        // profiled runs exist *for* their side-channel profile — a cache
+        // hit would skip the simulation that produces it. Both bypass the
+        // cache (and never pollute it: their `LaunchStats` are identical
+        // to an unprofiled run's, but skipping the insert keeps the
+        // bypass symmetric and the cache read-only under diagnostics).
+        if config.trace_requests || config.profile_enabled() {
             return caught(compute);
         }
         let key = job_digest(scope, kernels, launches, config)?;

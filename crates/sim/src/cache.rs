@@ -31,6 +31,12 @@ pub struct AccessResult {
     pub offchip: bool,
     /// Cycle at which the data is available to the requester.
     pub data_ready: u64,
+    /// Set the line maps to (after XOR-folded hashing) — the heat-map
+    /// coordinate the profiling sink records.
+    pub set: u32,
+    /// Whether the access displaced a valid resident line (miss into a
+    /// full set).
+    pub evicted: bool,
 }
 
 /// L1 data cache (tag store + MSHR timing).
@@ -131,6 +137,8 @@ impl L1Cache {
                     hit: true,
                     offchip: false,
                     data_ready: now + hit_latency,
+                    set: set_idx as u32,
+                    evicted: false,
                 }
             } else {
                 // In flight: merge into the pending fill (MSHR hit).
@@ -139,6 +147,8 @@ impl L1Cache {
                     hit: true,
                     offchip: false,
                     data_ready: line.ready + hit_latency,
+                    set: set_idx as u32,
+                    evicted: false,
                 }
             }
         } else {
@@ -155,6 +165,7 @@ impl L1Cache {
             // Fill the first invalid way; with the set full, evict the
             // LRU (only valid ways matter: their `last_use` is always
             // above an invalid way's 0 once touched).
+            let mut evicted = false;
             match set.iter_mut().find(|l| !l.valid) {
                 Some(slot) => *slot = new_line,
                 None => {
@@ -163,20 +174,24 @@ impl L1Cache {
                         .min_by_key(|l| l.last_use)
                         .expect("assoc >= 1 ways per set");
                     *lru = new_line;
+                    evicted = true;
                 }
             }
             AccessResult {
                 hit: false,
                 offchip: true,
                 data_ready: ready,
+                set: set_idx as u32,
+                evicted,
             }
         }
     }
 
     /// Access a *store* (write-through, no write-allocate): always an
     /// off-chip request; if the line is resident it stays resident (the
-    /// written data updates it) and its LRU position refreshes.
-    pub fn access_store(&mut self, byte_addr: u32) {
+    /// written data updates it) and its LRU position refreshes. Returns
+    /// the set index (heat-map coordinate).
+    pub fn access_store(&mut self, byte_addr: u32) -> u32 {
         self.use_counter += 1;
         self.offchip_requests += 1;
         let line_addr = byte_addr / self.cfg.line_bytes;
@@ -188,6 +203,7 @@ impl L1Cache {
         {
             line.last_use = self.use_counter;
         }
+        set_idx as u32
     }
 
     /// Load hit rate over load accesses (MSHR merges count as hits, as in
@@ -255,10 +271,13 @@ mod tests {
         // 1 set, 2-way: 2 lines of 128B → size 256.
         let mut c = L1Cache::new(cfg(256, 2));
         assert_eq!(c.config().num_sets(), 1);
-        c.access_load(0, 0, 28, fill_at(1)); // line 0
+        let r = c.access_load(0, 0, 28, fill_at(1)); // line 0
+        assert!(!r.evicted, "filling an invalid way is not an eviction");
+        assert_eq!(r.set, 0);
         c.access_load(128, 0, 28, fill_at(1)); // line 1
         c.access_load(0, 10, 28, fill_at(1)); // touch line 0 (hit)
-        c.access_load(256, 20, 28, fill_at(21)); // line 2 evicts line 1 (LRU)
+        let r = c.access_load(256, 20, 28, fill_at(21)); // line 2 evicts line 1 (LRU)
+        assert!(r.evicted, "miss into a full set displaces the LRU way");
         let r = c.access_load(0, 30, 28, fill_at(31));
         assert!(r.hit, "line 0 must survive");
         let r = c.access_load(128, 40, 28, fill_at(41));

@@ -127,6 +127,15 @@ pub struct GpuConfig {
     /// machine (see [`engine_workers_hint`]). Excluded from
     /// [`GpuConfig::content_digest`].
     pub sm_threads: Option<usize>,
+    /// Record a full [`crate::profile::LaunchProfile`] per launch (stall
+    /// breakdowns, per-set L1 counters, phase timelines). `None` follows
+    /// the `CATT_PROFILE` environment variable (`on`/`1`/`true`/`yes`
+    /// enables; default off); `Some` wins over the environment. Profiled
+    /// and unprofiled runs are bit-identical (the sink only observes), so
+    /// the knob is excluded from [`GpuConfig::content_digest`]; profiled
+    /// runs bypass the simulation cache so the profile is always produced
+    /// by a real run (see `catt_core::engine`).
+    pub profile: Option<bool>,
 }
 
 /// Baseline cycle allowance of the derived fuel budget (covers dispatch
@@ -188,6 +197,7 @@ impl GpuConfig {
             sim_fuel: None,
             sm_parallel: None,
             sm_threads: None,
+            profile: None,
         }
     }
 
@@ -223,6 +233,7 @@ impl GpuConfig {
             sim_fuel: None,
             sm_parallel: None,
             sm_threads: None,
+            profile: None,
         }
     }
 
@@ -341,6 +352,27 @@ impl GpuConfig {
             .unwrap_or(1);
         (avail / engine_workers_hint().max(1)).max(1)
     }
+
+    /// Whether launches under this config record a
+    /// [`crate::profile::LaunchProfile`]. Resolution order:
+    /// [`GpuConfig::profile`] (explicit config wins, so tests and CLI
+    /// flags are immune to ambient environment), then the `CATT_PROFILE`
+    /// environment variable (`on`/`1`/`true`/`yes` enables), then the
+    /// default: off. Profiling never perturbs results — stats and memory
+    /// are bit-identical either way — so this is purely an observability
+    /// knob.
+    pub fn profile_enabled(&self) -> bool {
+        if let Some(explicit) = self.profile {
+            return explicit;
+        }
+        match std::env::var("CATT_PROFILE") {
+            Ok(v) => matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "on" | "1" | "true" | "yes"
+            ),
+            Err(_) => false,
+        }
+    }
 }
 
 /// Number of engine worker threads currently running simulation jobs in
@@ -456,6 +488,20 @@ mod tests {
         assert!(!c.sm_parallel_enabled());
         c.sm_parallel = Some(true);
         assert!(c.sm_parallel_enabled());
+    }
+
+    #[test]
+    fn explicit_profile_config_wins() {
+        // Env paths are covered by the profile integration suites; unit
+        // tests only pin the explicit-config precedence and the default.
+        let mut c = GpuConfig::small();
+        if std::env::var("CATT_PROFILE").is_err() {
+            assert!(!c.profile_enabled(), "profiling is off by default");
+        }
+        c.profile = Some(true);
+        assert!(c.profile_enabled());
+        c.profile = Some(false);
+        assert!(!c.profile_enabled());
     }
 
     #[test]

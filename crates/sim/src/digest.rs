@@ -90,12 +90,15 @@ impl GpuConfig {
     /// knobs (`sm_parallel`, `sm_threads`) are excluded for the same
     /// reason: parallel and sequential execution are bit-identical (see
     /// DESIGN.md "Parallel SM execution"), so flipping them must keep
-    /// serving cached results.
+    /// serving cached results. The profiling knob (`profile`) is excluded
+    /// too — the sink only observes, and profiled runs bypass the cache
+    /// anyway (see DESIGN.md "Profiling & trace subsystem").
     pub fn content_digest(&self) -> u64 {
         let mut canonical = self.clone();
         canonical.sim_fuel = None;
         canonical.sm_parallel = None;
         canonical.sm_threads = None;
+        canonical.profile = None;
         let mut h = Fnv64::new();
         h.write_debug(&canonical);
         h.finish()
@@ -152,5 +155,17 @@ mod tests {
         assert_eq!(base.content_digest(), tuned.content_digest());
         tuned.sm_parallel = Some(true);
         assert_eq!(base.content_digest(), tuned.content_digest());
+    }
+
+    #[test]
+    fn profile_knob_does_not_change_the_digest() {
+        // Profiling only observes; a cached result must survive flipping
+        // it (profiled runs bypass the cache regardless).
+        let base = GpuConfig::titan_v_1sm();
+        let mut profiled = base.clone();
+        profiled.profile = Some(true);
+        assert_eq!(base.content_digest(), profiled.content_digest());
+        profiled.profile = Some(false);
+        assert_eq!(base.content_digest(), profiled.content_digest());
     }
 }

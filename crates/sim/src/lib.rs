@@ -45,6 +45,7 @@ pub mod error;
 pub mod mem;
 pub mod metrics;
 pub mod occupancy;
+pub mod profile;
 pub mod sm;
 pub mod warp;
 
@@ -58,6 +59,10 @@ pub use error::SimError;
 pub use mem::{Arg, Buffer, DeviceMem, GlobalMem, ShadowMem, StoreLog};
 pub use metrics::{LaunchStats, RequestTrace};
 pub use occupancy::{max_resident_tbs, OccupancyLimits};
+pub use profile::{
+    LaunchProfile, MissWindow, NullSink, PhaseEvent, PhaseKind, ProfileSink, SetCounters,
+    SmProfile, StallReason,
+};
 
 use catt_ir::{Kernel, LaunchConfig};
 

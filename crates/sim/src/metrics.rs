@@ -181,6 +181,65 @@ mod tests {
     }
 
     #[test]
+    fn bucketed_is_total() {
+        // Degenerate shapes must yield defined results, never divide by
+        // zero or panic: zero buckets, empty traces, more buckets than
+        // samples.
+        let empty = RequestTrace::default();
+        assert!(empty.bucketed(0).is_empty());
+        assert!(empty.bucketed(7).is_empty());
+        let mut t = RequestTrace::default();
+        for i in 1..=3 {
+            t.record(i);
+        }
+        assert!(t.bucketed(0).is_empty(), "n = 0 has no defined buckets");
+        // More buckets than samples: one sample per bucket, none invented.
+        let b = t.bucketed(10);
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn json_roundtrip_property() {
+        // Every counter combination — including extremes like u64::MAX —
+        // must survive the JSONL cache encoding bit-exactly.
+        let mut rng = catt_prng::Rng::from_tag("metrics-json-roundtrip");
+        for case in 0..200 {
+            let extreme = |rng: &mut catt_prng::Rng| match rng.bounded_u64(4) {
+                0 => 0,
+                1 => u64::MAX,
+                2 => rng.bounded_u64(1 << 20),
+                _ => rng.next_u64(),
+            };
+            let s = LaunchStats {
+                cycles: extreme(&mut rng),
+                instructions: extreme(&mut rng),
+                l1_accesses: extreme(&mut rng),
+                l1_hits: extreme(&mut rng),
+                offchip_requests: extreme(&mut rng),
+                tbs: extreme(&mut rng),
+                warps: extreme(&mut rng),
+                resident_tbs_per_sm: rng.next_u32(),
+                trace: RequestTrace::default(),
+            };
+            let line = format!("{{\"digest\":\"abc123\",{}}}", s.to_json_fields());
+            let back = LaunchStats::from_json_line(&line)
+                .unwrap_or_else(|| panic!("case {case}: line `{line}` failed to parse"));
+            assert_eq!(back.cycles, s.cycles, "case {case}");
+            assert_eq!(back.instructions, s.instructions, "case {case}");
+            assert_eq!(back.l1_accesses, s.l1_accesses, "case {case}");
+            assert_eq!(back.l1_hits, s.l1_hits, "case {case}");
+            assert_eq!(back.offchip_requests, s.offchip_requests, "case {case}");
+            assert_eq!(back.tbs, s.tbs, "case {case}");
+            assert_eq!(back.warps, s.warps, "case {case}");
+            assert_eq!(
+                back.resident_tbs_per_sm, s.resident_tbs_per_sm,
+                "case {case}"
+            );
+            assert!(back.trace.requests.is_empty(), "trace is never serialized");
+        }
+    }
+
+    #[test]
     fn json_roundtrip_preserves_counters() {
         let s = LaunchStats {
             cycles: 12345,

@@ -28,6 +28,7 @@ use crate::error::SimError;
 use crate::mem::{Arg, DeviceMem, GlobalMem, ShadowMem, StoreLog};
 use crate::metrics::LaunchStats;
 use crate::occupancy::max_resident_tbs;
+use crate::profile::{LaunchProfile, NullSink, ProfileSink, SmProfile, StallReason};
 use crate::warp::{Frame, Warp, WarpState};
 use catt_ir::expr::Builtin;
 use catt_ir::LaunchConfig;
@@ -59,6 +60,37 @@ pub fn run_launch(
     args: &[Arg],
     mem: &mut GlobalMem,
 ) -> Result<LaunchStats, SimError> {
+    if config.profile_enabled() {
+        // Profiled launch: the same simulation, monomorphized over the
+        // recording sink. The finished profile is delivered to the
+        // thread-local capture buffer (see `crate::profile`); on error a
+        // partial profile is still delivered, flagged `complete = false`.
+        let mut profile = LaunchProfile::new(program.name.clone(), launch, config.l1_config());
+        let res = launch_impl::<SmProfile>(config, program, launch, args, mem, Some(&mut profile));
+        profile.complete = res.is_ok();
+        crate::profile::submit(profile);
+        res
+    } else {
+        launch_impl::<NullSink>(config, program, launch, args, mem, None)
+    }
+}
+
+/// Everything one parallel-path SM worker hands back for the in-order
+/// merge: its result, its private store log, and its profiling shard.
+type SmOutcome<S> = (Result<LaunchStats, SimError>, StoreLog, S);
+
+/// The launch body, generic over the profiling sink. With [`NullSink`]
+/// every hook is an empty `#[inline]` default method and every
+/// `S::ENABLED` block is compile-time dead, so the unprofiled hot path
+/// carries no profiling cost at all.
+fn launch_impl<S: ProfileSink>(
+    config: &GpuConfig,
+    program: &Program,
+    launch: LaunchConfig,
+    args: &[Arg],
+    mem: &mut GlobalMem,
+    mut profile: Option<&mut LaunchProfile>,
+) -> Result<LaunchStats, SimError> {
     if args.len() != program.param_regs.len() {
         return Err(SimError::BadArgument {
             kernel: program.name.clone(),
@@ -87,6 +119,11 @@ pub fn run_launch(
     } else {
         config
     };
+    if let Some(p) = profile.as_deref_mut() {
+        // The carve-out auto-raise above may have shrunk the L1; keep the
+        // profile's recorded geometry in sync with what the SMs simulate.
+        p.l1 = config.l1_config();
+    }
     let occ = max_resident_tbs(
         config,
         program.smem_bytes,
@@ -139,6 +176,7 @@ pub fn run_launch(
     } else {
         1
     };
+    let nwarps = (resident * launch.warps_per_block()) as usize;
 
     if workers <= 1 {
         // Sequential path: every SM mutates global memory directly. One
@@ -147,7 +185,8 @@ pub fn run_launch(
         let mut ws = SmWorkspace::default();
         for (sm_id, blocks) in per_sm {
             let trace_this_sm = config.trace_requests && sm_id == 0;
-            let stats = run_sm(
+            let mut sink = S::for_sm(sm_id, config.l1_config(), nwarps, resident as usize);
+            let res = run_sm(
                 config,
                 program,
                 &access,
@@ -158,9 +197,15 @@ pub fn run_launch(
                 trace_this_sm,
                 fuel,
                 &mut ws,
+                &mut sink,
                 blocks,
-            )?;
-            fold_stats(&mut total, stats, trace_this_sm);
+            );
+            // Merge the shard before propagating an error so a failing SM
+            // still leaves its partial profile behind.
+            if let Some(p) = profile.as_deref_mut() {
+                sink.finish_into(p);
+            }
+            fold_stats(&mut total, res?, trace_this_sm);
         }
         return Ok(total);
     }
@@ -171,8 +216,7 @@ pub fn run_launch(
     // of thread scheduling.
     let snapshot: &GlobalMem = mem;
     let next = AtomicUsize::new(0);
-    type SmOutcome = (Result<LaunchStats, SimError>, StoreLog);
-    let results: Mutex<Vec<Option<SmOutcome>>> =
+    let results: Mutex<Vec<Option<SmOutcome<S>>>> =
         Mutex::new((0..per_sm.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -186,6 +230,7 @@ pub fn run_launch(
                     let (sm_id, blocks) = &per_sm[i];
                     let trace_this_sm = config.trace_requests && *sm_id == 0;
                     let mut shadow = ShadowMem::new(snapshot);
+                    let mut sink = S::for_sm(*sm_id, config.l1_config(), nwarps, resident as usize);
                     let res = run_sm(
                         config,
                         program,
@@ -197,21 +242,22 @@ pub fn run_launch(
                         trace_this_sm,
                         fuel,
                         &mut ws,
+                        &mut sink,
                         blocks.clone(),
                     );
-                    let outcome = (res, shadow.into_log());
+                    let outcome = (res, shadow.into_log(), sink);
                     results.lock().unwrap()[i] = Some(outcome);
                 }
             });
         }
     });
     let collected = results.into_inner().unwrap_or_else(|p| p.into_inner());
-    // Deterministic commit: stats fold and store logs apply in ascending
-    // SM-id order; the first failing SM (by id) reports its error, with
-    // lower-id successes already merged — exactly the sequential
-    // behaviour.
+    // Deterministic commit: stats fold, store logs apply, and profile
+    // shards merge in ascending SM-id order; the first failing SM (by id)
+    // reports its error, with lower-id successes already merged — exactly
+    // the sequential behaviour, whatever the thread schedule was.
     for (i, outcome) in collected.into_iter().enumerate() {
-        let Some((res, log)) = outcome else {
+        let Some((res, log, sink)) = outcome else {
             // Unreachable in practice (the scope joins all workers and
             // run_sm never panics), but a structured error beats a panic.
             return Err(SimError::MalformedProgram {
@@ -221,6 +267,9 @@ pub fn run_launch(
             });
         };
         let trace_this_sm = config.trace_requests && per_sm[i].0 == 0;
+        if let Some(p) = profile.as_deref_mut() {
+            sink.finish_into(p);
+        }
         let stats = res?;
         fold_stats(&mut total, stats, trace_this_sm);
         log.apply(mem);
@@ -247,7 +296,7 @@ fn fold_stats(total: &mut LaunchStats, stats: LaunchStats, take_trace: bool) {
 /// and returning it when done (so the caller reuses the allocations —
 /// register files included — for the next SM on this thread).
 #[allow(clippy::too_many_arguments)]
-fn run_sm<M: DeviceMem>(
+fn run_sm<M: DeviceMem, S: ProfileSink>(
     config: &GpuConfig,
     program: &Program,
     access: &[OpAccess],
@@ -258,6 +307,7 @@ fn run_sm<M: DeviceMem>(
     trace: bool,
     fuel: Option<u64>,
     ws: &mut SmWorkspace,
+    sink: &mut S,
     blocks: VecDeque<u32>,
 ) -> Result<LaunchStats, SimError> {
     ws.prepare(
@@ -266,6 +316,7 @@ fn run_sm<M: DeviceMem>(
         launch.warps_per_block(),
         config.schedulers_per_sm as usize,
     );
+    let nwarps = ws.warps.len();
     let mut sm = Sm {
         config,
         program,
@@ -288,8 +339,21 @@ fn run_sm<M: DeviceMem>(
         fuel,
         trace,
         stats: LaunchStats::default(),
+        sink,
+        prof_load_ready: if S::ENABLED {
+            vec![0; nwarps]
+        } else {
+            Vec::new()
+        },
     };
     let result = sm.run(blocks);
+    if S::ENABLED && result.is_err() {
+        // The success path records final aggregates inside `run`; on error
+        // close the shard with whatever the SM reached so partial profiles
+        // still carry cycle and instruction totals.
+        sm.sink
+            .sm_end(sm.cycle, sm.last_issued.len() as u32, sm.stats.instructions);
+    }
     ws.stall_until = std::mem::take(&mut sm.stall_until);
     ws.warps = std::mem::take(&mut sm.warps);
     ws.tbs = std::mem::take(&mut sm.tbs);
@@ -455,7 +519,7 @@ impl SmWorkspace {
     }
 }
 
-struct Sm<'a, M: DeviceMem> {
+struct Sm<'a, M: DeviceMem, S: ProfileSink> {
     config: &'a GpuConfig,
     program: &'a Program,
     /// Memoized per-op scoreboard access sets, indexed by pc.
@@ -491,9 +555,16 @@ struct Sm<'a, M: DeviceMem> {
     fuel: Option<u64>,
     trace: bool,
     stats: LaunchStats,
+    /// Profiling sink — [`NullSink`] when profiling is off, in which case
+    /// every hook call below compiles to nothing.
+    sink: &'a mut S,
+    /// Per-warp completion cycle of the latest global load issued
+    /// (profiling only, empty otherwise): lets [`Sm::classify_stall`] tell
+    /// long (memory) scoreboard waits from short (ALU-dependency) ones.
+    prof_load_ready: Vec<u64>,
 }
 
-impl<M: DeviceMem> Sm<'_, M> {
+impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
     /// Warps currently parked at a `__syncthreads()` barrier.
     fn parked_warps(&self) -> usize {
         self.warps
@@ -551,6 +622,13 @@ impl<M: DeviceMem> Sm<'_, M> {
         loop {
             if let Some(fuel) = self.fuel {
                 if self.cycle >= fuel {
+                    if S::ENABLED {
+                        // Fuel cut the launch short: charge the cut-off
+                        // slot to its own reason so fuel-bounded shards
+                        // are identifiable in the breakdown.
+                        self.sink
+                            .stall(StallReason::Fuel, self.last_issued.len() as u64);
+                    }
                     return Err(self.out_of_fuel());
                 }
             }
@@ -566,13 +644,32 @@ impl<M: DeviceMem> Sm<'_, M> {
                     self.stall_until[w] = self.cycle;
                     self.last_issued[sched] = Some(w);
                     issued = true;
+                } else if S::ENABLED {
+                    // Unused issue slot: classify and charge exactly one
+                    // stall cycle, so per-SM slots always reconcile:
+                    //   instructions + Σ stall_cycles = cycles × schedulers.
+                    let reason = self.classify_stall(sched);
+                    self.sink.stall(reason, 1);
                 }
             }
             self.cycle += 1;
             self.dyncta_tick(issued);
             if !issued {
                 match self.earliest_wakeup() {
-                    Some(t) => self.cycle = self.cycle.max(t),
+                    Some(t) => {
+                        if S::ENABLED && t > self.cycle {
+                            // Skip-ahead: nothing can issue before `t`, so
+                            // every scheduler loses the jumped-over cycles
+                            // to the same reason it just stalled for (no
+                            // state can change while nothing issues).
+                            let delta = t - self.cycle;
+                            for sched in 0..self.last_issued.len() {
+                                let reason = self.classify_stall(sched);
+                                self.sink.stall(reason, delta);
+                            }
+                        }
+                        self.cycle = self.cycle.max(t);
+                    }
                     None => {
                         if self.active_tb_limit < self.tbs.len() {
                             // Everything schedulable is done but paused
@@ -600,7 +697,70 @@ impl<M: DeviceMem> Sm<'_, M> {
         stats.l1_accesses = self.cache.accesses;
         stats.l1_hits = self.cache.hits + self.cache.mshr_merges;
         stats.offchip_requests = self.cache.offchip_requests;
+        if S::ENABLED {
+            self.sink.sm_end(
+                stats.cycles,
+                self.last_issued.len() as u32,
+                stats.instructions,
+            );
+        }
         Ok(stats)
+    }
+
+    /// Attribute a scheduler's unused issue slot to a [`StallReason`] by
+    /// inspecting its warp partition (profiling only; pure observation,
+    /// never perturbs scheduling). The earliest-waking Ready warp decides
+    /// between `Memory` (L1-port serialization or an outstanding load's
+    /// data) and `Scoreboard` (short ALU dependency — heuristic: a wait
+    /// that ends at or before the warp's latest load completion counts as
+    /// memory); with no Ready warp, parked warps mean `Barrier`,
+    /// throttle-paused ones `Throttled`, and an empty or finished
+    /// partition `Idle`.
+    fn classify_stall(&self, sched: usize) -> StallReason {
+        let nsched = self.last_issued.len();
+        let mut best: Option<(u64, StallReason)> = None;
+        let mut any_barrier = false;
+        let mut any_throttled = false;
+        for i in (sched..self.warps.len()).step_by(nsched) {
+            let w = &self.warps[i];
+            match w.state {
+                WarpState::AtBarrier => any_barrier = true,
+                WarpState::Ready => {
+                    if (w.tb_slot as usize) >= self.active_tb_limit {
+                        any_throttled = true;
+                        continue;
+                    }
+                    let a = &self.access[w.pc as usize];
+                    let mut reg_t = self.cycle;
+                    for &r in &a.regs[..a.n as usize] {
+                        reg_t = reg_t.max(w.ready[r as usize]);
+                    }
+                    let port_t = if a.uses_l1_port { self.l1_port_free } else { 0 };
+                    let t = reg_t.max(port_t);
+                    // Memory if the wait is on the L1 port, or if it ends at or
+                    // before the warp's latest outstanding-load completion (a
+                    // register dependency on load data); otherwise scoreboard.
+                    let memory = (a.uses_l1_port && port_t >= reg_t && port_t > self.cycle)
+                        || t <= self.prof_load_ready[i];
+                    let reason = if memory {
+                        StallReason::Memory
+                    } else {
+                        StallReason::Scoreboard
+                    };
+                    match best {
+                        Some((bt, _)) if bt <= t => {}
+                        _ => best = Some((t, reason)),
+                    }
+                }
+                _ => {}
+            }
+        }
+        match best {
+            Some((_, reason)) => reason,
+            None if any_barrier => StallReason::Barrier,
+            None if any_throttled => StallReason::Throttled,
+            None => StallReason::Idle,
+        }
     }
 
     // ----- dispatch ------------------------------------------------------
@@ -614,6 +774,11 @@ impl<M: DeviceMem> Sm<'_, M> {
                     .iter()
                     .all(|w| w.state == WarpState::Done)
                 {
+                    if S::ENABLED {
+                        if let Some(b) = self.tbs[slot].block {
+                            self.sink.tb_end(slot, b, self.cycle);
+                        }
+                    }
                     self.tbs[slot].block = None;
                     for w in &mut self.warps[lo..hi] {
                         w.state = WarpState::Idle;
@@ -632,6 +797,9 @@ impl<M: DeviceMem> Sm<'_, M> {
         self.tbs[slot].block = Some(block);
         self.tbs[slot].smem.fill(0);
         self.stats.tbs += 1;
+        if S::ENABLED {
+            self.sink.tb_start(slot, block, self.cycle);
+        }
         let (gx, gy) = (self.launch.grid.x, self.launch.grid.y);
         // Warp-uniform values: the block indices vary per dispatch, the
         // dims/params come from the launch-wide tables. All are written
@@ -651,6 +819,10 @@ impl<M: DeviceMem> Sm<'_, M> {
             w.reset(init.valid, slot as u32, self.dispatch_age);
             self.stall_until[lo + wi] = 0;
             self.stats.warps += 1;
+            if S::ENABLED {
+                self.sink.warp_begin(lo + wi, block, self.cycle);
+                self.prof_load_ready[lo + wi] = 0;
+            }
             w.regs[builtin_reg(Builtin::ThreadIdxX) as usize] = init.tidx[0];
             w.regs[builtin_reg(Builtin::ThreadIdxY) as usize] = init.tidx[1];
             w.regs[builtin_reg(Builtin::ThreadIdxZ) as usize] = init.tidx[2];
@@ -683,6 +855,9 @@ impl<M: DeviceMem> Sm<'_, M> {
                     if w.state == WarpState::AtBarrier {
                         w.state = WarpState::Ready;
                         self.stall_until[lo + off] = 0;
+                        if S::ENABLED {
+                            self.sink.warp_release(lo + off, self.cycle);
+                        }
                     }
                 }
             }
@@ -926,6 +1101,9 @@ impl<M: DeviceMem> Sm<'_, M> {
                 let w = &mut self.warps[wi];
                 w.state = WarpState::AtBarrier;
                 w.pc += 1;
+                if S::ENABLED {
+                    self.sink.warp_barrier(wi, self.cycle);
+                }
             }
             Op::If { cond, else_pc, .. } => {
                 let w = &mut self.warps[wi];
@@ -1038,6 +1216,9 @@ impl<M: DeviceMem> Sm<'_, M> {
             Op::Exit => {
                 let w = &mut self.warps[wi];
                 w.state = WarpState::Done;
+                if S::ENABLED {
+                    self.sink.warp_done(wi, self.cycle);
+                }
             }
         }
         Ok(())
@@ -1102,7 +1283,13 @@ impl<M: DeviceMem> Sm<'_, M> {
                 *offchip_free = (*offchip_free).max(t) + lat.offchip_port;
                 *offchip_free + lat.offchip
             });
+            if S::ENABLED {
+                self.sink.l1_load(res.set, *la, res.hit, res.evicted);
+            }
             data_ready = data_ready.max(res.data_ready);
+        }
+        if S::ENABLED {
+            self.prof_load_ready[wi] = self.prof_load_ready[wi].max(data_ready);
         }
         let w = &mut self.warps[wi];
         w.ready[dst as usize] = data_ready;
@@ -1131,7 +1318,10 @@ impl<M: DeviceMem> Sm<'_, M> {
         let line_bytes = self.config.l1_line_bytes;
         for (k, la) in lines[..n].iter().enumerate() {
             let t = start + k as u64;
-            self.cache.access_store(la * line_bytes);
+            let set = self.cache.access_store(la * line_bytes);
+            if S::ENABLED {
+                self.sink.l1_store(set, *la);
+            }
             self.offchip_free = self.offchip_free.max(t) + lat.offchip_port;
         }
         let w = &mut self.warps[wi];

@@ -111,6 +111,27 @@ pub fn run_baseline(w: &Workload, config: &GpuConfig) -> Result<RunOutcome, Eval
     run_cached(w, &w.kernels(), config, true)
 }
 
+/// Run the application untransformed with the profiling sink armed and
+/// return the per-launch profiles alongside the outcome (one
+/// [`LaunchProfile`](catt_sim::LaunchProfile) per kernel launch, in
+/// launch order). Profiled runs bypass the engine's simulation cache —
+/// the profile is a side channel the cache does not store — and are
+/// bit-identical to unprofiled runs in stats and memory effects (see
+/// DESIGN.md "Profiling & trace subsystem").
+pub fn run_profiled(
+    w: &Workload,
+    config: &GpuConfig,
+) -> Result<(RunOutcome, Vec<catt_sim::LaunchProfile>), EvalError> {
+    let mut cfg = config.clone();
+    cfg.profile = Some(true);
+    catt_sim::profile::set_capture(true);
+    let res = run_cached(w, &w.kernels(), &cfg, true);
+    let profiles = catt_sim::profile::take_captured();
+    catt_sim::profile::set_capture(false);
+    let out = res?;
+    Ok((out, profiles))
+}
+
 /// Compile the application with CATT and run the transformed kernels.
 /// Returns the outcome together with the compilation record (per-loop
 /// decisions, Table 3 data).

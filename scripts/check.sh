@@ -27,7 +27,7 @@ echo "==> guard rails: no panic!/bare assert! on the simulator execution path"
 # modules (everything from the #[cfg(test)] marker on) before grepping;
 # debug_assert! stays allowed (compiled out of release).
 for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
-         crates/sim/src/lib.rs crates/sim/src/cache.rs; do
+         crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/profile.rs; do
     [ -f "$f" ] || continue
     if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^[[:space:]]*//' \
         | grep -nE '(^|[^_a-zA-Z])(panic!|assert!|assert_eq!|assert_ne!|unreachable!|todo!|unimplemented!)\(' ; then
@@ -50,5 +50,16 @@ CATT_SIM_SM_PARALLEL=off CATT_SIM_SM_THREADS=1 \
 echo "==> fault injection: sweep + cache survive an armed CATT_FAULT_PLAN"
 CATT_ENGINE_WORKERS=1 CATT_FAULT_PLAN="panic-job=2,corrupt-cache" \
     cargo test --release -p catt-core $OFFLINE -q --test fault_env
+
+echo "==> profile smoke: catt profile emits reports + a valid Chrome trace"
+# The CLI validates the trace JSON and re-checks the stall-sum /
+# L1-counter reconciliation itself, exiting non-zero on any violation;
+# this pass just has to run it and check the artifact exists.
+PROFILE_TRACE="${PROFILE_TRACE:-target/profile-smoke-trace.json}"
+target/release/catt profile ATAX --trace-out "$PROFILE_TRACE" > /dev/null
+[ -s "$PROFILE_TRACE" ] || {
+    echo "error: catt profile wrote no trace at $PROFILE_TRACE" >&2
+    exit 1
+}
 
 echo "==> all checks passed"

@@ -4,6 +4,7 @@
 //! catt compile kernels.cu --launch atax_kernel1=320x256 [--l1 32] [-o out.cu]
 //! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
 //! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>] [--sm-parallel on|off]
+//! catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]
 //! ```
 //!
 //! * `analyze` prints the per-loop footprint analysis and throttling
@@ -12,7 +13,14 @@
 //! * `run` lowers the kernel, allocates float/int buffers per `--args`
 //!   (`f:<len>` / `i:<len>`, filled deterministically; `sf:<v>`/`si:<v>`
 //!   for scalars), executes baseline and throttled variants on the
-//!   simulator, and reports the speedup.
+//!   simulator, and reports the speedup;
+//! * `profile` runs a registry workload (by Table 2 abbreviation, or
+//!   `all`) with the profiling sink armed and prints the nvprof-style
+//!   stall breakdown, the per-set L1D heat map, and the Eq. 8
+//!   predicted-vs-observed table; `--trace-out` additionally writes a
+//!   Chrome `trace_event` JSON (open in `chrome://tracing`). Profile
+//!   invariants and profile/stats reconciliation are re-checked on every
+//!   run; any violation exits non-zero.
 //!
 //! Launch syntax: `<kernel>=<grid>x<block>` (1-D) or
 //! `<kernel>=<gx>,<gy>x<bx>,<by>` (2-D). Repeat `--launch` per kernel.
@@ -26,9 +34,120 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
          [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--sm-parallel <on|off>] \
-         [--args <spec,...>] [-o <out.cu>]"
+         [--args <spec,...>] [-o <out.cu>]\n\
+         \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]"
     );
     ExitCode::from(2)
+}
+
+/// `catt profile`: run registry workloads with the in-simulator tracer
+/// armed and print the consumer reports.
+fn profile_main(args: &[String]) -> ExitCode {
+    use catt_repro::profile::{check_against_stats, chrome, json, model, report};
+    use catt_repro::workloads::{harness, registry};
+
+    let target = &args[0];
+    let mut l1_kb: Option<u32> = None;
+    let mut trace_out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--l1" if i + 1 < args.len() => {
+                l1_kb = args[i + 1].parse().ok();
+                i += 2;
+            }
+            "--trace-out" if i + 1 < args.len() => {
+                trace_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("catt profile: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    let workloads = if target.eq_ignore_ascii_case("all") {
+        registry::all_workloads()
+    } else {
+        match registry::find(target) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!(
+                    "catt profile: no workload `{target}` (try a Table 2 abbreviation or `all`)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut config = harness::eval_config_max_l1d();
+    if let Some(kb) = l1_kb {
+        config.l1_cap_bytes = Some(kb * 1024);
+    }
+
+    // How many launches get a full per-launch report (iterative apps can
+    // run dozens; the trace file always contains every launch).
+    const MAX_REPORTED: usize = 4;
+    let single = workloads.len() == 1;
+    let mut failed = false;
+    for w in &workloads {
+        println!("==== {} ({}) ====", w.abbrev, w.name);
+        let (out, profiles) = match harness::run_profiled(w, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("catt profile {}: {e}", w.abbrev);
+                failed = true;
+                continue;
+            }
+        };
+        for p in profiles.iter().take(MAX_REPORTED) {
+            print!("{}", report::stall_report(p));
+            print!("{}", report::heat_map(p));
+        }
+        if profiles.len() > MAX_REPORTED {
+            println!(
+                "  (... {} more launches; all are in the trace file)",
+                profiles.len() - MAX_REPORTED
+            );
+        }
+        println!("  Eq. 8 model validation (static prediction vs profiled observation):");
+        print!(
+            "{}",
+            model::render(&model::model_rows(w, &config, &profiles))
+        );
+
+        // Self-check: accounting invariants and profile/stats agreement.
+        if let Err(e) = check_against_stats(&profiles, &out.stats) {
+            eprintln!("catt profile {}: INVARIANT VIOLATION: {e}", w.abbrev);
+            failed = true;
+        }
+
+        if let Some(path) = &trace_out {
+            let file = if single {
+                path.clone()
+            } else {
+                format!("{path}.{}", w.abbrev)
+            };
+            let trace = chrome::chrome_trace(&profiles);
+            if let Err(e) = json::validate(&trace) {
+                eprintln!(
+                    "catt profile {}: emitted trace is not valid JSON: {e}",
+                    w.abbrev
+                );
+                failed = true;
+            }
+            if let Err(e) = std::fs::write(&file, &trace) {
+                eprintln!("catt profile {}: cannot write {file}: {e}", w.abbrev);
+                failed = true;
+            } else {
+                println!("  wrote {file}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn parse_dims(s: &str) -> Option<Dim3> {
@@ -58,6 +177,9 @@ fn main() -> ExitCode {
         return usage();
     }
     let mode = argv[0].as_str();
+    if mode == "profile" {
+        return profile_main(&argv[1..]);
+    }
     let path = &argv[1];
     let mut launches: Vec<(String, LaunchConfig)> = Vec::new();
     let mut l1_kb: Option<u32> = None;

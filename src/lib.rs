@@ -13,7 +13,10 @@
 //! * [`core`] — the CATT analysis + transformation pipeline and the BFTT
 //!   baseline (`catt-core`);
 //! * [`workloads`] — the paper's 24 benchmark applications
-//!   (`catt-workloads`).
+//!   (`catt-workloads`);
+//! * [`profile`] — consumers of the simulator's profiling subsystem:
+//!   Chrome traces, stall reports, Eq. 8 model validation
+//!   (`catt-profile`; see `catt profile --help`).
 //!
 //! ## Quickstart
 //!
@@ -48,5 +51,6 @@
 pub use catt_core as core;
 pub use catt_frontend as frontend;
 pub use catt_ir as ir;
+pub use catt_profile as profile;
 pub use catt_sim as sim;
 pub use catt_workloads as workloads;

@@ -121,6 +121,35 @@ fn run_reports_speedup() {
 }
 
 #[test]
+fn profile_emits_reports_and_valid_trace() {
+    let trace = std::env::temp_dir().join(format!("catt_cli_trace_{}.json", std::process::id()));
+    let out = catt()
+        .args(["profile", "ATAX", "--trace-out", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stall breakdown"), "{stdout}");
+    assert!(stdout.contains("memory"), "{stdout}");
+    assert!(stdout.contains("L1D heat map"), "{stdout}");
+    assert!(stdout.contains("pred lines"), "{stdout}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let _ = std::fs::remove_file(&trace);
+    catt_profile::json::validate(&json).expect("trace is valid JSON");
+    assert!(json.contains("\"traceEvents\""), "trace envelope present");
+}
+
+#[test]
+fn profile_rejects_unknown_workload() {
+    let out = catt().args(["profile", "NOPE"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = catt().args(["analyze"]).output().unwrap();
     assert!(!out.status.success());
