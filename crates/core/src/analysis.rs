@@ -69,6 +69,12 @@ pub struct LoopAnalysis {
     /// never warp-throttled (splitting them would break barrier
     /// semantics).
     pub has_barrier: bool,
+    /// Whether the loop sits under a conditional that cannot be proven
+    /// block-uniform. Warp throttling such a loop would splice
+    /// `__syncthreads()` into divergent control flow — a deadlock on real
+    /// hardware — so these loops fall back to TB-level throttling, like
+    /// barrier loops.
+    pub divergent_guard: bool,
     /// Global accesses attributed to this loop (innermost-loop rule).
     pub accesses: Vec<AccessAnalysis>,
     /// Eq. 8 at full TLP: 128-byte lines touched by one access round of
@@ -280,7 +286,7 @@ pub fn analyze_kernel(
         line_bytes,
         block: (launch.block.x, launch.block.y),
     };
-    ctx.walk(&kernel.body, &mut env, None);
+    ctx.walk(&kernel.body, &mut env, None, false);
 
     // Decide factors per loop.
     let mut loops = ctx.loops;
@@ -308,10 +314,12 @@ pub fn analyze_kernel(
         } else {
             ThrottleDecision::NONE
         };
-        // Loops whose body synchronizes cannot be warp-split; fall back to
-        // TB-level throttling with an equivalent concurrency reduction
-        // when possible, otherwise leave untouched.
-        if l.has_barrier && l.decision.is_throttled() && l.decision.n > 1 {
+        // Loops whose body synchronizes — or that sit under a divergent
+        // guard, where spliced barriers would deadlock real hardware —
+        // cannot be warp-split; fall back to TB-level throttling with an
+        // equivalent concurrency reduction when possible, otherwise leave
+        // untouched.
+        if (l.has_barrier || l.divergent_guard) && l.decision.is_throttled() && l.decision.n > 1 {
             let target_warps = (warps_per_tb / l.decision.n) * (plan.resident_tbs - l.decision.m);
             let tbs_needed = (target_warps / warps_per_tb).max(1);
             l.decision = ThrottleDecision {
@@ -409,7 +417,13 @@ impl<'a> Walker<'a> {
         out
     }
 
-    fn walk(&mut self, stmts: &[Stmt], env: &mut AffineEnv, loop_idx: Option<usize>) {
+    fn walk(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut AffineEnv,
+        loop_idx: Option<usize>,
+        divergent: bool,
+    ) {
         for s in stmts {
             match s {
                 Stmt::DeclScalar { name, init, .. } => {
@@ -450,8 +464,9 @@ impl<'a> Walker<'a> {
                 }
                 Stmt::If { cond, then, els } => {
                     self.record_expr(cond, env, loop_idx);
-                    self.walk(then, env, loop_idx);
-                    self.walk(els, env, loop_idx);
+                    let div = divergent || !crate::transform::guard_block_uniform(cond, env);
+                    self.walk(then, env, loop_idx, div);
+                    self.walk(els, env, loop_idx, div);
                     // Conservatively forget anything either branch wrote.
                     for v in Self::assigned_vars(then).union(&Self::assigned_vars(els)) {
                         env.poison(v);
@@ -476,6 +491,7 @@ impl<'a> Walker<'a> {
                         parent: loop_idx,
                         iter_var: Some(var.clone()),
                         has_barrier,
+                        divergent_guard: divergent,
                         accesses: Vec::new(),
                         size_req_lines: 0,
                         has_locality: false,
@@ -496,7 +512,7 @@ impl<'a> Walker<'a> {
                     for v in Self::assigned_vars(body) {
                         inner.poison(&v);
                     }
-                    self.walk(body, &mut inner, Some(li));
+                    self.walk(body, &mut inner, Some(li), divergent);
                     // After the loop: anything it assigned is unknown.
                     for v in Self::assigned_vars(body) {
                         env.poison(&v);
@@ -515,6 +531,7 @@ impl<'a> Walker<'a> {
                         parent: loop_idx,
                         iter_var: None,
                         has_barrier,
+                        divergent_guard: divergent,
                         accesses: Vec::new(),
                         size_req_lines: 0,
                         has_locality: false,
@@ -527,7 +544,7 @@ impl<'a> Walker<'a> {
                     for v in Self::assigned_vars(body) {
                         inner.poison(&v);
                     }
-                    self.walk(body, &mut inner, Some(li));
+                    self.walk(body, &mut inner, Some(li), divergent);
                     for v in Self::assigned_vars(body) {
                         env.poison(&v);
                     }

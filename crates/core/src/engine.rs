@@ -761,7 +761,9 @@ impl Engine {
         // cache (and never pollute it: their `LaunchStats` are identical
         // to an unprofiled run's, but skipping the insert keeps the
         // bypass symmetric and the cache read-only under diagnostics).
-        if config.trace_requests || config.profile_enabled() {
+        // Sanitized runs also bypass (and never populate) the cache: a
+        // cache hit would skip the very checks sanitize mode exists for.
+        if config.trace_requests || config.profile_enabled() || config.sanitize_enabled() {
             return caught(compute);
         }
         let key = job_digest(scope, kernels, launches, config)?;

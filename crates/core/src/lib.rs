@@ -45,4 +45,6 @@ pub use fault::FaultPlan;
 pub use multiversion::MultiVersioned;
 pub use occupancy::L1SmemPlan;
 pub use pipeline::{CompiledApp, CompiledKernel, Pipeline};
-pub use transform::{tb_throttle, warp_throttle};
+pub use transform::{
+    eligible_loops, eligible_loops_for, guard_block_uniform, tb_throttle, warp_throttle,
+};

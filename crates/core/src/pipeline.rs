@@ -223,11 +223,15 @@ impl Pipeline {
 /// one kernel-wide TB throttle for the largest `M`.
 pub fn apply_decisions(kernel: &Kernel, analysis: &KernelAnalysis) -> Kernel {
     let mut out = kernel.clone();
-    // Select loops: resolved, n > 1, no barrier, and no throttled ancestor.
+    // Select loops: resolved, n > 1, no barrier, a block-uniform guard
+    // (spliced barriers under divergent control flow deadlock on real
+    // hardware), and no throttled ancestor.
     let throttled: Vec<&crate::analysis::LoopAnalysis> = analysis
         .loops
         .iter()
-        .filter(|l| l.decision.is_throttled() && l.decision.n > 1 && !l.has_barrier)
+        .filter(|l| {
+            l.decision.is_throttled() && l.decision.n > 1 && !l.has_barrier && !l.divergent_guard
+        })
         .collect();
     let selected: Vec<(usize, u32)> = throttled
         .iter()
@@ -287,7 +291,10 @@ pub fn apply_uniform(
 ) -> Kernel {
     let mut out = kernel.clone();
     if n > 1 {
-        let mut loops = crate::transform::eligible_loops(kernel);
+        // The block shape is implied by `warps_per_tb`; it feeds the
+        // block-uniformity proof for guards over the linear thread id.
+        let block = (warps_per_tb * crate::analysis::WARP_SIZE, 1, 1);
+        let mut loops = crate::transform::eligible_loops_for(kernel, block, None);
         loops.sort_by(|a, b| b.cmp(a));
         for id in loops {
             if let Some(t) = warp_throttle(&out, id, n, warps_per_tb) {

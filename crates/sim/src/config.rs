@@ -136,6 +136,18 @@ pub struct GpuConfig {
     /// runs bypass the simulation cache so the profile is always produced
     /// by a real run (see `catt_core::engine`).
     pub profile: Option<bool>,
+    /// Run launches under the dynamic sanitizer (see [`crate::sanitize`]):
+    /// barrier-divergence, inter-block race, wild-read and shared-memory
+    /// overflow detection, surfaced as
+    /// [`SimError::Sanitizer`](crate::SimError::Sanitizer). `None` follows
+    /// the `CATT_SANITIZE` environment variable (`on`/`1`/`true`/`yes`
+    /// enables; default off); `Some` wins over the environment. The
+    /// sanitizer only observes — a clean sanitized launch is bit-identical
+    /// to an unsanitized one — so the knob is excluded from
+    /// [`GpuConfig::content_digest`]; sanitized runs bypass the
+    /// simulation cache (a cache hit would skip the checks) and run on
+    /// the sequential SM path so one launch-wide state sees every block.
+    pub sanitize: Option<bool>,
 }
 
 /// Baseline cycle allowance of the derived fuel budget (covers dispatch
@@ -198,6 +210,7 @@ impl GpuConfig {
             sm_parallel: None,
             sm_threads: None,
             profile: None,
+            sanitize: None,
         }
     }
 
@@ -234,6 +247,7 @@ impl GpuConfig {
             sm_parallel: None,
             sm_threads: None,
             profile: None,
+            sanitize: None,
         }
     }
 
@@ -373,6 +387,27 @@ impl GpuConfig {
             Err(_) => false,
         }
     }
+
+    /// Whether launches under this config run the dynamic sanitizer (see
+    /// [`crate::sanitize`]). Resolution order: [`GpuConfig::sanitize`]
+    /// (explicit config wins, so tests and CLI flags are immune to
+    /// ambient environment), then the `CATT_SANITIZE` environment
+    /// variable (`on`/`1`/`true`/`yes` enables), then the default: off.
+    /// A clean sanitized launch is bit-identical to an unsanitized one —
+    /// the sanitizer only observes, and stops the launch at the first
+    /// finding.
+    pub fn sanitize_enabled(&self) -> bool {
+        if let Some(explicit) = self.sanitize {
+            return explicit;
+        }
+        match std::env::var("CATT_SANITIZE") {
+            Ok(v) => matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "on" | "1" | "true" | "yes"
+            ),
+            Err(_) => false,
+        }
+    }
 }
 
 /// Number of engine worker threads currently running simulation jobs in
@@ -502,6 +537,20 @@ mod tests {
         assert!(c.profile_enabled());
         c.profile = Some(false);
         assert!(!c.profile_enabled());
+    }
+
+    #[test]
+    fn explicit_sanitize_config_wins() {
+        // Env paths are covered by the sanitizer integration suite; unit
+        // tests only pin the explicit-config precedence and the default.
+        let mut c = GpuConfig::small();
+        if std::env::var("CATT_SANITIZE").is_err() {
+            assert!(!c.sanitize_enabled(), "sanitizer is off by default");
+        }
+        c.sanitize = Some(true);
+        assert!(c.sanitize_enabled());
+        c.sanitize = Some(false);
+        assert!(!c.sanitize_enabled());
     }
 
     #[test]

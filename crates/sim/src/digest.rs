@@ -92,13 +92,17 @@ impl GpuConfig {
     /// DESIGN.md "Parallel SM execution"), so flipping them must keep
     /// serving cached results. The profiling knob (`profile`) is excluded
     /// too — the sink only observes, and profiled runs bypass the cache
-    /// anyway (see DESIGN.md "Profiling & trace subsystem").
+    /// anyway (see DESIGN.md "Profiling & trace subsystem") — as is the
+    /// sanitizer knob (`sanitize`): a clean sanitized launch is
+    /// bit-identical to an unsanitized one, and sanitized runs bypass the
+    /// cache so the checks always execute.
     pub fn content_digest(&self) -> u64 {
         let mut canonical = self.clone();
         canonical.sim_fuel = None;
         canonical.sm_parallel = None;
         canonical.sm_threads = None;
         canonical.profile = None;
+        canonical.sanitize = None;
         let mut h = Fnv64::new();
         h.write_debug(&canonical);
         h.finish()
@@ -167,5 +171,17 @@ mod tests {
         assert_eq!(base.content_digest(), profiled.content_digest());
         profiled.profile = Some(false);
         assert_eq!(base.content_digest(), profiled.content_digest());
+    }
+
+    #[test]
+    fn sanitize_knob_does_not_change_the_digest() {
+        // The sanitizer only observes; a cached result must survive
+        // flipping it (sanitized runs bypass the cache regardless).
+        let base = GpuConfig::titan_v_1sm();
+        let mut sanitized = base.clone();
+        sanitized.sanitize = Some(true);
+        assert_eq!(base.content_digest(), sanitized.content_digest());
+        sanitized.sanitize = Some(false);
+        assert_eq!(base.content_digest(), sanitized.content_digest());
     }
 }

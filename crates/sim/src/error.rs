@@ -19,9 +19,16 @@
 //! * [`SimError::MalformedProgram`] — an inconsistent divergence stack at
 //!   run time (a lowering bug, kept as an error so one bad program cannot
 //!   take down a fleet worker);
+//! * [`SimError::Sanitizer`] — a sanitized launch
+//!   ([`GpuConfig::sanitize`](crate::GpuConfig::sanitize) /
+//!   `CATT_SANITIZE=on`) detected undefined behaviour the forgiving
+//!   functional semantics would otherwise mask: barrier divergence,
+//!   inter-block global races, uninitialized global reads, shared-memory
+//!   overflow (see [`crate::sanitize`]);
 //! * [`SimError::Lower`] — the kernel failed to lower to bytecode.
 
 use crate::bytecode::LowerError;
+use crate::sanitize::SanitizerReport;
 use std::fmt;
 
 /// A structured, recoverable simulator failure. See the module docs for
@@ -73,6 +80,10 @@ pub enum SimError {
         /// What was inconsistent.
         message: String,
     },
+    /// A sanitized launch detected undefined behaviour (barrier
+    /// divergence, inter-block race, uninitialized read, shared-memory
+    /// overflow). Only produced when sanitize mode is on.
+    Sanitizer(SanitizerReport),
     /// The kernel failed to lower to simulator bytecode.
     Lower(LowerError),
 }
@@ -111,6 +122,7 @@ impl fmt::Display for SimError {
                 pc,
                 message,
             } => write!(f, "malformed program `{kernel}` (pc {pc}): {message}"),
+            SimError::Sanitizer(report) => write!(f, "sanitizer: {report}"),
             SimError::Lower(e) => e.fmt(f),
         }
     }

@@ -46,6 +46,7 @@ pub mod mem;
 pub mod metrics;
 pub mod occupancy;
 pub mod profile;
+pub mod sanitize;
 pub mod sm;
 pub mod warp;
 
@@ -63,6 +64,7 @@ pub use profile::{
     LaunchProfile, MissWindow, NullSink, PhaseEvent, PhaseKind, ProfileSink, SetCounters,
     SmProfile, StallReason,
 };
+pub use sanitize::{SanitizerKind, SanitizerReport};
 
 use catt_ir::{Kernel, LaunchConfig};
 

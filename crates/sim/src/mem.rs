@@ -53,6 +53,12 @@ impl Arg {
 pub struct GlobalMem {
     /// Backing store, indexed by word (byte address / 4).
     words: Vec<u32>,
+    /// Allocation spans as (start word, length in words), in ascending
+    /// address order (the bump allocator only grows). Consulted by the
+    /// sanitizer's wild-read check through [`DeviceMem::is_allocated`];
+    /// never part of [`GlobalMem::content_digest`], which hashes contents
+    /// only.
+    spans: Vec<(u32, u32)>,
 }
 
 const ALIGN_BYTES: u32 = 256;
@@ -67,9 +73,25 @@ impl GlobalMem {
         let addr_bytes = (self.words.len() as u32 * 4).next_multiple_of(ALIGN_BYTES);
         let start_word = (addr_bytes / 4) as usize;
         self.words.resize(start_word + len as usize, 0);
+        self.spans.push((start_word as u32, len));
         Buffer {
             addr: addr_bytes,
             len,
+        }
+    }
+
+    /// Whether `byte_addr` falls inside some allocation (as opposed to
+    /// the alignment padding between buffers or past the footprint).
+    /// Binary search over the sorted span list.
+    pub fn is_allocated(&self, byte_addr: u32) -> bool {
+        let word = byte_addr / 4;
+        match self.spans.binary_search_by_key(&word, |&(start, _)| start) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => {
+                let (start, len) = self.spans[i - 1];
+                word - start < len
+            }
         }
     }
 
@@ -194,6 +216,12 @@ pub trait DeviceMem {
     fn load(&self, byte_addr: u32) -> u32;
     /// Store a word by byte address (out-of-bounds writes are dropped).
     fn store(&mut self, byte_addr: u32, value: u32);
+    /// Whether `byte_addr` falls inside some allocation. Consulted only
+    /// by the sanitizer's wild-read check; views that cannot tell answer
+    /// `true` (never a false positive).
+    fn is_allocated(&self, _byte_addr: u32) -> bool {
+        true
+    }
 }
 
 impl DeviceMem for GlobalMem {
@@ -205,6 +233,11 @@ impl DeviceMem for GlobalMem {
     #[inline]
     fn store(&mut self, byte_addr: u32, value: u32) {
         GlobalMem::store(self, byte_addr, value)
+    }
+
+    #[inline]
+    fn is_allocated(&self, byte_addr: u32) -> bool {
+        GlobalMem::is_allocated(self, byte_addr)
     }
 }
 
@@ -352,6 +385,11 @@ impl DeviceMem for ShadowMem<'_> {
     fn store(&mut self, byte_addr: u32, value: u32) {
         self.log.record(byte_addr as usize / 4, value);
     }
+
+    #[inline]
+    fn is_allocated(&self, byte_addr: u32) -> bool {
+        self.base.is_allocated(byte_addr)
+    }
 }
 
 #[cfg(test)]
@@ -468,6 +506,38 @@ mod tests {
         let out = m.read_i32(a);
         assert_eq!(out[0], 2);
         assert_eq!(out[2999], 5);
+    }
+
+    #[test]
+    fn is_allocated_tracks_spans_not_padding() {
+        let mut m = GlobalMem::new();
+        assert!(!m.is_allocated(0), "empty memory has no allocations");
+        let a = m.alloc_f32(&[1.0; 3]);
+        let b = m.alloc_zeroed(2);
+        assert!(m.is_allocated(a.addr));
+        assert!(m.is_allocated(a.addr + 8), "last word of a");
+        assert!(
+            !m.is_allocated(a.addr + 12),
+            "alignment padding between buffers is not allocated"
+        );
+        assert!(m.is_allocated(b.addr + 4), "last word of b");
+        assert!(!m.is_allocated(b.addr + 8), "past the footprint");
+        assert!(!m.is_allocated(1 << 30));
+        // Spans never affect the content digest.
+        let mut twin = GlobalMem::new();
+        let ta = twin.alloc_f32(&[1.0; 3]);
+        twin.alloc_zeroed(2);
+        assert_eq!(ta, a);
+        assert_eq!(twin.content_digest(), m.content_digest());
+    }
+
+    #[test]
+    fn shadow_delegates_is_allocated_to_base() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_zeroed(2);
+        let sh = ShadowMem::new(&m);
+        assert!(DeviceMem::is_allocated(&sh, a.addr));
+        assert!(!DeviceMem::is_allocated(&sh, a.addr + 8));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::mem::{Arg, DeviceMem, GlobalMem, ShadowMem, StoreLog};
 use crate::metrics::LaunchStats;
 use crate::occupancy::max_resident_tbs;
 use crate::profile::{LaunchProfile, NullSink, ProfileSink, SmProfile, StallReason};
+use crate::sanitize::{SanitizerKind, SanitizerReport, SanitizerState};
 use crate::warp::{Frame, Warp, WarpState};
 use catt_ir::expr::Builtin;
 use catt_ir::LaunchConfig;
@@ -171,10 +172,18 @@ fn launch_impl<S: ProfileSink>(
         .filter(|(_, blocks)| !blocks.is_empty())
         .collect();
 
-    let workers = if config.sm_parallel_enabled() {
-        config.sm_thread_budget().min(per_sm.len())
+    // Sanitized launches force the sequential path: one launch-wide
+    // sanitizer state must observe every block's global accesses to catch
+    // races between blocks on different SMs.
+    let mut san_state = if config.sanitize_enabled() {
+        Some(SanitizerState::new())
     } else {
+        None
+    };
+    let workers = if san_state.is_some() || !config.sm_parallel_enabled() {
         1
+    } else {
+        config.sm_thread_budget().min(per_sm.len())
     };
     let nwarps = (resident * launch.warps_per_block()) as usize;
 
@@ -198,6 +207,7 @@ fn launch_impl<S: ProfileSink>(
                 fuel,
                 &mut ws,
                 &mut sink,
+                san_state.as_mut(),
                 blocks,
             );
             // Merge the shard before propagating an error so a failing SM
@@ -243,6 +253,7 @@ fn launch_impl<S: ProfileSink>(
                         fuel,
                         &mut ws,
                         &mut sink,
+                        None,
                         blocks.clone(),
                     );
                     let outcome = (res, shadow.into_log(), sink);
@@ -292,6 +303,56 @@ fn fold_stats(total: &mut LaunchStats, stats: LaunchStats, take_trace: bool) {
     }
 }
 
+/// Sanitizer barrier-site identity check at a release point: every parked
+/// warp of the block must be at the same `__syncthreads()` site (same pc)
+/// with the same dynamic arrival count, and no finished warp may have
+/// arrived at fewer barriers than the parked ones (it would have exited
+/// past a barrier its siblings are waiting at — on hardware the block
+/// deadlocks or desynchronizes; arrival-count release masks it). Returns
+/// a report with an empty `kernel` (the caller fills it in).
+fn barrier_site_mismatch(ws: &[Warp], block: Option<u32>) -> Option<SanitizerReport> {
+    let block = block.unwrap_or(0);
+    let mut site: Option<(u32, u32)> = None;
+    for w in ws {
+        if w.state != WarpState::AtBarrier {
+            continue;
+        }
+        match site {
+            None => site = Some((w.bar_pc, w.bar_count)),
+            Some((pc, count)) if (pc, count) != (w.bar_pc, w.bar_count) => {
+                return Some(SanitizerReport {
+                    kind: SanitizerKind::BarrierDivergence,
+                    kernel: String::new(),
+                    pc: pc.max(w.bar_pc),
+                    detail: format!(
+                        "warps of block {} parked at different __syncthreads() sites: \
+                         pc {} (barrier #{}) vs pc {} (barrier #{})",
+                        block, pc, count, w.bar_pc, w.bar_count
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    let (pc, count) = site?;
+    for w in ws {
+        if w.state == WarpState::Done && w.bar_count < count {
+            return Some(SanitizerReport {
+                kind: SanitizerKind::BarrierDivergence,
+                kernel: String::new(),
+                pc,
+                detail: format!(
+                    "a warp of block {} finished after {} barrier(s) while its siblings \
+                     are parked at barrier #{} (pc {}): the finished warp never reached \
+                     this __syncthreads()",
+                    block, w.bar_count, count, pc
+                ),
+            });
+        }
+    }
+    None
+}
+
 /// Run one SM over its block list, borrowing warp/TB storage from `ws`
 /// and returning it when done (so the caller reuses the allocations —
 /// register files included — for the next SM on this thread).
@@ -308,6 +369,7 @@ fn run_sm<M: DeviceMem, S: ProfileSink>(
     fuel: Option<u64>,
     ws: &mut SmWorkspace,
     sink: &mut S,
+    san: Option<&mut SanitizerState>,
     blocks: VecDeque<u32>,
 ) -> Result<LaunchStats, SimError> {
     ws.prepare(
@@ -340,6 +402,7 @@ fn run_sm<M: DeviceMem, S: ProfileSink>(
         trace,
         stats: LaunchStats::default(),
         sink,
+        san,
         prof_load_ready: if S::ENABLED {
             vec![0; nwarps]
         } else {
@@ -558,6 +621,10 @@ struct Sm<'a, M: DeviceMem, S: ProfileSink> {
     /// Profiling sink — [`NullSink`] when profiling is off, in which case
     /// every hook call below compiles to nothing.
     sink: &'a mut S,
+    /// Launch-wide sanitizer state (`None` when sanitize mode is off).
+    /// Shared by every SM of the launch — sanitized launches run
+    /// sequentially — so inter-block races across SMs are observed.
+    san: Option<&'a mut SanitizerState>,
     /// Per-warp completion cycle of the latest global load issued
     /// (profiling only, empty otherwise): lets [`Sm::classify_stall`] tell
     /// long (memory) scoreboard waits from short (ALU-dependency) ones.
@@ -632,7 +699,7 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                     return Err(self.out_of_fuel());
                 }
             }
-            self.release_barriers();
+            self.release_barriers()?;
             self.retire_and_refill(&mut pending);
             if pending.is_empty() && self.tbs.iter().all(|t| t.block.is_none()) {
                 break;
@@ -838,7 +905,15 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         }
     }
 
-    fn release_barriers(&mut self) {
+    /// Release barriers by arrival count: once every non-finished warp of
+    /// a block is parked, all parked warps resume. Done warps count as
+    /// arrived, so partial blocks never deadlock — a forgiving semantics
+    /// that masks divergent barriers; under sanitize mode, the release
+    /// point additionally checks barrier-*site* identity (every parked
+    /// warp at the same pc with the same dynamic arrival count, no
+    /// finished warp short of that count) and reports
+    /// [`SanitizerKind::BarrierDivergence`] when it fails.
+    fn release_barriers(&mut self) -> Result<(), SimError> {
         for slot in 0..self.tbs.len() {
             if self.tbs[slot].block.is_none() {
                 continue;
@@ -851,6 +926,14 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 .iter()
                 .all(|w| matches!(w.state, WarpState::AtBarrier | WarpState::Done));
             if any_parked && all_arrived {
+                if self.san.is_some() {
+                    if let Some(report) = barrier_site_mismatch(ws, self.tbs[slot].block) {
+                        return Err(SimError::Sanitizer(SanitizerReport {
+                            kernel: self.program.name.clone(),
+                            ..report
+                        }));
+                    }
+                }
                 for (off, w) in ws.iter_mut().enumerate() {
                     if w.state == WarpState::AtBarrier {
                         w.state = WarpState::Ready;
@@ -862,6 +945,7 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 }
             }
         }
+        Ok(())
     }
 
     // ----- scheduling ----------------------------------------------------
@@ -1062,14 +1146,28 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                     |r: &R, l: usize| (f32::from_bits(r[a as usize][l]) as i32) as u32
                 )
             }
-            Op::Ldg { dst, addr } => self.exec_ldg(wi, dst, addr),
-            Op::Stg { src, addr } => self.exec_stg(wi, src, addr),
+            Op::Ldg { dst, addr } => self.exec_ldg(wi, dst, addr)?,
+            Op::Stg { src, addr } => self.exec_stg(wi, src, addr)?,
             Op::Lds { dst, addr } => {
                 let slot = self.warps[wi].tb_slot as usize;
                 let w = &mut self.warps[wi];
                 let addrs = w.regs[addr as usize];
                 let active = w.active;
                 let smem = &self.tbs[slot].smem;
+                if self.san.is_some() {
+                    if let Some((lane, a)) = shared_oob_lane(&addrs, active, smem.len()) {
+                        return Err(SimError::Sanitizer(SanitizerReport {
+                            kind: SanitizerKind::SharedOutOfBounds,
+                            kernel: self.program.name.clone(),
+                            pc: pc as u32,
+                            detail: format!(
+                                "lane {lane} loads shared byte address {a} past the {} B \
+                                 of declared __shared__ storage",
+                                smem.len() * 4
+                            ),
+                        }));
+                    }
+                }
                 let d = &mut w.regs[dst as usize];
                 for l in 0..32 {
                     if active & (1 << l) != 0 {
@@ -1087,6 +1185,20 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 let vals = w.regs[src as usize];
                 let active = w.active;
                 let smem = &mut self.tbs[slot].smem;
+                if self.san.is_some() {
+                    if let Some((lane, a)) = shared_oob_lane(&addrs, active, smem.len()) {
+                        return Err(SimError::Sanitizer(SanitizerReport {
+                            kind: SanitizerKind::SharedOutOfBounds,
+                            kernel: self.program.name.clone(),
+                            pc: pc as u32,
+                            detail: format!(
+                                "lane {lane} stores to shared byte address {a} past the \
+                                 {} B of declared __shared__ storage",
+                                smem.len() * 4
+                            ),
+                        }));
+                    }
+                }
                 for l in 0..32 {
                     if active & (1 << l) != 0 {
                         if let Some(word) = smem.get_mut(addrs[l] as usize / 4) {
@@ -1099,6 +1211,28 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
             }
             Op::Bar => {
                 let w = &mut self.warps[wi];
+                if self.san.is_some() {
+                    // `__syncthreads()` must be reached by every lane of
+                    // the warp that has not returned; a partial mask means
+                    // the barrier sits under thread-divergent control flow
+                    // (undefined behaviour on hardware).
+                    let expected = w.valid & !w.exited;
+                    if w.active != expected {
+                        return Err(SimError::Sanitizer(SanitizerReport {
+                            kind: SanitizerKind::BarrierDivergence,
+                            kernel: self.program.name.clone(),
+                            pc: pc as u32,
+                            detail: format!(
+                                "__syncthreads() under intra-warp divergence: active lane \
+                                 mask {:#010x}, but all non-exited lanes {:#010x} must \
+                                 arrive together",
+                                w.active, expected
+                            ),
+                        }));
+                    }
+                }
+                w.bar_pc = pc as u32;
+                w.bar_count += 1;
                 w.state = WarpState::AtBarrier;
                 w.pc += 1;
                 if S::ENABLED {
@@ -1254,7 +1388,55 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         (lines, n)
     }
 
-    fn exec_ldg(&mut self, wi: usize, dst: u16, addr: u16) {
+    /// Sanitize one warp's global access (sanitize mode only): every
+    /// active lane's load must fall inside an allocation, and every lane's
+    /// access is fed to the launch-wide inter-block race detector. Wild
+    /// *stores* are not flagged — [`GlobalMem::store`] drops them, so they
+    /// cannot corrupt state — but they are recorded for race detection.
+    fn sanitize_global(&mut self, wi: usize, addr: u16, is_store: bool) -> Result<(), SimError> {
+        let w = &self.warps[wi];
+        let addrs = w.regs[addr as usize];
+        let active = w.active;
+        let pc = w.pc;
+        let block = self.tbs[w.tb_slot as usize].block.unwrap_or(0);
+        for (l, &a) in addrs.iter().enumerate() {
+            if active & (1 << l) == 0 {
+                continue;
+            }
+            if !is_store && !self.mem.is_allocated(a) {
+                return Err(SimError::Sanitizer(SanitizerReport {
+                    kind: SanitizerKind::UninitializedRead,
+                    kernel: self.program.name.clone(),
+                    pc,
+                    detail: format!(
+                        "lane {l} loads byte address {a:#x}, which no allocation covers \
+                         (the simulator reads 0; hardware reads garbage or faults)"
+                    ),
+                }));
+            }
+            if let Some(san) = self.san.as_deref_mut() {
+                let race = if is_store {
+                    san.record_global_store(a, block)
+                } else {
+                    san.record_global_load(a, block)
+                };
+                if let Some(detail) = race {
+                    return Err(SimError::Sanitizer(SanitizerReport {
+                        kind: SanitizerKind::GlobalRace,
+                        kernel: self.program.name.clone(),
+                        pc,
+                        detail: format!("lane {l}: {detail}"),
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_ldg(&mut self, wi: usize, dst: u16, addr: u16) -> Result<(), SimError> {
+        if self.san.is_some() {
+            self.sanitize_global(wi, addr, false)?;
+        }
         // Functional load now; timing below.
         {
             let w = &mut self.warps[wi];
@@ -1294,9 +1476,13 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         let w = &mut self.warps[wi];
         w.ready[dst as usize] = data_ready;
         w.pc += 1;
+        Ok(())
     }
 
-    fn exec_stg(&mut self, wi: usize, src: u16, addr: u16) {
+    fn exec_stg(&mut self, wi: usize, src: u16, addr: u16) -> Result<(), SimError> {
+        if self.san.is_some() {
+            self.sanitize_global(wi, addr, true)?;
+        }
         {
             let w = &self.warps[wi];
             let addrs = w.regs[addr as usize];
@@ -1326,7 +1512,21 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         }
         let w = &mut self.warps[wi];
         w.pc += 1;
+        Ok(())
     }
+}
+
+/// First active lane whose shared-memory access falls past the declared
+/// `__shared__` storage (`smem_words` words), if any. The simulator
+/// clamps such accesses (loads 0, drops stores); under sanitize mode they
+/// are reported instead.
+fn shared_oob_lane(addrs: &[u32; 32], active: u32, smem_words: usize) -> Option<(usize, u32)> {
+    for (l, &a) in addrs.iter().enumerate() {
+        if active & (1 << l) != 0 && a as usize / 4 >= smem_words {
+            return Some((l, a));
+        }
+    }
+    None
 }
 
 // ----- lane ALU semantics ---------------------------------------------------

@@ -58,6 +58,13 @@ pub struct Warp {
     pub tb_slot: u32,
     /// Dispatch age for greedy-then-oldest arbitration (smaller = older).
     pub age: u64,
+    /// Pc of the last `__syncthreads()` this warp arrived at (sanitizer
+    /// barrier-site identity; meaningful only when `bar_count > 0`).
+    pub bar_pc: u32,
+    /// Number of barriers this warp has arrived at since dispatch. Warps
+    /// of one block must agree on this at every release — a finished warp
+    /// with a lower count skipped a barrier its siblings are parked at.
+    pub bar_count: u32,
 }
 
 impl Warp {
@@ -74,6 +81,8 @@ impl Warp {
             state: WarpState::Idle,
             tb_slot: 0,
             age: 0,
+            bar_pc: 0,
+            bar_count: 0,
         }
     }
 
@@ -93,6 +102,8 @@ impl Warp {
         self.state = WarpState::Ready;
         self.tb_slot = tb_slot;
         self.age = age;
+        self.bar_pc = 0;
+        self.bar_count = 0;
     }
 
     /// The live mask of the innermost enclosing loop (full mask if none) —
@@ -136,6 +147,8 @@ mod tests {
         });
         w.regs[2][5] = 77;
         w.ready[2] = 1000;
+        w.bar_pc = 4;
+        w.bar_count = 2;
         w.reset(0xFFFF, 2, 42);
         assert_eq!(w.pc, 0);
         assert_eq!(w.active, 0xFFFF);
@@ -147,6 +160,8 @@ mod tests {
         assert_eq!(w.state, WarpState::Ready);
         assert_eq!(w.tb_slot, 2);
         assert_eq!(w.age, 42);
+        assert_eq!(w.bar_pc, 0);
+        assert_eq!(w.bar_count, 0);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `CATT_SANITIZE` environment override. Kept to a single test so the
+//! process-global environment mutation cannot race another test in the
+//! same binary (the main sanitizer suite pins the knob explicitly).
+
+use catt_frontend::parse_kernel;
+use catt_ir::LaunchConfig;
+use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, SanitizerKind, SimError};
+
+#[test]
+fn env_enables_the_sanitizer_and_explicit_config_wins() {
+    let src = "
+        __global__ void ww(float *a) {
+            a[threadIdx.x] = 1.0f;
+        }";
+    let k = parse_kernel(src).unwrap();
+    let launch = LaunchConfig::d1(2, 32);
+
+    std::env::set_var("CATT_SANITIZE", "on");
+    let config = GpuConfig::small();
+    assert!(config.sanitize_enabled());
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    let err = Gpu::new(config)
+        .launch(&k, launch, &[Arg::Buf(ba)], &mut mem)
+        .unwrap_err();
+    match err {
+        SimError::Sanitizer(report) => {
+            assert_eq!(report.kind, SanitizerKind::GlobalRace);
+            assert_eq!(report.kernel, "ww");
+        }
+        other => panic!("expected a sanitizer report, got {other}"),
+    }
+
+    // Explicit config beats the environment: the same racy launch
+    // completes under the forgiving semantics.
+    let mut config = GpuConfig::small();
+    config.sanitize = Some(false);
+    assert!(!config.sanitize_enabled());
+    let mut mem = GlobalMem::new();
+    let ba = mem.alloc_zeroed(32);
+    Gpu::new(config)
+        .launch(&k, launch, &[Arg::Buf(ba)], &mut mem)
+        .unwrap();
+
+    std::env::remove_var("CATT_SANITIZE");
+    assert!(!GpuConfig::small().sanitize_enabled());
+}

@@ -1,0 +1,231 @@
+//! Counterexample minimization.
+//!
+//! Greedy delta debugging over the IR: repeatedly try single edits —
+//! statement deletion, hoisting a control structure's body into its
+//! parent, halving constant loop bounds — and keep any edit after which
+//! the *same* failure signature (baseline classification vs variant
+//! classification) still reproduces under the full oracle. The check
+//! re-enumerates variants on the edited kernel, so edits that shift
+//! pre-order loop numbering or make a transform inapplicable are
+//! rejected automatically. Terminates when no single edit reproduces.
+
+use crate::generate::TestCase;
+use crate::oracle::ViolationSeed;
+use crate::ViolationKind;
+use catt_ir::{Expr, Stmt};
+
+/// Recursive statement count (containers count themselves plus their
+/// children) — the size metric minimized and reported.
+pub fn stmt_count(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        n += 1;
+        match s {
+            Stmt::For { body, .. } | Stmt::While { body, .. } => n += stmt_count(body),
+            Stmt::If { then, els, .. } => n += stmt_count(then) + stmt_count(els),
+            _ => {}
+        }
+    }
+    n
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edit {
+    /// Drop the statement (children included).
+    Delete,
+    /// Replace an `If`/`For`/`While` with its body.
+    Hoist,
+    /// Halve a constant `for` bound (toward trip count 1).
+    HalveBound,
+}
+
+/// Rebuild `stmts` with `edit` applied to the statement at pre-order
+/// index `target`. `applied` reports whether the edit actually landed
+/// (the index existed and the edit was applicable there).
+fn edit_stmts(
+    stmts: &[Stmt],
+    target: usize,
+    ctr: &mut usize,
+    edit: Edit,
+    applied: &mut bool,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        let here = *ctr;
+        *ctr += 1;
+        if here == target {
+            match edit {
+                Edit::Delete => {
+                    *applied = true;
+                    continue;
+                }
+                Edit::Hoist => match s {
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                        *applied = true;
+                        out.extend(body.iter().cloned());
+                        continue;
+                    }
+                    Stmt::If { then, els, .. } => {
+                        *applied = true;
+                        out.extend(then.iter().cloned());
+                        out.extend(els.iter().cloned());
+                        continue;
+                    }
+                    _ => {}
+                },
+                Edit::HalveBound => {
+                    if let Stmt::For { bound, .. } = s {
+                        if let Some(b) = bound.const_int() {
+                            if b > 1 {
+                                let mut s2 = s.clone();
+                                if let Stmt::For { bound, .. } = &mut s2 {
+                                    *bound = Expr::int(b / 2);
+                                }
+                                *applied = true;
+                                out.push(s2);
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(match s {
+            Stmt::For {
+                var,
+                decl,
+                init,
+                cond_op,
+                bound,
+                step,
+                body,
+            } => Stmt::For {
+                var: var.clone(),
+                decl: *decl,
+                init: init.clone(),
+                cond_op: *cond_op,
+                bound: bound.clone(),
+                step: step.clone(),
+                body: edit_stmts(body, target, ctr, edit, applied),
+            },
+            Stmt::While { cond, body } => Stmt::While {
+                cond: cond.clone(),
+                body: edit_stmts(body, target, ctr, edit, applied),
+            },
+            Stmt::If { cond, then, els } => Stmt::If {
+                cond: cond.clone(),
+                then: edit_stmts(then, target, ctr, edit, applied),
+                els: edit_stmts(els, target, ctr, edit, applied),
+            },
+            other => other.clone(),
+        });
+    }
+    out
+}
+
+/// Does the failure signature of `seed` still reproduce on `case`?
+fn reproduces(case: &TestCase, legality_checked: bool, seed: &ViolationSeed) -> bool {
+    crate::oracle::signature_reproduces(case, legality_checked, &seed.baseline, &seed.variant)
+}
+
+/// Minimize `case` while the violation in `seed` keeps reproducing.
+/// Returns the shrunk case and the (unchanged) violation kind. Buffers
+/// are left as-is: edits only remove or narrow accesses, so the original
+/// allocation always still covers them.
+pub fn shrink_case(
+    case: &TestCase,
+    legality_checked: bool,
+    seed: &ViolationSeed,
+) -> (TestCase, ViolationKind) {
+    let mut best = case.clone();
+    if !reproduces(&best, legality_checked, seed) {
+        // Flaky signature (should not happen: the simulator is
+        // deterministic) — return untouched rather than shrink noise.
+        return (best, seed.kind);
+    }
+    loop {
+        let mut improved = false;
+        'edits: for edit in [Edit::Delete, Edit::Hoist, Edit::HalveBound] {
+            let n = stmt_count(&best.kernel.body);
+            for target in 0..n {
+                let mut applied = false;
+                let mut ctr = 0;
+                let body = edit_stmts(&best.kernel.body, target, &mut ctr, edit, &mut applied);
+                if !applied {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.kernel.body = body;
+                if reproduces(&cand, legality_checked, seed) {
+                    best = cand;
+                    improved = true;
+                    break 'edits;
+                }
+            }
+        }
+        if !improved {
+            return (best, seed.kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{check_case, CaseOutcome};
+    use catt_frontend::parse_kernel;
+    use catt_ir::LaunchConfig;
+
+    fn divergent_case_with_junk() -> TestCase {
+        // The divergent-barrier miscompile padded with deletable noise.
+        let src = "
+            __global__ void m(float *a, float *b, float *out) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                float acc = 0.0f;
+                acc += b[i];
+                for (int j0 = 0; j0 < 4; j0++) { acc += a[i]; }
+                if (i < 40) {
+                    acc += b[i];
+                    for (int j1 = 0; j1 < 8; j1++) { acc += a[i * 8 + j1]; }
+                }
+                if (i < 64) { out[i] = acc; }
+            }";
+        TestCase {
+            kernel: parse_kernel(src).unwrap(),
+            launch: LaunchConfig::d1(1, 64),
+            buffers: vec![("a".into(), 512), ("b".into(), 64), ("out".into(), 64)],
+        }
+    }
+
+    #[test]
+    fn stmt_count_is_recursive() {
+        let case = divergent_case_with_junk();
+        // decl, decl, acc, for(+1), if(+2: acc, for(+1)), if(+1) = 11.
+        assert_eq!(stmt_count(&case.kernel.body), 11);
+    }
+
+    #[test]
+    fn shrinks_the_divergent_barrier_to_a_handful_of_statements() {
+        let case = divergent_case_with_junk();
+        let CaseOutcome::Checked { violations, .. } = check_case(&case, false) else {
+            panic!("original screened dirty");
+        };
+        let seed = violations
+            .iter()
+            .find(|v| v.variant == "sanitizer: barrier divergence")
+            .expect("unchecked mode must flag the divergent loop")
+            .clone();
+        let (shrunk, kind) = shrink_case(&case, false, &seed);
+        assert_eq!(kind, crate::ViolationKind::Classification);
+        let n = stmt_count(&shrunk.kernel.body);
+        assert!(n <= 10, "not minimal: {n} statements");
+        assert!(
+            reproduces(&shrunk, false, &seed),
+            "shrunk case no longer fails"
+        );
+        // The divergent guard and its loop must have survived.
+        let src = catt_ir::printer::kernel_to_string(&shrunk.kernel);
+        assert!(src.contains("if ("), "guard gone:\n{src}");
+        assert!(src.contains("for ("), "loop gone:\n{src}");
+    }
+}

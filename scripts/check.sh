@@ -27,7 +27,10 @@ echo "==> guard rails: no panic!/bare assert! on the simulator execution path"
 # modules (everything from the #[cfg(test)] marker on) before grepping;
 # debug_assert! stays allowed (compiled out of release).
 for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
-         crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/profile.rs; do
+         crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/profile.rs \
+         crates/sim/src/sanitize.rs crates/verify/src/lib.rs \
+         crates/verify/src/generate.rs crates/verify/src/oracle.rs \
+         crates/verify/src/shrink.rs crates/verify/src/corpus.rs; do
     [ -f "$f" ] || continue
     if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^[[:space:]]*//' \
         | grep -nE '(^|[^_a-zA-Z])(panic!|assert!|assert_eq!|assert_ne!|unreachable!|todo!|unimplemented!)\(' ; then
@@ -50,6 +53,29 @@ CATT_SIM_SM_PARALLEL=off CATT_SIM_SM_THREADS=1 \
 echo "==> fault injection: sweep + cache survive an armed CATT_FAULT_PLAN"
 CATT_ENGINE_WORKERS=1 CATT_FAULT_PLAN="panic-job=2,corrupt-cache" \
     cargo test --release -p catt-core $OFFLINE -q --test fault_env
+
+echo "==> fuzz smoke: fixed-seed differential campaign + corpus replay"
+# Legal-mode translation validation must find nothing, the recorded
+# counterexample corpus must replay clean (the --corpus pass does both),
+# and the report must be byte-identical across runs (determinism).
+FUZZ_OUT_A="${FUZZ_OUT_A:-target/fuzz-smoke-a.txt}"
+FUZZ_OUT_B="${FUZZ_OUT_B:-target/fuzz-smoke-b.txt}"
+target/release/catt fuzz --seed 1 --iters 200 --corpus tests/corpus > "$FUZZ_OUT_A"
+grep -q "violations .............. 0" "$FUZZ_OUT_A" || {
+    echo "error: catt fuzz found violations (see $FUZZ_OUT_A)" >&2
+    exit 1
+}
+grep -q "corpus replay:" "$FUZZ_OUT_A" || {
+    echo "error: catt fuzz skipped the corpus replay" >&2
+    exit 1
+}
+target/release/catt fuzz --seed 1 --iters 200 > "$FUZZ_OUT_B"
+# Second run omits the replay lines; compare the report body only.
+if ! [ "$(grep -v '^corpus replay' "$FUZZ_OUT_A")" = "$(cat "$FUZZ_OUT_B")" ]; then
+    echo "error: catt fuzz report is not deterministic" >&2
+    diff "$FUZZ_OUT_A" "$FUZZ_OUT_B" >&2 || true
+    exit 1
+fi
 
 echo "==> profile smoke: catt profile emits reports + a valid Chrome trace"
 # The CLI validates the trace JSON and re-checks the stall-sum /

@@ -5,6 +5,7 @@
 //! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
 //! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>] [--sm-parallel on|off]
 //! catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]
+//! catt fuzz    [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]
 //! ```
 //!
 //! * `analyze` prints the per-loop footprint analysis and throttling
@@ -20,7 +21,16 @@
 //!   predicted-vs-observed table; `--trace-out` additionally writes a
 //!   Chrome `trace_event` JSON (open in `chrome://tracing`). Profile
 //!   invariants and profile/stats reconciliation are re-checked on every
-//!   run; any violation exits non-zero.
+//!   run; any violation exits non-zero;
+//! * `fuzz` runs the `catt-verify` differential transform oracle:
+//!   deterministic random kernels, every reachable throttle variant,
+//!   bit-exact memory + `SimError`-classification comparison under the
+//!   simulator sanitizer. `--corpus <dir>` first replays every recorded
+//!   counterexample (they must all stay fixed), then persists any new
+//!   findings there; `--shrink` minimizes findings first; `--unchecked`
+//!   disables the legality analysis to exercise the oracle itself.
+//!   Exits non-zero on any violation or failed replay. Same seed ⇒
+//!   byte-identical report.
 //!
 //! Launch syntax: `<kernel>=<grid>x<block>` (1-D) or
 //! `<kernel>=<gx>,<gy>x<bx>,<by>` (2-D). Repeat `--launch` per kernel.
@@ -35,9 +45,115 @@ fn usage() -> ExitCode {
         "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
          [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--sm-parallel <on|off>] \
          [--args <spec,...>] [-o <out.cu>]\n\
-         \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]"
+         \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]\n\
+         \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]"
     );
     ExitCode::from(2)
+}
+
+/// `catt fuzz`: replay the regression corpus, then run a differential
+/// fuzzing campaign, persisting any new counterexamples.
+fn fuzz_main(args: &[String]) -> ExitCode {
+    use catt_repro::verify::{corpus, run_fuzz, FuzzOptions};
+    use std::path::Path;
+
+    let mut opts = FuzzOptions {
+        seed: 1,
+        iters: 100,
+        shrink: false,
+        legality_checked: true,
+    };
+    let mut corpus_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                let Ok(s) = args[i + 1].parse() else {
+                    eprintln!("catt fuzz: bad --seed value `{}`", args[i + 1]);
+                    return usage();
+                };
+                opts.seed = s;
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    eprintln!("catt fuzz: bad --iters value `{}`", args[i + 1]);
+                    return usage();
+                };
+                opts.iters = n;
+                i += 2;
+            }
+            "--shrink" => {
+                opts.shrink = true;
+                i += 1;
+            }
+            "--unchecked" => {
+                opts.legality_checked = false;
+                i += 1;
+            }
+            "--corpus" if i + 1 < args.len() => {
+                corpus_dir = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("catt fuzz: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let mut failed = false;
+
+    // Replay pass: every recorded counterexample must stay fixed.
+    if let Some(dir) = &corpus_dir {
+        let dir = Path::new(dir);
+        if dir.is_dir() {
+            match corpus::read_dir_sorted(dir) {
+                Ok(entries) => {
+                    for (path, entry) in &entries {
+                        let name = path
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| path.display().to_string());
+                        match corpus::replay(entry) {
+                            Ok(variants) => {
+                                println!("corpus replay: {name} clean ({variants} variants)")
+                            }
+                            Err(e) => {
+                                eprintln!("corpus replay: {name} REGRESSED: {e}");
+                                failed = true;
+                            }
+                        }
+                    }
+                    println!("corpus replay: {} entr(y/ies) checked", entries.len());
+                }
+                Err(e) => {
+                    eprintln!("catt fuzz: cannot read corpus: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let report = run_fuzz(&opts);
+    print!("{}", report.render());
+
+    if !report.violations.is_empty() {
+        failed = true;
+        if let Some(dir) = &corpus_dir {
+            for v in &report.violations {
+                match corpus::write_entry(Path::new(dir), v) {
+                    Ok(p) => eprintln!("catt fuzz: new counterexample written to {}", p.display()),
+                    Err(e) => eprintln!("catt fuzz: cannot persist counterexample: {e}"),
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// `catt profile`: run registry workloads with the in-simulator tracer
@@ -173,6 +289,10 @@ fn parse_launch(spec: &str) -> Option<(String, LaunchConfig)> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `fuzz` has defaults for every flag, so it alone may appear bare.
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        return fuzz_main(&argv[1..]);
+    }
     if argv.len() < 2 {
         return usage();
     }

@@ -16,7 +16,10 @@
 //!   (`catt-workloads`);
 //! * [`profile`] — consumers of the simulator's profiling subsystem:
 //!   Chrome traces, stall reports, Eq. 8 model validation
-//!   (`catt-profile`; see `catt profile --help`).
+//!   (`catt-profile`; see `catt profile --help`);
+//! * [`verify`] — translation validation: differential kernel fuzzing of
+//!   the transforms, counterexample shrinking, and the replayable
+//!   regression corpus (`catt-verify`; see `catt fuzz`).
 //!
 //! ## Quickstart
 //!
@@ -53,4 +56,5 @@ pub use catt_frontend as frontend;
 pub use catt_ir as ir;
 pub use catt_profile as profile;
 pub use catt_sim as sim;
+pub use catt_verify as verify;
 pub use catt_workloads as workloads;

@@ -159,3 +159,89 @@ fn bad_usage_exits_nonzero() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn fuzz_small_campaign_is_deterministic_and_clean() {
+    let run = || {
+        catt()
+            .args(["fuzz", "--seed", "1", "--iters", "30"])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = run();
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same seed must give a byte-identical report"
+    );
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("violations .............. 0"), "{stdout}");
+    assert!(stdout.contains("kernels generated ....... 30"), "{stdout}");
+}
+
+#[test]
+fn fuzz_replays_the_regression_corpus() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let out = catt()
+        .args([
+            "fuzz",
+            "--seed",
+            "2",
+            "--iters",
+            "5",
+            "--corpus",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corpus replay:"), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn fuzz_unchecked_fails_and_persists_counterexamples() {
+    let dir = std::env::temp_dir().join(format!(
+        "catt_cli_fuzz_corpus_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = catt()
+        .args([
+            "fuzz",
+            "--seed",
+            "1",
+            "--iters",
+            "16",
+            "--unchecked",
+            "--shrink",
+            "--corpus",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "an unchecked campaign over these seeds must find the miscompile"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("new counterexample written"), "{stderr}");
+    let wrote_cex = std::fs::read_dir(&dir)
+        .unwrap()
+        .any(|e| e.unwrap().file_name().to_string_lossy().starts_with("cex-"));
+    assert!(wrote_cex, "no cex-*.cu file persisted in {}", dir.display());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_rejects_unknown_options() {
+    let out = catt().args(["fuzz", "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}

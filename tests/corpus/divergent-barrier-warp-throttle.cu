@@ -1,0 +1,25 @@
+// catt-fuzz counterexample (replayable regression corpus)
+// seed: 0x0000000000000001
+// grid: 1 1 1
+// block: 64 1 1
+// buffer: a 320
+// buffer: out 64
+// variant: warp_throttle loop=0 n=2
+// violation: classification — original ok vs variant sanitizer: barrier divergence
+//
+// The historical legality gap: this loop sits under `i < 40`, which cuts
+// *inside* a 64-thread block, so warp-level throttling spliced its
+// `__syncthreads()` barriers into thread-divergent control flow — a
+// deadlock on real hardware that the simulator's arrival-count barrier
+// release silently masked. The block-uniformity prover now rejects the
+// loop (it is absent from `eligible_loops_for`), and the simulator
+// sanitizer independently reports the variant as barrier divergence.
+// Replay asserts the legal-mode oracle finds nothing here anymore.
+__global__ void divloop(float *a, float *out) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < 40) {
+        for (int j = 0; j < 8; j++) {
+            out[i] += a[i * 8 + j];
+        }
+    }
+}
