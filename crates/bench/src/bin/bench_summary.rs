@@ -14,11 +14,18 @@
 //!     [--samples N] [--apps bfs,spmv] [--sms N] [--out path.json]
 //! ```
 //!
+//! Samples are *interleaved* across modes (seq, par, par+prof, repeat)
+//! rather than run back-to-back per mode, so slow drift — thermal state,
+//! page-cache warm-up, competing load — lands on every mode equally
+//! instead of biasing whichever mode ran last.
+//!
 //! Non-gating: CI runs this as an artifact-producing step only. Speedup
-//! on a single-core runner is expected to hover around 1x (the parallel
-//! path clamps its thread budget to `available_parallelism`); the ≥ 4-core
-//! target is where the per-SM fan-out pays off.
+//! on a single-core runner is pure noise (the parallel path clamps its
+//! thread budget to `available_parallelism`, so both modes run the same
+//! code); the JSON carries `"speedup_valid": false` in that case and the
+//! ≥ 4-core target is where the per-SM fan-out pays off.
 
+use catt_bench::timing::median_f64;
 use catt_sim::GpuConfig;
 use catt_workloads::registry;
 use std::time::Instant;
@@ -47,16 +54,6 @@ impl AppRow {
     /// Simulated megacycles per wall-clock second, parallel mode.
     fn mcycles_per_s(&self) -> f64 {
         self.sim_cycles as f64 / 1e3 / self.par_ms
-    }
-}
-
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let n = samples.len();
-    if n % 2 == 1 {
-        samples[n / 2]
-    } else {
-        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
     }
 }
 
@@ -111,7 +108,19 @@ fn main() {
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let speedup_valid = host_threads > 1;
     println!("bench_summary: {sms} SMs, {samples} samples/mode, host parallelism {host_threads}");
+    if !speedup_valid {
+        eprintln!(
+            "bench_summary: warning: host parallelism is 1 — sequential and parallel \
+             mode run the same code on one core, so the speedup columns are pure \
+             measurement noise (emitting \"speedup_valid\": false)"
+        );
+    }
+
+    // (parallel, profile) per measured mode: sequential, parallel,
+    // parallel with profiling on.
+    const MODES: [(bool, bool); 3] = [(false, false), (true, false), (true, true)];
 
     let mut rows: Vec<AppRow> = Vec::new();
     for w in registry::all_workloads() {
@@ -121,39 +130,48 @@ fn main() {
             }
         }
         let kernels = w.kernels();
-        let time_mode = |parallel: bool, profile: bool| -> (f64, u64) {
-            let mut cfg = mode_config(sms, parallel);
-            cfg.profile = Some(profile);
-            // Warm-up run (first-touch allocation, lazy statics).
-            let warm = (w.run)(&kernels, &cfg, false);
-            let mut wall: Vec<f64> = Vec::with_capacity(samples);
-            for _ in 0..samples {
-                let t0 = Instant::now();
-                let stats = (w.run)(&kernels, &cfg, false);
-                wall.push(t0.elapsed().as_secs_f64() * 1e3);
-                assert_eq!(stats.cycles, warm.cycles, "{}: non-deterministic", w.abbrev);
-            }
-            (median(&mut wall), warm.cycles)
-        };
-        let (seq_ms, seq_cycles) = time_mode(false, false);
-        let (par_ms, par_cycles) = time_mode(true, false);
-        let (prof_ms, prof_cycles) = time_mode(true, true);
+        let cfgs: Vec<GpuConfig> = MODES
+            .iter()
+            .map(|&(parallel, profile)| {
+                let mut cfg = mode_config(sms, parallel);
+                cfg.profile = Some(profile);
+                cfg
+            })
+            .collect();
+        // One warm-up per mode (first-touch allocation, lazy statics),
+        // doubling as the cross-mode cycle-equality check.
+        let warm: Vec<u64> = cfgs
+            .iter()
+            .map(|cfg| (w.run)(&kernels, cfg, false).cycles)
+            .collect();
         assert_eq!(
-            seq_cycles, par_cycles,
+            warm[0], warm[1],
             "{}: modes disagree on simulated cycles",
             w.abbrev
         );
         assert_eq!(
-            par_cycles, prof_cycles,
+            warm[1], warm[2],
             "{}: profiling changed simulated cycles",
             w.abbrev
         );
+        // Interleave: every sample round times each mode once, so drift
+        // over the measurement window hits all modes alike instead of
+        // only the modes measured last.
+        let mut wall: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..samples {
+            for (m, cfg) in cfgs.iter().enumerate() {
+                let t0 = Instant::now();
+                let stats = (w.run)(&kernels, cfg, false);
+                wall[m].push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(stats.cycles, warm[0], "{}: non-deterministic", w.abbrev);
+            }
+        }
         let row = AppRow {
             abbrev: w.abbrev,
-            seq_ms,
-            par_ms,
-            prof_ms,
-            sim_cycles: seq_cycles,
+            seq_ms: median_f64(&mut wall[0]),
+            par_ms: median_f64(&mut wall[1]),
+            prof_ms: median_f64(&mut wall[2]),
+            sim_cycles: warm[0],
         };
         println!(
             "  {:<6} seq {:>9.2} ms | par {:>9.2} ms | speedup {:>5.2}x | \
@@ -192,7 +210,8 @@ fn main() {
          \"host_parallelism\": {host_threads} }},\n"
     ));
     json.push_str(&format!(
-        "  \"geomean_speedup\": {geomean_speedup:.4},\n  \
+        "  \"speedup_valid\": {speedup_valid},\n  \
+         \"geomean_speedup\": {geomean_speedup:.4},\n  \
          \"geomean_profiling_overhead\": {geomean_overhead:.4},\n  \"apps\": [\n"
     ));
     for (i, r) in rows.iter().enumerate() {

@@ -678,8 +678,11 @@ impl Engine {
         // Publish this batch's worker count to the simulator so per-launch
         // SM parallelism divides the machine instead of multiplying into
         // it (W workers × S SM threads): each job's launches derive their
-        // SM thread budget as available_parallelism / active workers.
-        catt_sim::add_active_engine_workers(threads);
+        // SM thread budget as available_parallelism / active workers. The
+        // RAII guard deregisters on any exit from this function — an
+        // unwinding job must not leak the hint, or every later launch in
+        // the process runs with a permanently shrunken thread budget.
+        let _workers_hint = catt_sim::engine_workers_guard(threads);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -729,7 +732,6 @@ impl Engine {
                 );
             }
         });
-        catt_sim::remove_active_engine_workers(threads);
         slots
             .into_iter()
             .map(|s| s.expect("every job slot filled by the pool"))

@@ -1,0 +1,41 @@
+//! The active-engine-workers hint must never leak (ISSUE: RAII guard in
+//! `Engine::run_jobs`): the count divides `available_parallelism` into
+//! every later launch's SM thread budget, so a batch that exits early —
+//! including via an unwinding (panicking) job — must restore it exactly.
+//!
+//! This file is its own test process on purpose: these assertions claim
+//! sole ownership of the process-wide counter, which the unit tests
+//! inside `catt-sim` could not do concurrently.
+
+use catt_core::{Engine, JobError, Progress};
+use catt_sim::engine_workers_hint;
+
+/// A batch containing a panicking job restores the hint to its idle
+/// value: the panic unwinds through the job closure, is surfaced as a
+/// `JobError`, and the guard still deregisters the batch's workers.
+#[test]
+fn worker_hint_restores_across_an_unwinding_job() {
+    assert_eq!(engine_workers_hint(), 1, "idle process counts as 1");
+    let engine = Engine::with_workers(3).with_progress(Progress::Off);
+    let jobs: Vec<u32> = (0..8).collect();
+    let results = engine.run_jobs("unwind-test", &jobs, |_, &j| {
+        if j == 5 {
+            panic!("job 5 unwinds");
+        }
+        Ok::<u32, JobError>(j * 2)
+    });
+    assert_eq!(results.len(), 8);
+    assert!(results[5].is_err(), "the panicking job surfaces as Err");
+    assert_eq!(results[0], Ok(0));
+    assert_eq!(results[7], Ok(14));
+    assert_eq!(
+        engine_workers_hint(),
+        1,
+        "run_jobs leaked its worker registration"
+    );
+    // A second batch starts from the correct baseline (a leak would have
+    // compounded here, shrinking every later SM thread budget).
+    let results = engine.run_jobs("follow-up", &jobs, |_, &j| Ok::<u32, JobError>(j));
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(engine_workers_hint(), 1);
+}

@@ -127,6 +127,16 @@ pub struct GpuConfig {
     /// machine (see [`engine_workers_hint`]). Excluded from
     /// [`GpuConfig::content_digest`].
     pub sm_threads: Option<usize>,
+    /// Let parallel-path workers claim SM tasks through the work-stealing
+    /// dispatcher (heaviest SMs seeded first, idle workers steal from the
+    /// fullest peer) instead of the shared ascending-id counter. Results
+    /// are bit-identical either way — outcomes commit in ascending SM-id
+    /// order regardless of who simulated what — so this is purely a
+    /// wall-clock knob for skewed launches where one SM dominates. `None`
+    /// follows the `CATT_SIM_STEAL` environment variable
+    /// (`off`/`0`/`false`/`no` disables; default on); `Some` wins over
+    /// the environment. Excluded from [`GpuConfig::content_digest`].
+    pub sm_steal: Option<bool>,
     /// Record a full [`crate::profile::LaunchProfile`] per launch (stall
     /// breakdowns, per-set L1 counters, phase timelines). `None` follows
     /// the `CATT_PROFILE` environment variable (`on`/`1`/`true`/`yes`
@@ -209,6 +219,7 @@ impl GpuConfig {
             sim_fuel: None,
             sm_parallel: None,
             sm_threads: None,
+            sm_steal: None,
             profile: None,
             sanitize: None,
         }
@@ -246,6 +257,7 @@ impl GpuConfig {
             sim_fuel: None,
             sm_parallel: None,
             sm_threads: None,
+            sm_steal: None,
             profile: None,
             sanitize: None,
         }
@@ -367,6 +379,25 @@ impl GpuConfig {
         (avail / engine_workers_hint().max(1)).max(1)
     }
 
+    /// Whether parallel-path SM workers claim tasks through the
+    /// work-stealing dispatcher. Resolution order: [`GpuConfig::sm_steal`]
+    /// (explicit config wins, so tests and CLI flags are immune to
+    /// ambient environment), then `CATT_SIM_STEAL`
+    /// (`off`/`0`/`false`/`no` disables), then the default: on. Purely a
+    /// wall-clock knob — results are bit-identical either way.
+    pub fn sm_steal_enabled(&self) -> bool {
+        if let Some(explicit) = self.sm_steal {
+            return explicit;
+        }
+        match std::env::var("CATT_SIM_STEAL") {
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false" | "no"
+            ),
+            Err(_) => true,
+        }
+    }
+
     /// Whether launches under this config record a
     /// [`crate::profile::LaunchProfile`]. Resolution order:
     /// [`GpuConfig::profile`] (explicit config wins, so tests and CLI
@@ -438,6 +469,30 @@ pub fn engine_workers_hint() -> usize {
     ACTIVE_ENGINE_WORKERS
         .load(std::sync::atomic::Ordering::Relaxed)
         .max(1)
+}
+
+/// RAII registration of `n` active engine workers: deregisters on drop,
+/// so an early return or panic between batch start and end cannot leak
+/// the count (a leaked hint permanently shrinks every later
+/// [`GpuConfig::sm_thread_budget`] in the process). Prefer this over the
+/// raw [`add_active_engine_workers`]/[`remove_active_engine_workers`]
+/// pair.
+#[must_use = "the guard deregisters the workers when dropped"]
+pub struct EngineWorkersGuard {
+    n: usize,
+}
+
+/// Register `n` active engine workers for the lifetime of the returned
+/// guard.
+pub fn engine_workers_guard(n: usize) -> EngineWorkersGuard {
+    add_active_engine_workers(n);
+    EngineWorkersGuard { n }
+}
+
+impl Drop for EngineWorkersGuard {
+    fn drop(&mut self) {
+        remove_active_engine_workers(self.n);
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +581,21 @@ mod tests {
     }
 
     #[test]
+    fn explicit_sm_steal_config_wins() {
+        // Env paths are covered by the parallel_sm integration suite;
+        // unit tests only pin the explicit-config precedence and the
+        // default.
+        let mut c = GpuConfig::small();
+        if std::env::var("CATT_SIM_STEAL").is_err() {
+            assert!(c.sm_steal_enabled(), "stealing is on by default");
+        }
+        c.sm_steal = Some(false);
+        assert!(!c.sm_steal_enabled());
+        c.sm_steal = Some(true);
+        assert!(c.sm_steal_enabled());
+    }
+
+    #[test]
     fn explicit_profile_config_wins() {
         // Env paths are covered by the profile integration suites; unit
         // tests only pin the explicit-config precedence and the default.
@@ -584,5 +654,20 @@ mod tests {
             assert_eq!(c.sm_thread_budget(), 1);
         }
         remove_active_engine_workers(1_000);
+        // The RAII guard restores the count on drop — including an
+        // unwinding drop, which is what makes it leak-proof where the
+        // raw add/remove pair was not.
+        {
+            let _g = engine_workers_guard(4);
+            assert_eq!(engine_workers_hint(), 4);
+        }
+        assert_eq!(engine_workers_hint(), 1, "guard restored on drop");
+        let unwound = std::panic::catch_unwind(|| {
+            let _g = engine_workers_guard(7);
+            assert_eq!(engine_workers_hint(), 7);
+            panic!("boom");
+        });
+        assert!(unwound.is_err());
+        assert_eq!(engine_workers_hint(), 1, "guard restored across unwind");
     }
 }

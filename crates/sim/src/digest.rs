@@ -87,7 +87,7 @@ impl GpuConfig {
     /// budget (`sim_fuel`) is excluded: fuel bounds a simulation, it never
     /// changes the result of one that completes, so tightening or lifting
     /// the budget must not invalidate cached results. The SM-parallelism
-    /// knobs (`sm_parallel`, `sm_threads`) are excluded for the same
+    /// knobs (`sm_parallel`, `sm_threads`, `sm_steal`) are excluded for the same
     /// reason: parallel and sequential execution are bit-identical (see
     /// DESIGN.md "Parallel SM execution"), so flipping them must keep
     /// serving cached results. The profiling knob (`profile`) is excluded
@@ -101,6 +101,7 @@ impl GpuConfig {
         canonical.sim_fuel = None;
         canonical.sm_parallel = None;
         canonical.sm_threads = None;
+        canonical.sm_steal = None;
         canonical.profile = None;
         canonical.sanitize = None;
         let mut h = Fnv64::new();
@@ -158,6 +159,8 @@ mod tests {
         tuned.sm_threads = Some(7);
         assert_eq!(base.content_digest(), tuned.content_digest());
         tuned.sm_parallel = Some(true);
+        assert_eq!(base.content_digest(), tuned.content_digest());
+        tuned.sm_steal = Some(false);
         assert_eq!(base.content_digest(), tuned.content_digest());
     }
 

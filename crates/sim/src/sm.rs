@@ -80,6 +80,60 @@ pub fn run_launch(
 /// merge: its result, its private store log, and its profiling shard.
 type SmOutcome<S> = (Result<LaunchStats, SimError>, StoreLog, S);
 
+/// How parallel-path workers claim SM simulation tasks. Either way the
+/// commit below merges outcomes in ascending SM-id order, so the claim
+/// schedule never affects results — only wall-clock.
+enum SmDispatcher {
+    /// Shared grab counter: workers take SMs in ascending id order
+    /// (`CATT_SIM_STEAL=off`).
+    Shared(AtomicUsize),
+    /// Work-stealing deques, one per worker, seeded round-robin in
+    /// descending block-count order so the heaviest SMs start first
+    /// instead of queueing behind light ones on the same worker. A worker
+    /// pops from the front of its own deque and, when empty, steals from
+    /// the *back* of the fullest peer — the classic split that keeps the
+    /// owner on its locally-seeded prefix. SM tasks are milliseconds, so
+    /// a plain mutex costs nothing measurable per claim.
+    Steal(Mutex<Vec<VecDeque<usize>>>),
+}
+
+impl SmDispatcher {
+    fn new(steal: bool, per_sm: &[(u32, VecDeque<u32>)], workers: usize) -> SmDispatcher {
+        if !steal || workers <= 1 {
+            return SmDispatcher::Shared(AtomicUsize::new(0));
+        }
+        let mut order: Vec<usize> = (0..per_sm.len()).collect();
+        // Stable sort: equal block counts keep ascending SM-id order.
+        order.sort_by_key(|&i| std::cmp::Reverse(per_sm[i].1.len()));
+        let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+        for (k, i) in order.into_iter().enumerate() {
+            deques[k % workers].push_back(i);
+        }
+        SmDispatcher::Steal(Mutex::new(deques))
+    }
+
+    /// Claim the next SM task index for `worker`, or `None` when all of
+    /// them are claimed.
+    fn claim(&self, worker: usize, tasks: usize) -> Option<usize> {
+        match self {
+            SmDispatcher::Shared(next) => {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                (i < tasks).then_some(i)
+            }
+            SmDispatcher::Steal(deques) => {
+                let mut d = deques.lock().unwrap();
+                if let Some(i) = d[worker].pop_front() {
+                    return Some(i);
+                }
+                let victim = (0..d.len())
+                    .filter(|&v| v != worker)
+                    .max_by_key(|&v| d[v].len())?;
+                d[victim].pop_back()
+            }
+        }
+    }
+}
+
 /// The launch body, generic over the profiling sink. With [`NullSink`]
 /// every hook is an empty `#[inline]` default method and every
 /// `S::ENABLED` block is compile-time dead, so the unprofiled hot path
@@ -223,20 +277,21 @@ fn launch_impl<S: ProfileSink>(
     // Parallel path: each SM simulates against a shared read snapshot of
     // pre-launch memory plus its own store log; logs merge back below in
     // ascending SM-id order so the committed memory image is independent
-    // of thread scheduling.
+    // of thread scheduling *and* of the claim order the dispatcher
+    // produced — stealing on or off.
     let snapshot: &GlobalMem = mem;
-    let next = AtomicUsize::new(0);
+    let dispatcher = SmDispatcher::new(config.sm_steal_enabled(), &per_sm, workers);
     let results: Mutex<Vec<Option<SmOutcome<S>>>> =
         Mutex::new((0..per_sm.len()).map(|_| None).collect());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        // Shadow the owned values with references so the `move` closures
+        // capture `wid` by value but everything shared by borrow.
+        let (dispatcher, per_sm, results) = (&dispatcher, &per_sm, &results);
+        let (access, tables) = (&access, &tables);
+        for wid in 0..workers {
+            scope.spawn(move || {
                 let mut ws = SmWorkspace::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= per_sm.len() {
-                        break;
-                    }
+                while let Some(i) = dispatcher.claim(wid, per_sm.len()) {
                     let (sm_id, blocks) = &per_sm[i];
                     let trace_this_sm = config.trace_requests && *sm_id == 0;
                     let mut shadow = ShadowMem::new(snapshot);
@@ -244,8 +299,8 @@ fn launch_impl<S: ProfileSink>(
                     let res = run_sm(
                         config,
                         program,
-                        &access,
-                        &tables,
+                        access,
+                        tables,
                         launch,
                         &mut shadow,
                         resident,
@@ -390,12 +445,20 @@ fn run_sm<M: DeviceMem, S: ProfileSink>(
         l1_port_free: 0,
         offchip_free: 0,
         cycle: 0,
-        stall_until: std::mem::take(&mut ws.stall_until),
+        wake: std::mem::take(&mut ws.wake),
+        soa_pc: std::mem::take(&mut ws.pc),
+        age: std::mem::take(&mut ws.age),
+        ready: std::mem::take(&mut ws.ready),
+        num_regs: program.num_regs as usize,
         warps: std::mem::take(&mut ws.warps),
         tbs: std::mem::take(&mut ws.tbs),
         warps_per_tb: launch.warps_per_block(),
+        sched_next: vec![0; ws.last_issued.len()],
         last_issued: std::mem::take(&mut ws.last_issued),
         dispatch_age: 0,
+        resident_blocks: 0,
+        barrier_dirty: false,
+        refill_dirty: true,
         active_tb_limit: resident as usize,
         dyncta_window: (0, 0),
         fuel,
@@ -417,7 +480,10 @@ fn run_sm<M: DeviceMem, S: ProfileSink>(
         sm.sink
             .sm_end(sm.cycle, sm.last_issued.len() as u32, sm.stats.instructions);
     }
-    ws.stall_until = std::mem::take(&mut sm.stall_until);
+    ws.wake = std::mem::take(&mut sm.wake);
+    ws.pc = std::mem::take(&mut sm.soa_pc);
+    ws.age = std::mem::take(&mut sm.age);
+    ws.ready = std::mem::take(&mut sm.ready);
     ws.warps = std::mem::take(&mut sm.warps);
     ws.tbs = std::mem::take(&mut sm.tbs);
     ws.last_issued = std::mem::take(&mut sm.last_issued);
@@ -535,10 +601,29 @@ impl DispatchTables {
 /// Reusable per-thread SM storage: warp slots (register files included)
 /// and TB slots survive from one SM to the next instead of being
 /// reallocated per SM — the dominant allocation cost of a multi-SM launch.
+///
+/// The scheduler-hot per-warp state lives here struct-of-arrays, not in
+/// [`Warp`]: `wake` (next candidate issue cycle, `u64::MAX` for warps
+/// that are not Ready), `pc` (mirror of `Warp::pc`), `age` (dispatch age
+/// for GTO arbitration), and `ready` (the register scoreboard, flattened
+/// to `nwarps × num_regs`). The per-cycle ready-scan and skip-ahead
+/// min-reduction touch only these contiguous arrays; the heap-heavy
+/// `Warp` structs are consulted only at issue time.
 #[derive(Default)]
 struct SmWorkspace {
     warps: Vec<Warp>,
-    stall_until: Vec<u64>,
+    /// Next cycle warp `i` could possibly issue; `u64::MAX` when not
+    /// Ready. This is the event queue of the scheduler: the idle-cycle
+    /// skip-ahead jumps straight to its minimum.
+    wake: Vec<u64>,
+    /// SoA mirror of `Warp::pc`, synced after every issue — the scan
+    /// reads the next op's access set without touching the warp.
+    pc: Vec<u32>,
+    /// Dispatch age (smaller = older) for greedy-then-oldest arbitration.
+    age: Vec<u64>,
+    /// Flattened scoreboard: `ready[i * num_regs + r]` is the cycle at
+    /// which warp `i`'s register `r` becomes available.
+    ready: Vec<u64>,
     tbs: Vec<TbSlot>,
     last_issued: Vec<Option<usize>>,
 }
@@ -560,8 +645,14 @@ impl SmWorkspace {
                 w.state = WarpState::Idle;
             }
         }
-        self.stall_until.clear();
-        self.stall_until.resize(nwarps, 0);
+        self.wake.clear();
+        self.wake.resize(nwarps, u64::MAX);
+        self.pc.clear();
+        self.pc.resize(nwarps, 0);
+        self.age.clear();
+        self.age.resize(nwarps, 0);
+        self.ready.clear();
+        self.ready.resize(nwarps * num_regs, 0);
         let smem_words = (program.smem_bytes as usize).div_ceil(4);
         if self.tbs.len() != resident as usize
             || self.tbs.first().is_some_and(|t| t.smem.len() != smem_words)
@@ -600,13 +691,41 @@ struct Sm<'a, M: DeviceMem, S: ProfileSink> {
     warps: Vec<Warp>,
     tbs: Vec<TbSlot>,
     warps_per_tb: u32,
-    /// Lower bound on each warp's next issue cycle — a cheap filter so the
-    /// scheduler only decodes a warp's next instruction when its last
-    /// known stall has elapsed.
-    stall_until: Vec<u64>,
+    /// Per-warp wake time (see [`SmWorkspace::wake`]): a lower bound on
+    /// the warp's next issue cycle, or `u64::MAX` while it is not Ready.
+    /// Invariant: `wake[i] < u64::MAX` ⟺ `warps[i].state == Ready`, so
+    /// the scheduler scan and the skip-ahead min-reduction run over this
+    /// contiguous array alone.
+    wake: Vec<u64>,
+    /// SoA mirror of `Warp::pc`, synced after every issue.
+    soa_pc: Vec<u32>,
+    /// SoA dispatch age for GTO arbitration (smaller = older).
+    age: Vec<u64>,
+    /// Flattened scoreboard: `ready[i * num_regs + r]`.
+    ready: Vec<u64>,
+    num_regs: usize,
     /// Per-scheduler last-issued warp (greedy part of GTO).
     last_issued: Vec<Option<usize>>,
+    /// Per-scheduler lower bound on the next cycle its partition can
+    /// issue. A failed `pick` scan leaves every partition warp's `wake`
+    /// at its exact next issue time, so the min it saw is that bound;
+    /// until then `pick` returns `None` in O(1) instead of re-scanning.
+    /// Any event that can make a warp issuable earlier (block dispatch,
+    /// barrier release) resets the bounds to 0, forcing a fresh scan.
+    sched_next: Vec<u64>,
     dispatch_age: u64,
+    /// Resident blocks currently holding a TB slot — the O(1) form of
+    /// "any `tbs[..].block` is Some".
+    resident_blocks: usize,
+    /// Set when a warp parked at a barrier or finished since the last
+    /// `release_barriers` pass: those are the only transitions that can
+    /// newly satisfy a block's arrival condition, so the per-slot release
+    /// scan is skipped entirely on all other cycles.
+    barrier_dirty: bool,
+    /// Set when a warp finished since the last `retire_and_refill` pass
+    /// (a block can only retire once its last warp is Done) — and at SM
+    /// start, to seed the initial dispatch.
+    refill_dirty: bool,
     /// DYNCTA: number of resident-TB slots currently allowed to issue
     /// (slots at or beyond the limit are paused). Always `tbs.len()` when
     /// dynamic throttling is off.
@@ -699,16 +818,27 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                     return Err(self.out_of_fuel());
                 }
             }
-            self.release_barriers()?;
-            self.retire_and_refill(&mut pending);
-            if pending.is_empty() && self.tbs.iter().all(|t| t.block.is_none()) {
+            // Barrier release and TB retire/refill can only become
+            // possible after a warp parks or finishes — both transitions
+            // happen exclusively in `issue`, which raises the matching
+            // dirty flag. All other cycles skip the per-slot scans
+            // entirely (they would be no-ops).
+            if self.barrier_dirty {
+                self.barrier_dirty = false;
+                self.release_barriers()?;
+            }
+            if self.refill_dirty {
+                self.refill_dirty = false;
+                self.retire_and_refill(&mut pending);
+            }
+            if pending.is_empty() && self.resident_blocks == 0 {
                 break;
             }
             let mut issued = false;
             for sched in 0..self.last_issued.len() {
                 if let Some(w) = self.pick(sched) {
                     self.issue(w)?;
-                    self.stall_until[w] = self.cycle;
+                    self.sync_after_issue(w);
                     self.last_issued[sched] = Some(w);
                     issued = true;
                 } else if S::ENABLED {
@@ -724,6 +854,14 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
             if !issued {
                 match self.earliest_wakeup() {
                     Some(t) => {
+                        // Clamp the jump to the fuel limit: a skip landing
+                        // past `fuel` would report an exhaustion cycle
+                        // count (and charge profiled stall slots) beyond
+                        // the configured budget.
+                        let t = match self.fuel {
+                            Some(f) => t.min(f),
+                            None => t,
+                        };
                         if S::ENABLED && t > self.cycle {
                             // Skip-ahead: nothing can issue before `t`, so
                             // every scheduler loses the jumped-over cycles
@@ -797,10 +935,11 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                         any_throttled = true;
                         continue;
                     }
-                    let a = &self.access[w.pc as usize];
+                    let a = &self.access[self.soa_pc[i] as usize];
                     let mut reg_t = self.cycle;
+                    let base = i * self.num_regs;
                     for &r in &a.regs[..a.n as usize] {
-                        reg_t = reg_t.max(w.ready[r as usize]);
+                        reg_t = reg_t.max(self.ready[base + r as usize]);
                     }
                     let port_t = if a.uses_l1_port { self.l1_port_free } else { 0 };
                     let t = reg_t.max(port_t);
@@ -847,6 +986,7 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                         }
                     }
                     self.tbs[slot].block = None;
+                    self.resident_blocks -= 1;
                     for w in &mut self.warps[lo..hi] {
                         w.state = WarpState::Idle;
                     }
@@ -863,6 +1003,7 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
     fn dispatch(&mut self, slot: usize, block: u32) {
         self.tbs[slot].block = Some(block);
         self.tbs[slot].smem.fill(0);
+        self.resident_blocks += 1;
         self.stats.tbs += 1;
         if S::ENABLED {
             self.sink.tb_start(slot, block, self.cycle);
@@ -883,8 +1024,12 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         for (wi, init) in tables.warps.iter().enumerate() {
             let w = &mut self.warps[lo + wi];
             self.dispatch_age += 1;
-            w.reset(init.valid, slot as u32, self.dispatch_age);
-            self.stall_until[lo + wi] = 0;
+            w.reset(init.valid, slot as u32);
+            self.wake[lo + wi] = 0;
+            self.soa_pc[lo + wi] = 0;
+            self.age[lo + wi] = self.dispatch_age;
+            let base = (lo + wi) * self.num_regs;
+            self.ready[base..base + self.num_regs].fill(0);
             self.stats.warps += 1;
             if S::ENABLED {
                 self.sink.warp_begin(lo + wi, block, self.cycle);
@@ -903,6 +1048,9 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 w.regs[*r as usize] = *image;
             }
         }
+        // The fresh warps are issuable now: drop every scheduler's
+        // cached next-issue bound.
+        self.sched_next.fill(0);
     }
 
     /// Release barriers by arrival count: once every non-finished warp of
@@ -937,12 +1085,15 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 for (off, w) in ws.iter_mut().enumerate() {
                     if w.state == WarpState::AtBarrier {
                         w.state = WarpState::Ready;
-                        self.stall_until[lo + off] = 0;
+                        self.wake[lo + off] = 0;
                         if S::ENABLED {
                             self.sink.warp_release(lo + off, self.cycle);
                         }
                     }
                 }
+                // Released warps are issuable now: drop the cached
+                // next-issue bounds.
+                self.sched_next.fill(0);
             }
         }
         Ok(())
@@ -950,80 +1101,147 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
 
     // ----- scheduling ----------------------------------------------------
 
-    /// Earliest cycle at which warp `w` could issue its next instruction,
-    /// or `None` if it is not in the Ready state. Consults the memoized
-    /// [`OpAccess`] table instead of re-decoding the op's operand lists —
-    /// this runs on every ready-check of every scheduler, every cycle.
-    fn issue_time(&self, w: &Warp) -> Option<u64> {
-        if w.state != WarpState::Ready {
-            return None;
+    /// Re-establish the SoA invariants for warp `w` after it issued: sync
+    /// the pc mirror, reset its wake time (still schedulable this cycle if
+    /// Ready, `u64::MAX` otherwise), and raise the dirty flags for the
+    /// state transitions that can unlock other warps or TB slots.
+    #[inline]
+    fn sync_after_issue(&mut self, w: usize) {
+        self.soa_pc[w] = self.warps[w].pc;
+        match self.warps[w].state {
+            WarpState::Ready => self.wake[w] = self.cycle,
+            WarpState::AtBarrier => {
+                self.wake[w] = u64::MAX;
+                // Parking may complete its block's arrival condition.
+                self.barrier_dirty = true;
+            }
+            WarpState::Done => {
+                self.wake[w] = u64::MAX;
+                // Finishing counts as "arrived" for sibling barriers and
+                // may retire the block.
+                self.barrier_dirty = true;
+                self.refill_dirty = true;
+            }
+            // An issued warp is never Idle; park it defensively (a parked
+            // warp can only under-schedule, never corrupt results).
+            WarpState::Idle => self.wake[w] = u64::MAX,
         }
-        let a = &self.access[w.pc as usize];
+    }
+
+    /// Earliest cycle at which Ready warp `i` could issue its next
+    /// instruction. Consults only the SoA state (pc mirror, flattened
+    /// scoreboard, memoized [`OpAccess`]) — this runs on every
+    /// ready-check of every scheduler and must not touch `Warp`.
+    #[inline]
+    fn issue_time(&self, i: usize) -> u64 {
+        debug_assert_eq!(self.warps[i].state, WarpState::Ready);
+        let a = &self.access[self.soa_pc[i] as usize];
         let mut t = self.cycle;
+        let base = i * self.num_regs;
         for &r in &a.regs[..a.n as usize] {
-            t = t.max(w.ready[r as usize]);
+            t = t.max(self.ready[base + r as usize]);
         }
         if a.uses_l1_port {
             t = t.max(self.l1_port_free);
         }
-        Some(t)
+        t
     }
 
     /// GTO pick for one scheduler: keep issuing the last warp while it is
-    /// ready; otherwise the oldest ready warp. `stall_until` filters out
-    /// warps whose last computed stall has not elapsed, so the (costlier)
-    /// decode in `issue_time` runs once per stall instead of every cycle.
+    /// ready; otherwise the oldest ready warp. `wake` filters out warps
+    /// whose last computed stall has not elapsed (and, at `u64::MAX`,
+    /// everything not Ready), so the costlier scoreboard check in
+    /// `issue_time` runs once per stall instead of every cycle — and the
+    /// updated bounds it leaves behind are exactly what the skip-ahead
+    /// min-reduction jumps to.
     fn pick(&mut self, sched: usize) -> Option<usize> {
+        let cycle = self.cycle;
+        // O(1) fast path: a previous failed scan proved nothing in this
+        // partition can issue before `sched_next[sched]`.
+        if cycle < self.sched_next[sched] {
+            return None;
+        }
         let nsched = self.last_issued.len();
+        // The throttle filter dereferences `warps[i].tb_slot`; hoist the
+        // "is anything throttled at all" test so the common (untrottled)
+        // scan never touches the warp structs.
+        let throttling = self.active_tb_limit < self.tbs.len();
         if let Some(last) = self.last_issued[sched] {
-            if (self.warps[last].tb_slot as usize) < self.active_tb_limit
-                && self.stall_until[last] <= self.cycle
+            if self.wake[last] <= cycle
+                && (!throttling || (self.warps[last].tb_slot as usize) < self.active_tb_limit)
             {
-                if let Some(t) = self.issue_time(&self.warps[last]) {
-                    if t <= self.cycle {
-                        return Some(last);
-                    }
-                    self.stall_until[last] = t;
+                let t = self.issue_time(last);
+                if t <= cycle {
+                    return Some(last);
                 }
+                self.wake[last] = t;
             }
         }
         let mut best: Option<(u64, usize)> = None;
-        for i in (sched..self.warps.len()).step_by(nsched) {
-            if self.stall_until[i] > self.cycle {
-                continue;
-            }
-            let w = &self.warps[i];
-            if (w.tb_slot as usize) >= self.active_tb_limit {
-                continue; // paused by the dynamic throttler
-            }
-            if let Some(t) = self.issue_time(w) {
-                if t <= self.cycle {
+        // Min wake over the whole partition, throttled warps included (a
+        // paused warp's stale-low wake keeps the bound conservative, so a
+        // resume never needs to invalidate it).
+        let mut next = u64::MAX;
+        let mut i = sched;
+        while i < self.wake.len() {
+            let wk = self.wake[i];
+            if wk <= cycle {
+                if throttling && (self.warps[i].tb_slot as usize) >= self.active_tb_limit {
+                    next = next.min(wk);
+                    i += nsched;
+                    continue; // paused by the dynamic throttler
+                }
+                let t = self.issue_time(i);
+                if t <= cycle {
+                    let age = self.age[i];
                     match best {
-                        Some((age, _)) if age <= w.age => {}
-                        _ => best = Some((w.age, i)),
+                        Some((ba, _)) if ba <= age => {}
+                        _ => best = Some((age, i)),
                     }
                 } else {
-                    self.stall_until[i] = t;
+                    self.wake[i] = t;
+                    next = next.min(t);
                 }
+            } else {
+                next = next.min(wk); // u64::MAX stays u64::MAX
             }
+            i += nsched;
+        }
+        if best.is_none() {
+            self.sched_next[sched] = next;
         }
         best.map(|(_, i)| i)
     }
 
     /// Minimum future issue time over all Ready warps (for idle-cycle
-    /// skip-ahead), or `None` when nothing is Ready. `stall_until` entries
-    /// are exact here: `pick` just recomputed every Ready warp that had
-    /// reached its previous bound.
+    /// skip-ahead), or `None` when nothing is Ready. `wake` entries are
+    /// exact here: `pick` just recomputed every Ready warp that had
+    /// reached its previous bound, and everything else holds `u64::MAX`.
     fn earliest_wakeup(&self) -> Option<u64> {
-        self.warps
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| {
-                w.state == WarpState::Ready && (w.tb_slot as usize) < self.active_tb_limit
-            })
-            .map(|(i, _)| self.stall_until[i])
-            .min()
-            .map(|t| t.max(self.cycle))
+        let t = if self.active_tb_limit < self.tbs.len() {
+            // Dynamic throttling active: paused-slot warps must not drive
+            // the jump (they cannot issue until resumed).
+            self.wake
+                .iter()
+                .enumerate()
+                .filter(|&(i, &t)| {
+                    t != u64::MAX && (self.warps[i].tb_slot as usize) < self.active_tb_limit
+                })
+                .map(|(_, &t)| t)
+                .min()
+        } else {
+            // Unthrottled: every scheduler's pick this cycle either
+            // scanned (recomputing its bound) or fast-pathed on a bound
+            // that is still the exact partition min — so the global min
+            // is the min over the per-scheduler bounds, O(schedulers)
+            // instead of O(warps).
+            self.sched_next
+                .iter()
+                .copied()
+                .min()
+                .filter(|&t| t != u64::MAX)
+        };
+        t.map(|t| t.max(self.cycle))
     }
 
     // ----- execution -----------------------------------------------------
@@ -1047,6 +1265,11 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         // (diverged, loop-finished, or returned) must not mutate their
         // registers, exactly as predicated execution works in hardware.
         // `$f` computes the lane value from (register file, lane index).
+        // Every lane function is total (division guards zero, float ops
+        // never trap), so the value is computed for all 32 lanes without
+        // branching — a loop the compiler can vectorize — and the active
+        // mask is applied at the write. A fully-active warp (the common
+        // case) takes one array store.
         macro_rules! alu {
             ($dst:expr, $sfu:expr, $f:expr) => {{
                 let w = &mut self.warps[wi];
@@ -1054,14 +1277,16 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                 let f = $f;
                 let mut vals = [0u32; 32];
                 for l in 0..32 {
-                    if active & (1 << l) != 0 {
-                        vals[l] = f(&w.regs, l);
-                    }
+                    vals[l] = f(&w.regs, l);
                 }
                 let d = &mut w.regs[$dst as usize];
-                for l in 0..32 {
-                    if active & (1 << l) != 0 {
-                        d[l] = vals[l];
+                if active == u32::MAX {
+                    *d = vals;
+                } else {
+                    for l in 0..32 {
+                        if active & (1 << l) != 0 {
+                            d[l] = vals[l];
+                        }
                     }
                 }
                 self.finish_alu(wi, $dst, $sfu);
@@ -1168,13 +1393,24 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
                         }));
                     }
                 }
-                let d = &mut w.regs[dst as usize];
+                // Branchless like the `alu!` body: load every lane (a
+                // clamped read is total), mask at the write.
+                let mut vals = [0u32; 32];
                 for l in 0..32 {
-                    if active & (1 << l) != 0 {
-                        d[l] = smem.get(addrs[l] as usize / 4).copied().unwrap_or(0);
+                    vals[l] = smem.get(addrs[l] as usize / 4).copied().unwrap_or(0);
+                }
+                let d = &mut w.regs[dst as usize];
+                if active == u32::MAX {
+                    *d = vals;
+                } else {
+                    for l in 0..32 {
+                        if active & (1 << l) != 0 {
+                            d[l] = vals[l];
+                        }
                     }
                 }
-                w.ready[dst as usize] = self.cycle + self.config.latencies.shared;
+                self.ready[wi * self.num_regs + dst as usize] =
+                    self.cycle + self.config.latencies.shared;
                 self.l1_port_free = self.l1_port_free.max(self.cycle) + 1;
                 w.pc += 1;
             }
@@ -1364,9 +1600,8 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         } else {
             self.config.latencies.alu
         };
-        let w = &mut self.warps[wi];
-        w.ready[dst as usize] = self.cycle + lat;
-        w.pc += 1;
+        self.ready[wi * self.num_regs + dst as usize] = self.cycle + lat;
+        self.warps[wi].pc += 1;
     }
 
     /// Unique 128-byte line base addresses touched by the active lanes.
@@ -1473,9 +1708,8 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         if S::ENABLED {
             self.prof_load_ready[wi] = self.prof_load_ready[wi].max(data_ready);
         }
-        let w = &mut self.warps[wi];
-        w.ready[dst as usize] = data_ready;
-        w.pc += 1;
+        self.ready[wi * self.num_regs + dst as usize] = data_ready;
+        self.warps[wi].pc += 1;
         Ok(())
     }
 

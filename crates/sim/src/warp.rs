@@ -34,7 +34,11 @@ pub enum WarpState {
     Done,
 }
 
-/// One resident warp.
+/// One resident warp's *execution* state. The scheduler-hot fields — the
+/// register scoreboard, the next-issue wake time, the dispatch age, and
+/// the decoded next pc — live struct-of-arrays in the SM (see
+/// `sm::SmWorkspace`), so the per-cycle ready-scan touches contiguous
+/// memory instead of walking these (heap-heavy) structs.
 #[derive(Debug, Clone)]
 pub struct Warp {
     /// Program counter into `Program::ops`.
@@ -50,14 +54,10 @@ pub struct Warp {
     pub stack: Vec<Frame>,
     /// Register file: `regs[r][lane]`.
     pub regs: Vec<[u32; 32]>,
-    /// Scoreboard: cycle at which each register's value is available.
-    pub ready: Vec<u64>,
     /// Scheduling state.
     pub state: WarpState,
     /// Resident-TB slot this warp belongs to.
     pub tb_slot: u32,
-    /// Dispatch age for greedy-then-oldest arbitration (smaller = older).
-    pub age: u64,
     /// Pc of the last `__syncthreads()` this warp arrived at (sanitizer
     /// barrier-site identity; meaningful only when `bar_count > 0`).
     pub bar_pc: u32,
@@ -77,17 +77,17 @@ impl Warp {
             exited: 0,
             stack: Vec::new(),
             regs: vec![[0; 32]; num_regs],
-            ready: vec![0; num_regs],
             state: WarpState::Idle,
             tb_slot: 0,
-            age: 0,
             bar_pc: 0,
             bar_count: 0,
         }
     }
 
-    /// Reinitialize for a fresh warp of a newly dispatched block.
-    pub fn reset(&mut self, valid: u32, tb_slot: u32, age: u64) {
+    /// Reinitialize for a fresh warp of a newly dispatched block. The
+    /// caller owns the SoA scheduling state (scoreboard, wake time, age)
+    /// and resets it alongside.
+    pub fn reset(&mut self, valid: u32, tb_slot: u32) {
         self.pc = 0;
         self.active = valid;
         self.valid = valid;
@@ -96,12 +96,8 @@ impl Warp {
         for r in &mut self.regs {
             *r = [0; 32];
         }
-        for r in &mut self.ready {
-            *r = 0;
-        }
         self.state = WarpState::Ready;
         self.tb_slot = tb_slot;
-        self.age = age;
         self.bar_pc = 0;
         self.bar_count = 0;
     }
@@ -146,20 +142,17 @@ mod tests {
             else_mask: 0,
         });
         w.regs[2][5] = 77;
-        w.ready[2] = 1000;
         w.bar_pc = 4;
         w.bar_count = 2;
-        w.reset(0xFFFF, 2, 42);
+        w.reset(0xFFFF, 2);
         assert_eq!(w.pc, 0);
         assert_eq!(w.active, 0xFFFF);
         assert_eq!(w.valid, 0xFFFF);
         assert_eq!(w.exited, 0);
         assert!(w.stack.is_empty());
         assert_eq!(w.regs[2][5], 0);
-        assert_eq!(w.ready[2], 0);
         assert_eq!(w.state, WarpState::Ready);
         assert_eq!(w.tb_slot, 2);
-        assert_eq!(w.age, 42);
         assert_eq!(w.bar_pc, 0);
         assert_eq!(w.bar_count, 0);
     }

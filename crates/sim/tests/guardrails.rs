@@ -95,6 +95,64 @@ fn runaway_loop_exhausts_fuel() {
 }
 
 #[test]
+fn fuel_exhaustion_never_overshoots_the_budget() {
+    // Regression (ISSUE: fuel-budget overshoot in the skip-ahead path):
+    // one warp issues a missing global load, then everything stalls on
+    // the ~400-cycle off-chip latency. The idle-cycle skip-ahead would
+    // jump straight past the 100-cycle budget and report an exhaustion
+    // cycle count (and, profiled, charge stall slots) far beyond it; the
+    // skip target must clamp to the fuel limit instead.
+    let src = "
+        __global__ void one_load(float *a) {
+            a[threadIdx.x] = a[threadIdx.x] + 1.0f;
+        }";
+    let fuel = 100u64;
+    let run = |profile: bool| {
+        let k = parse_kernel(src).unwrap();
+        let mut config = GpuConfig::small();
+        config.sim_fuel = Some(fuel);
+        config.profile = Some(profile);
+        let mut mem = GlobalMem::new();
+        let ba = mem.alloc_zeroed(32);
+        Gpu::new(config)
+            .launch(&k, LaunchConfig::d1(1, 32), &[Arg::Buf(ba)], &mut mem)
+            .unwrap_err()
+    };
+    match run(false) {
+        SimError::FuelExhausted { cycles, .. } => {
+            assert_eq!(
+                cycles, fuel,
+                "exhaustion must report exactly the budget, not the skip target"
+            );
+        }
+        other => panic!("expected FuelExhausted, got {other}"),
+    }
+    // Profiled variant: the partial shard's cycle count honours the
+    // budget too, and the charged issue slots stay bounded by it (the
+    // cut-off cycle adds one final Fuel charge per scheduler).
+    catt_sim::profile::set_capture(true);
+    let err = run(true);
+    let profiles = catt_sim::profile::take_captured();
+    catt_sim::profile::set_capture(false);
+    assert!(matches!(err, SimError::FuelExhausted { .. }), "{err}");
+    assert_eq!(profiles.len(), 1);
+    let p = &profiles[0];
+    assert!(!p.complete);
+    for sm in &p.sms {
+        assert_eq!(sm.cycles, fuel, "SM {}: profiled cycles", sm.sm_id);
+        let stalls: u64 = sm.stall_cycles.iter().sum();
+        let sched = sm.schedulers as u64;
+        assert!(
+            sm.instructions + stalls <= (fuel + 1) * sched,
+            "SM {}: charged {} slots, budget allows at most {}",
+            sm.sm_id,
+            sm.instructions + stalls,
+            (fuel + 1) * sched
+        );
+    }
+}
+
+#[test]
 fn same_kernel_finishes_under_the_default_budget() {
     // The derived footprint-based budget is generous enough for a real
     // (finite) run of the same loop.

@@ -46,7 +46,7 @@ echo "==> parallel-SM equivalence: default (parallel) environment"
 cargo test --release -p catt-sim $OFFLINE -q --test parallel_sm
 
 echo "==> parallel-SM equivalence: sequential-fallback environment"
-CATT_SIM_SM_PARALLEL=off CATT_SIM_SM_THREADS=1 \
+CATT_SIM_SM_PARALLEL=off CATT_SIM_SM_THREADS=1 CATT_SIM_STEAL=off \
     cargo test --release -p catt-sim $OFFLINE -q \
     --test parallel_sm --test determinism
 
