@@ -64,7 +64,7 @@ use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A simulation job failed: the closure panicked (failed validation,
@@ -79,6 +79,12 @@ pub struct JobError {
     /// I/O: yes; a deterministic simulator verdict or a panic: no).
     /// Retryable failures get [`Engine`]'s bounded retry with backoff.
     pub retryable: bool,
+    /// Stable machine-readable classification, when one exists: a
+    /// `catt_sim::SimError::code()` token (`"fuel-exhausted"`,
+    /// `"cancelled"`, ...) or `"panic"` for caught panics. `catt serve`
+    /// maps this to its structured API error kinds; human-facing paths
+    /// only read `message`.
+    pub code: Option<&'static str>,
 }
 
 impl JobError {
@@ -89,7 +95,14 @@ impl JobError {
             label: label.into(),
             message: message.into(),
             retryable: false,
+            code: None,
         }
+    }
+
+    /// Attach a machine-readable classification code (builder-style).
+    pub fn with_code(mut self, code: &'static str) -> JobError {
+        self.code = Some(code);
+        self
     }
 
     /// A transient failure (e.g. cache I/O) worth retrying with backoff.
@@ -98,6 +111,7 @@ impl JobError {
             label: label.into(),
             message: message.into(),
             retryable: true,
+            code: None,
         }
     }
 
@@ -109,7 +123,7 @@ impl JobError {
             .map(|s| s.to_string())
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "job panicked (non-string payload)".to_string());
-        JobError::fatal(label, message)
+        JobError::fatal(label, message).with_code("panic")
     }
 }
 
@@ -161,6 +175,10 @@ pub struct CacheCounters {
     /// stale version, unparsable) — each skip costs one recomputation,
     /// never a crash.
     pub skipped: u64,
+    /// Jobs that coalesced onto another caller's identical in-flight
+    /// simulation instead of running their own (single-flight dedupe,
+    /// see [`Engine::sim_app_shared`]). Not counted in `hits`.
+    pub coalesced: u64,
 }
 
 impl CacheCounters {
@@ -237,6 +255,9 @@ struct SimCache {
     misses: AtomicU64,
     /// Lines dropped at load time (bad checksum / stale version).
     skipped: AtomicU64,
+    /// Jobs that waited on another caller's identical in-flight
+    /// simulation (single-flight dedupe, see [`Engine::sim_app_shared`]).
+    coalesced: AtomicU64,
     /// Fault injection: corrupt the checksum of one persisted line.
     corrupt_armed: AtomicBool,
     /// The key whose line is rendered with a poisoned checksum.
@@ -258,6 +279,7 @@ impl SimCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             skipped: AtomicU64::new(skipped),
+            coalesced: AtomicU64::new(0),
             corrupt_armed: AtomicBool::new(false),
             poisoned: Mutex::new(None),
         };
@@ -352,12 +374,31 @@ impl SimCache {
     /// Rewrite the persistent file atomically from the in-memory map:
     /// render every entry (sorted by key for determinism) into
     /// `cache.jsonl.tmp.<pid>`, then `rename` over the live file. Holding
-    /// the `mem` lock across the write serializes concurrent persists.
+    /// the `mem` lock across the write serializes concurrent persists
+    /// within the process; a [`CacheLock`] file serializes writers across
+    /// processes. Under the lock the on-disk file is re-read and merged
+    /// into the in-memory map before the rewrite, so entries another
+    /// writer persisted since our load survive — the store is
+    /// content-addressed (identical key ⇒ identical stats), which makes
+    /// the union conflict-free and no acknowledged line is ever lost.
     fn persist(&self) {
         let CacheMode::Persistent(dir) = &self.mode else {
             return;
         };
-        let mem = self.mem.lock().unwrap();
+        let _ = fs::create_dir_all(dir);
+        let lock = CacheLock::acquire(dir);
+        if lock.is_none() {
+            eprintln!(
+                "[engine] warning: simcache lock under {} unavailable; persisting unlocked",
+                dir.display()
+            );
+        }
+        let mut mem = self.mem.lock().unwrap();
+        let (disk, _) = Self::load(dir);
+        for (key, stats) in disk {
+            mem.entry(key).or_insert(stats);
+        }
+        let mem = &*mem;
         let poisoned = *self.poisoned.lock().unwrap();
         let mut entries: Vec<(&u64, &LaunchStats)> = mem.iter().collect();
         entries.sort_by_key(|(k, _)| **k);
@@ -367,8 +408,7 @@ impl SimCache {
             text.push('\n');
         }
         let tmp = dir.join(format!("{}.tmp.{}", Self::FILE, std::process::id()));
-        let write = fs::create_dir_all(dir)
-            .and_then(|_| fs::File::create(&tmp))
+        let write = fs::File::create(&tmp)
             .and_then(|mut f| f.write_all(text.as_bytes()))
             .and_then(|_| fs::rename(&tmp, dir.join(Self::FILE)));
         if let Err(e) = write {
@@ -401,8 +441,90 @@ impl SimCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
+}
+
+/// An advisory cross-process lock over the persistent simcache file,
+/// taken with `O_CREAT|O_EXCL` (`create_new`) on a sibling `.lock` file —
+/// the one filesystem primitive that is atomic everywhere std runs.
+/// Holders that die without unlinking are broken by age: a lock file
+/// older than [`CacheLock::STALE`] is presumed orphaned and removed.
+/// Waiting is bounded; on timeout the writer proceeds *unlocked* (a
+/// last-writer-wins persist is strictly better than a wedged engine).
+struct CacheLock {
+    path: PathBuf,
+}
+
+impl CacheLock {
+    const STALE: Duration = Duration::from_secs(10);
+    const WAIT: Duration = Duration::from_secs(10);
+
+    fn acquire(dir: &Path) -> Option<CacheLock> {
+        let path = dir.join(format!("{}.lock", SimCache::FILE));
+        let deadline = Instant::now() + Self::WAIT;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Some(CacheLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|md| md.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > Self::STALE);
+                    if stale {
+                        // Orphaned by a killed holder; break it. Two
+                        // waiters may both remove and race to recreate —
+                        // `create_new` lets exactly one win.
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl Drop for CacheLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Where a [`Engine::sim_app_shared`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimSource {
+    /// This caller ran the simulation itself.
+    Computed,
+    /// Served from the content-addressed cache.
+    CacheHit,
+    /// Waited on another caller's identical in-flight simulation
+    /// (single-flight dedupe).
+    Coalesced,
+}
+
+/// A [`Engine::sim_app_shared`] result plus its provenance — `catt serve`
+/// reports provenance per request (and the load harness derives its cache
+/// hit rate from it).
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The simulation result.
+    pub stats: LaunchStats,
+    /// How it was obtained.
+    pub source: SimSource,
 }
 
 /// The evaluation engine: a bounded worker pool plus the simulation cache.
@@ -425,6 +547,16 @@ pub struct Engine {
     /// jobs so mis-sized budgets are visible).
     deadline_exceeded: AtomicU64,
     progress: Progress,
+    /// Single-flight table: cache key → slot the leader publishes into.
+    /// See [`Engine::sim_app_shared`].
+    inflight: Mutex<HashMap<u64, Arc<InflightSlot>>>,
+}
+
+/// One in-flight simulation: the leader publishes its result here and
+/// notifies; followers wait (bounded by their own deadline).
+struct InflightSlot {
+    done: Mutex<Option<Result<LaunchStats, JobError>>>,
+    cv: Condvar,
 }
 
 impl Default for Engine {
@@ -482,6 +614,7 @@ impl Engine {
             deadline: Self::default_deadline(),
             deadline_exceeded: AtomicU64::new(0),
             progress: Progress::from_env(),
+            inflight: Mutex::new(HashMap::new()),
         };
         if engine.fault.corrupt_cache {
             engine.cache.arm_corruption();
@@ -632,6 +765,9 @@ impl Engine {
             attempt += 1;
             let seq = self.job_seq.fetch_add(1, Ordering::Relaxed);
             let result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(ms) = self.fault.delay_job_ms {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
                 if self.fault.panic_at_job == Some(seq) {
                     panic!("fault injection: worker panic at job {seq}");
                 }
@@ -775,6 +911,136 @@ impl Engine {
         let stats = caught(compute)?;
         self.cache.insert(key, &stats);
         Ok(stats)
+    }
+
+    /// Like [`Engine::sim_app`], but with **single-flight dedupe**: when
+    /// several callers submit the same job (same digest) concurrently,
+    /// exactly one — the *leader* — simulates; the rest block on its slot
+    /// and receive the identical result marked [`SimSource::Coalesced`].
+    /// This is how `catt serve` collapses a stampede of identical
+    /// submissions (across tenants) into one unit of simulation work.
+    ///
+    /// Differences from `sim_app`:
+    /// * `compute` is fallible — the serve path surfaces [`SimError`]s as
+    ///   typed failures instead of panicking; only `Ok` results enter the
+    ///   cache, and failures propagate (cloned) to every coalesced waiter.
+    /// * `wait_deadline` bounds a *follower's* wait. A leader is never
+    ///   interrupted here (its own `GpuConfig::cancel` token bounds the
+    ///   simulation); a follower whose deadline passes gets a fatal
+    ///   `JobError` with code `"deadline"`.
+    /// * Fault injection (`delay-job`, `panic-job`) applies to the leader's
+    ///   compute, mirroring [`Engine::run_jobs`] workers.
+    ///
+    /// Bypass configs (trace / profile / sanitize) behave as in `sim_app`:
+    /// computed directly, no cache, no dedupe.
+    ///
+    /// [`SimError`]: catt_sim::SimError
+    pub fn sim_app_shared<F>(
+        &self,
+        scope: &str,
+        kernels: &[Kernel],
+        launches: &[LaunchConfig],
+        config: &GpuConfig,
+        wait_deadline: Option<Instant>,
+        compute: F,
+    ) -> Result<SimOutcome, JobError>
+    where
+        F: FnOnce() -> Result<LaunchStats, JobError>,
+    {
+        let injected = |compute: F| {
+            let seq = self.job_seq.fetch_add(1, Ordering::Relaxed);
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(ms) = self.fault.delay_job_ms {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                if self.fault.panic_at_job == Some(seq) {
+                    panic!("fault injection: worker panic at job {seq}");
+                }
+                compute()
+            }))
+            .unwrap_or_else(|payload| Err(JobError::from_panic(scope, payload)))
+        };
+        if config.trace_requests || config.profile_enabled() || config.sanitize_enabled() {
+            return injected(compute).map(|stats| SimOutcome {
+                stats,
+                source: SimSource::Computed,
+            });
+        }
+        let key = job_digest(scope, kernels, launches, config)?;
+        // Decide leader vs. follower under the inflight lock. The cache
+        // check lives inside the critical section: a leader inserts into
+        // the cache *before* removing its inflight entry, so "no entry"
+        // here implies any earlier leader's result is already visible.
+        let role = {
+            let mut map = self.inflight.lock().unwrap();
+            if let Some(slot) = map.get(&key.0) {
+                Err(Arc::clone(slot))
+            } else if let Some(stats) = self.cache.lookup(key) {
+                return Ok(SimOutcome {
+                    stats,
+                    source: SimSource::CacheHit,
+                });
+            } else {
+                let slot = Arc::new(InflightSlot {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                map.insert(key.0, Arc::clone(&slot));
+                Ok(slot)
+            }
+        };
+        match role {
+            Ok(slot) => {
+                // Leader: simulate, cache on success, publish
+                // unconditionally (followers must never hang), then
+                // retire the slot.
+                let result = injected(compute);
+                if let Ok(stats) = &result {
+                    self.cache.insert(key, stats);
+                }
+                *slot.done.lock().unwrap() = Some(result.clone());
+                slot.cv.notify_all();
+                self.inflight.lock().unwrap().remove(&key.0);
+                result.map(|stats| SimOutcome {
+                    stats,
+                    source: SimSource::Computed,
+                })
+            }
+            Err(slot) => {
+                self.cache.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut done = slot.done.lock().unwrap();
+                loop {
+                    if let Some(result) = done.clone() {
+                        return result.map(|stats| SimOutcome {
+                            stats,
+                            source: SimSource::Coalesced,
+                        });
+                    }
+                    match wait_deadline {
+                        None => done = slot.cv.wait(done).unwrap(),
+                        Some(deadline) => {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                return Err(JobError::fatal(
+                                    scope,
+                                    "deadline passed while waiting on an identical                                      in-flight simulation",
+                                )
+                                .with_code("deadline"));
+                            }
+                            let (guard, _) = slot.cv.wait_timeout(done, deadline - now).unwrap();
+                            done = guard;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush the in-memory cache to its persistent backing now (a no-op
+    /// for in-memory / disabled caches). `catt serve` calls this during
+    /// graceful drain so a SIGTERM never costs acknowledged results.
+    pub fn flush_cache(&self) {
+        self.cache.persist();
     }
 }
 

@@ -17,6 +17,10 @@
 //! * `corrupt-cache` — the persistent simcache writes one deliberately
 //!   checksum-corrupted line (the first entry persisted), so the next
 //!   warm run must skip exactly one entry;
+//! * `delay-job=<ms>` — every job sleeps `<ms>` milliseconds before it
+//!   simulates: deterministic latency injection, so deadline, watchdog,
+//!   and circuit-breaker paths (`catt serve`) are testable without racing
+//!   real simulation times;
 //! * `fail-transform` — the pipeline's throttling transform reports
 //!   failure for every kernel, forcing the multiversion fallback to the
 //!   original code.
@@ -38,6 +42,9 @@ pub struct FaultPlan {
     pub fuel: Option<u64>,
     /// Corrupt the checksum of the first cache line persisted.
     pub corrupt_cache: bool,
+    /// Milliseconds every job sleeps before simulating (deterministic
+    /// latency injection for deadline/watchdog/breaker testing).
+    pub delay_job_ms: Option<u64>,
     /// Make every kernel transform report failure.
     pub fail_transform: bool,
 }
@@ -62,6 +69,8 @@ impl FaultPlan {
                 plan.panic_at_job = n.trim().parse().ok();
             } else if let Some(c) = entry.strip_prefix("fuel=") {
                 plan.fuel = c.trim().parse().ok();
+            } else if let Some(ms) = entry.strip_prefix("delay-job=") {
+                plan.delay_job_ms = ms.trim().parse().ok();
             } else if entry == "corrupt-cache" {
                 plan.corrupt_cache = true;
             } else if entry == "fail-transform" {
@@ -87,7 +96,8 @@ mod tests {
 
     #[test]
     fn parses_every_directive() {
-        let p = FaultPlan::parse("panic-job=3, fuel=5000, corrupt-cache, fail-transform");
+        let p =
+            FaultPlan::parse("panic-job=3, fuel=5000, corrupt-cache, fail-transform, delay-job=25");
         assert_eq!(
             p,
             FaultPlan {
@@ -95,8 +105,16 @@ mod tests {
                 fuel: Some(5000),
                 corrupt_cache: true,
                 fail_transform: true,
+                delay_job_ms: Some(25),
             }
         );
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn delay_alone_is_active() {
+        let p = FaultPlan::parse("delay-job=5");
+        assert_eq!(p.delay_job_ms, Some(5));
         assert!(p.is_active());
     }
 

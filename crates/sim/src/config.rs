@@ -1,5 +1,45 @@
 //! Simulated GPU configuration (geometry, capacities, latencies).
 
+/// Cooperative cancellation handle for an in-flight launch. Cloning
+/// shares the flag; [`CancelToken::cancel`] makes every simulation loop
+/// holding a clone return [`SimError::Cancelled`](crate::SimError) at its
+/// next poll point (the top of the per-SM run loop, where the fuel budget
+/// is checked too). This is the wall-clock escape hatch `catt serve`
+/// threads a request deadline through: fuel bounds simulated cycles, the
+/// token bounds real time.
+///
+/// Equality is identity (`Arc::ptr_eq`) — two tokens are equal only when
+/// they are the same flag — and the token never participates in
+/// [`GpuConfig::content_digest`]: cancellation is an execution concern,
+/// not a simulated parameter, so tokenless and token-carrying configs
+/// share cache entries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation: every launch polling this token stops with
+    /// [`SimError::Cancelled`](crate::SimError) at its next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
 /// The shared-memory carve-out options per SM on Volta, in KB (paper §4.1:
 /// "The Nvidia Volta GPU can configure the size of shared memory to be 0,
 /// 8, 16, 32, 64, or 96 KB per SM"). The L1D receives the remainder of the
@@ -158,6 +198,14 @@ pub struct GpuConfig {
     /// simulation cache (a cache hit would skip the checks) and run on
     /// the sequential SM path so one launch-wide state sees every block.
     pub sanitize: Option<bool>,
+    /// Cooperative cancellation token polled at the top of every SM run
+    /// loop (next to the fuel check). `None` — the default everywhere
+    /// outside `catt serve` — costs one pointer test per loop iteration.
+    /// A fired token surfaces as
+    /// [`SimError::Cancelled`](crate::SimError::Cancelled). Excluded from
+    /// [`GpuConfig::content_digest`]: cancellation bounds wall-clock time,
+    /// it never changes the result of a launch that completes.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Baseline cycle allowance of the derived fuel budget (covers dispatch
@@ -222,6 +270,7 @@ impl GpuConfig {
             sm_steal: None,
             profile: None,
             sanitize: None,
+            cancel: None,
         }
     }
 
@@ -260,6 +309,7 @@ impl GpuConfig {
             sm_steal: None,
             profile: None,
             sanitize: None,
+            cancel: None,
         }
     }
 
@@ -339,10 +389,15 @@ impl GpuConfig {
     /// Whether this launch may run its SMs on parallel worker threads.
     /// Resolution order: [`GpuConfig::sm_parallel`] (explicit config
     /// wins, so tests and CLI flags are immune to ambient environment),
-    /// then `CATT_SIM_SM_PARALLEL` (`off`/`0`/`false`/`no` disables),
-    /// then the default: on. Parallel and sequential execution produce
-    /// bit-identical results (see DESIGN.md), so this is purely a
-    /// throughput knob.
+    /// then `CATT_SIM_SM_PARALLEL` (`off`/`0`/`false`/`no` disables,
+    /// anything else — e.g. `on` — enables), then the default: on *iff*
+    /// the effective SM thread budget exceeds 1. On a one-thread budget
+    /// (single-core host, or a sweep whose engine workers already own
+    /// every core) the parallel path's snapshot + store-log machinery is
+    /// pure overhead — BENCH_sim.json measured it as a net loss — so the
+    /// sequential path is the default there. Parallel and sequential
+    /// execution produce bit-identical results (see DESIGN.md), so this
+    /// is purely a throughput knob.
     pub fn sm_parallel_enabled(&self) -> bool {
         if let Some(explicit) = self.sm_parallel {
             return explicit;
@@ -352,7 +407,7 @@ impl GpuConfig {
                 v.trim().to_ascii_lowercase().as_str(),
                 "off" | "0" | "false" | "no"
             ),
-            Err(_) => true,
+            Err(_) => self.sm_thread_budget() > 1,
         }
     }
 

@@ -104,6 +104,10 @@ impl GpuConfig {
         canonical.sm_steal = None;
         canonical.profile = None;
         canonical.sanitize = None;
+        // The cancellation token is an execution handle, not a simulated
+        // parameter: a deadline-carrying `catt serve` request must share
+        // its cache entry (and single-flight slot) with tokenless runs.
+        canonical.cancel = None;
         let mut h = Fnv64::new();
         h.write_debug(&canonical);
         h.finish()

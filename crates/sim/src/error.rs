@@ -86,6 +86,35 @@ pub enum SimError {
     Sanitizer(SanitizerReport),
     /// The kernel failed to lower to simulator bytecode.
     Lower(LowerError),
+    /// The launch's [`CancelToken`](crate::CancelToken) fired: a caller
+    /// (e.g. `catt serve` propagating a request deadline) asked the
+    /// simulation to stop. Unlike [`SimError::FuelExhausted`] this bounds
+    /// wall-clock time, not simulated cycles.
+    Cancelled {
+        /// Kernel being executed.
+        kernel: String,
+        /// Cycles simulated when the token was observed.
+        cycles: u64,
+    },
+}
+
+impl SimError {
+    /// Stable machine-readable code for this error class — the string
+    /// `catt serve` puts in its structured API errors (and embeds in
+    /// engine `JobError` messages, see `catt_core::engine`). One token
+    /// per variant; never contains `:` or whitespace.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SimError::BarrierDeadlock { .. } => "barrier-deadlock",
+            SimError::OutOfBounds { .. } => "out-of-bounds",
+            SimError::FuelExhausted { .. } => "fuel-exhausted",
+            SimError::BadArgument { .. } => "bad-argument",
+            SimError::MalformedProgram { .. } => "malformed-program",
+            SimError::Sanitizer(_) => "sanitizer",
+            SimError::Lower(_) => "lower-error",
+            SimError::Cancelled { .. } => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -124,6 +153,11 @@ impl fmt::Display for SimError {
             } => write!(f, "malformed program `{kernel}` (pc {pc}): {message}"),
             SimError::Sanitizer(report) => write!(f, "sanitizer: {report}"),
             SimError::Lower(e) => e.fmt(f),
+            SimError::Cancelled { kernel, cycles } => write!(
+                f,
+                "launch of `{kernel}` cancelled after {cycles} simulated cycles \
+                 (deadline or shutdown)"
+            ),
         }
     }
 }

@@ -806,6 +806,19 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
 
     fn run(&mut self, mut pending: VecDeque<u32>) -> Result<LaunchStats, SimError> {
         loop {
+            // Cancellation poll: one pointer test when no token is set
+            // (the default everywhere outside `catt serve`). Sits next to
+            // the fuel check so both launch bounds share one exit point;
+            // the event-driven loop makes iterations proportional to
+            // issued work, so a relaxed load per iteration is noise.
+            if let Some(tok) = &self.config.cancel {
+                if tok.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        kernel: self.program.name.clone(),
+                        cycles: self.cycle,
+                    });
+                }
+            }
             if let Some(fuel) = self.fuel {
                 if self.cycle >= fuel {
                     if S::ENABLED {

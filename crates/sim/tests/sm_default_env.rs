@@ -1,0 +1,91 @@
+//! Regression tests for the parallel-SM *default* policy (DESIGN.md
+//! "Parallel SM execution"): with an effective per-launch thread budget
+//! of 1, spinning up a worker pool is pure overhead — measured as a net
+//! slowdown on single-core hosts — so `sm_parallel_enabled()` must
+//! default OFF there. Explicit opt-ins (`CATT_SIM_SM_PARALLEL=on`,
+//! `GpuConfig::sm_parallel = Some(true)`) still win.
+//!
+//! These tests mutate process environment variables, so they live in
+//! their own integration binary and serialize on a mutex: `cargo test`
+//! runs test *binaries* in isolation but tests within one binary in
+//! parallel threads.
+
+use catt_sim::GpuConfig;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with `CATT_SIM_SM_PARALLEL` unset and `CATT_SIM_SM_THREADS`
+/// pinned to `threads`, restoring both afterwards.
+fn with_env(threads: Option<&str>, f: impl FnOnce()) {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let saved_parallel = std::env::var("CATT_SIM_SM_PARALLEL").ok();
+    let saved_threads = std::env::var("CATT_SIM_SM_THREADS").ok();
+    std::env::remove_var("CATT_SIM_SM_PARALLEL");
+    match threads {
+        Some(v) => std::env::set_var("CATT_SIM_SM_THREADS", v),
+        None => std::env::remove_var("CATT_SIM_SM_THREADS"),
+    }
+    f();
+    match saved_parallel {
+        Some(v) => std::env::set_var("CATT_SIM_SM_PARALLEL", v),
+        None => std::env::remove_var("CATT_SIM_SM_PARALLEL"),
+    }
+    match saved_threads {
+        Some(v) => std::env::set_var("CATT_SIM_SM_THREADS", v),
+        None => std::env::remove_var("CATT_SIM_SM_THREADS"),
+    }
+}
+
+#[test]
+fn budget_of_one_defaults_parallel_off() {
+    with_env(Some("1"), || {
+        let config = GpuConfig::titan_v_1sm();
+        assert_eq!(config.sm_thread_budget(), 1);
+        assert!(
+            !config.sm_parallel_enabled(),
+            "thread budget 1 must default the parallel-SM path off \
+             (worker-pool overhead with zero parallelism)"
+        );
+    });
+}
+
+#[test]
+fn budget_above_one_defaults_parallel_on() {
+    with_env(Some("4"), || {
+        let config = GpuConfig::titan_v_1sm();
+        assert_eq!(config.sm_thread_budget(), 4);
+        assert!(
+            config.sm_parallel_enabled(),
+            "a real thread budget keeps the parallel default on"
+        );
+    });
+}
+
+#[test]
+fn explicit_opt_in_beats_the_budget_heuristic() {
+    with_env(Some("1"), || {
+        let mut config = GpuConfig::titan_v_1sm();
+        config.sm_parallel = Some(true);
+        assert!(
+            config.sm_parallel_enabled(),
+            "GpuConfig::sm_parallel = Some(true) must win over the default"
+        );
+        config.sm_parallel = None;
+        std::env::set_var("CATT_SIM_SM_PARALLEL", "on");
+        assert!(
+            config.sm_parallel_enabled(),
+            "CATT_SIM_SM_PARALLEL=on must win over the default"
+        );
+        std::env::remove_var("CATT_SIM_SM_PARALLEL");
+    });
+}
+
+#[test]
+fn explicit_opt_out_still_wins_with_a_big_budget() {
+    with_env(Some("8"), || {
+        let mut config = GpuConfig::titan_v_1sm();
+        config.sm_parallel = Some(false);
+        assert!(!config.sm_parallel_enabled());
+    });
+}

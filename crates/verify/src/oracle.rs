@@ -136,6 +136,7 @@ pub fn classify(e: &SimError) -> String {
         SimError::MalformedProgram { .. } => "malformed-program".into(),
         SimError::Sanitizer(r) => format!("sanitizer: {}", r.kind.name()),
         SimError::Lower(_) => "lower-error".into(),
+        SimError::Cancelled { .. } => "cancelled".into(),
     }
 }
 

@@ -88,4 +88,30 @@ target/release/catt profile ATAX --trace-out "$PROFILE_TRACE" > /dev/null
     exit 1
 }
 
+echo "==> serve smoke: NDJSON daemon answers every line and drains clean"
+# A checked-in request batch (good submit, malformed line, unknown kernel,
+# zero grid, zero deadline, probes, shutdown) piped through the stdio
+# daemon under an armed chaos plan. The contract: one typed response per
+# request line, at least one success and one typed error, clean exit.
+SERVE_OUT="${SERVE_OUT:-target/serve-smoke-out.jsonl}"
+CATT_FAULT_PLAN="delay-job=2" CATT_SERVE_WORKERS=2 \
+    target/release/catt serve --stdio < scripts/serve-smoke.jsonl > "$SERVE_OUT"
+REQ_LINES=$(grep -c . scripts/serve-smoke.jsonl)
+RESP_LINES=$(grep -c . "$SERVE_OUT")
+if [ "$REQ_LINES" != "$RESP_LINES" ]; then
+    echo "error: catt serve answered $RESP_LINES of $REQ_LINES request lines" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+fi
+grep -q '"id":"ok-1","ok":true' "$SERVE_OUT" || {
+    echo "error: catt serve smoke: the valid submit did not succeed" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+}
+grep -q '"id":"bad-1","ok":false' "$SERVE_OUT" || {
+    echo "error: catt serve smoke: malformed line not answered as bad-request" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+}
+
 echo "==> all checks passed"

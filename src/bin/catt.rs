@@ -46,7 +46,9 @@ fn usage() -> ExitCode {
          [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--sm-parallel <on|off>] \
          [--args <spec,...>] [-o <out.cu>]\n\
          \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]\n\
-         \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]"
+         \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]\n\
+         \x20      catt serve [--stdio | --tcp <addr>]\n\
+         \x20      catt serve-bench [--clients N] [--requests N] [--transport inproc|tcp] [...]"
     );
     ExitCode::from(2)
 }
@@ -287,11 +289,55 @@ fn parse_launch(spec: &str) -> Option<(String, LaunchConfig)> {
     ))
 }
 
+/// `catt serve`: the multi-tenant compile-and-simulate daemon. NDJSON
+/// over stdio by default, or a TCP listener with `--tcp <addr>`. Tuning
+/// comes from the CATT_SERVE_* environment knobs (see EXPERIMENTS.md);
+/// the simcache mode from CATT_SIMCACHE (a directory enables the
+/// multi-writer-safe persistent cache).
+fn serve_main(args: &[String]) -> ExitCode {
+    use catt_repro::serve::front::{serve_stdio, serve_tcp};
+    use catt_repro::serve::{engine_from_env, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let mut tcp_addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stdio" => i += 1,
+            "--tcp" if i + 1 < args.len() => {
+                tcp_addr = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("catt serve: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    let server = Arc::new(Server::new(ServeConfig::from_env(), engine_from_env()));
+    match tcp_addr {
+        Some(addr) => {
+            if let Err(e) = serve_tcp(server, &addr) {
+                eprintln!("catt serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => serve_stdio(server),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    // `fuzz` has defaults for every flag, so it alone may appear bare.
-    if argv.first().map(String::as_str) == Some("fuzz") {
-        return fuzz_main(&argv[1..]);
+    // `fuzz`, `serve`, and `serve-bench` have defaults for every flag,
+    // so they may appear bare.
+    match argv.first().map(String::as_str) {
+        Some("fuzz") => return fuzz_main(&argv[1..]),
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("serve-bench") => {
+            return ExitCode::from(catt_repro::serve::bench::bench_main(&argv[1..]))
+        }
+        _ => {}
     }
     if argv.len() < 2 {
         return usage();

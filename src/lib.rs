@@ -19,7 +19,10 @@
 //!   (`catt-profile`; see `catt profile --help`);
 //! * [`verify`] — translation validation: differential kernel fuzzing of
 //!   the transforms, counterexample shrinking, and the replayable
-//!   regression corpus (`catt-verify`; see `catt fuzz`).
+//!   regression corpus (`catt-verify`; see `catt fuzz`);
+//! * [`serve`] — the overload-safe multi-tenant compile-and-simulate
+//!   daemon and its chaos-driven load harness (`catt-serve`; see
+//!   `catt serve` / `catt serve-bench`).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use catt_core as core;
 pub use catt_frontend as frontend;
 pub use catt_ir as ir;
 pub use catt_profile as profile;
+pub use catt_serve as serve;
 pub use catt_sim as sim;
 pub use catt_verify as verify;
 pub use catt_workloads as workloads;
