@@ -30,8 +30,9 @@
 //! `CATT_ENGINE_RETRIES` times. Each job's wall-clock time is compared
 //! against the optional `CATT_JOB_DEADLINE_MS` watchdog deadline and
 //! overruns are counted and reported. The persistent simcache is
-//! versioned and checksummed per line, rewritten atomically
-//! (tempfile-then-rename), and corrupt or stale lines are skipped with a
+//! versioned and checksummed per line, appended per insert under a
+//! cross-process lock, compacted atomically (tempfile-then-rename) on
+//! load repair and flush, and corrupt or stale lines are skipped with a
 //! reported count — never a crash. The [`crate::fault`] module can
 //! inject worker panics and cache corruption to exercise all of it.
 //!
@@ -245,9 +246,14 @@ enum CacheMode {
 /// closing brace, exclusive). Loads drop any line whose version, checksum,
 /// or fields don't check out — counting them in
 /// [`CacheCounters::skipped`] — and immediately rewrite a clean file.
-/// Writes rewrite the whole file to a tempfile and `rename` it into
-/// place, so a killed process can truncate at most a file that the next
-/// load repairs, never wedge it.
+/// Inserts *append* one line under the cross-process [`CacheLock`] — O(1)
+/// disk traffic per miss instead of rewriting the whole file — while the
+/// full merge-and-rewrite (tempfile then `rename`, disk map merged in
+/// first so another writer's lines survive) runs only on load repair and
+/// explicit flush. Duplicate keys from racing appenders are harmless:
+/// the store is content-addressed (identical key ⇒ identical stats) and
+/// loads keep the last occurrence. A killed process can truncate at most
+/// a final line that the next load repairs, never wedge the file.
 struct SimCache {
     mode: CacheMode,
     mem: Mutex<HashMap<u64, LaunchStats>>,
@@ -420,6 +426,40 @@ impl SimCache {
         }
     }
 
+    /// Append one just-inserted entry to the JSONL log. O(1) per insert
+    /// (the merge-and-rewrite path is reserved for load repair and
+    /// flush), done *outside* the `mem` lock, and serialized against
+    /// other writers' appends and rewrites by the same [`CacheLock`] —
+    /// an unlocked appender racing a tempfile-rename rewrite could land
+    /// its line on the doomed inode and lose an acknowledged entry.
+    fn append_line(&self, key: u64, stats: &LaunchStats) {
+        let CacheMode::Persistent(dir) = &self.mode else {
+            return;
+        };
+        let _ = fs::create_dir_all(dir);
+        let lock = CacheLock::acquire(dir);
+        if lock.is_none() {
+            eprintln!(
+                "[engine] warning: simcache lock under {} unavailable; appending unlocked",
+                dir.display()
+            );
+        }
+        let poison = *self.poisoned.lock().unwrap() == Some(key);
+        let mut line = Self::render_line(key, stats, poison);
+        line.push('\n');
+        let write = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(Self::FILE))
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = write {
+            eprintln!(
+                "[engine] warning: cannot append to simcache under {}: {e}",
+                dir.display()
+            );
+        }
+    }
+
     fn insert(&self, key: JobKey, stats: &LaunchStats) {
         match &self.mode {
             CacheMode::Off => {}
@@ -431,7 +471,7 @@ impl SimCache {
                 if self.corrupt_armed.swap(false, Ordering::Relaxed) {
                     *self.poisoned.lock().unwrap() = Some(key.0);
                 }
-                self.persist();
+                self.append_line(key.0, stats);
             }
         }
     }
@@ -552,11 +592,24 @@ pub struct Engine {
     inflight: Mutex<HashMap<u64, Arc<InflightSlot>>>,
 }
 
-/// One in-flight simulation: the leader publishes its result here and
+/// One in-flight simulation: the leader publishes into `state` and
 /// notifies; followers wait (bounded by their own deadline).
 struct InflightSlot {
-    done: Mutex<Option<Result<LaunchStats, JobError>>>,
+    state: Mutex<SlotState>,
     cv: Condvar,
+}
+
+/// Lifecycle of an [`InflightSlot`].
+enum SlotState {
+    /// The leader is still computing.
+    Pending,
+    /// Terminal result, shared with every follower.
+    Done(Result<LaunchStats, JobError>),
+    /// The leader was cancelled — a fact about *its* deadline or drain
+    /// token, not about the job. Followers re-contend (one becomes the
+    /// new leader) instead of inheriting a cancellation that isn't
+    /// theirs.
+    Retired,
 }
 
 impl Default for Engine {
@@ -634,7 +687,8 @@ impl Engine {
     }
 
     /// Engine whose cache persists as JSONL under `dir` (loaded eagerly,
-    /// rewritten atomically on every miss).
+    /// one checksummed line appended per miss, compacted atomically on
+    /// load repair and [`Engine::flush_cache`]).
     pub fn persistent(dir: impl Into<PathBuf>) -> Engine {
         Self::build(Self::default_workers(), CacheMode::Persistent(dir.into()))
     }
@@ -928,6 +982,12 @@ impl Engine {
     ///   interrupted here (its own `GpuConfig::cancel` token bounds the
     ///   simulation); a follower whose deadline passes gets a fatal
     ///   `JobError` with code `"deadline"`.
+    /// * A **cancelled leader retires the slot** instead of publishing:
+    ///   its cancellation reflects its own deadline (or a drain), not the
+    ///   job, so followers with unexpired deadlines re-contend — one
+    ///   becomes the new leader and simulates under its own token —
+    ///   rather than receiving a spurious cancellation for work that was
+    ///   never attempted on their behalf.
     /// * Fault injection (`delay-job`, `panic-job`) applies to the leader's
     ///   compute, mirroring [`Engine::run_jobs`] workers.
     ///
@@ -967,68 +1027,94 @@ impl Engine {
             });
         }
         let key = job_digest(scope, kernels, launches, config)?;
-        // Decide leader vs. follower under the inflight lock. The cache
-        // check lives inside the critical section: a leader inserts into
-        // the cache *before* removing its inflight entry, so "no entry"
-        // here implies any earlier leader's result is already visible.
-        let role = {
-            let mut map = self.inflight.lock().unwrap();
-            if let Some(slot) = map.get(&key.0) {
-                Err(Arc::clone(slot))
-            } else if let Some(stats) = self.cache.lookup(key) {
-                return Ok(SimOutcome {
-                    stats,
-                    source: SimSource::CacheHit,
-                });
-            } else {
-                let slot = Arc::new(InflightSlot {
-                    done: Mutex::new(None),
-                    cv: Condvar::new(),
-                });
-                map.insert(key.0, Arc::clone(&slot));
-                Ok(slot)
-            }
-        };
-        match role {
-            Ok(slot) => {
-                // Leader: simulate, cache on success, publish
-                // unconditionally (followers must never hang), then
-                // retire the slot.
-                let result = injected(compute);
-                if let Ok(stats) = &result {
-                    self.cache.insert(key, stats);
+        // A request leads at most once (the leader branch returns), but a
+        // follower can re-contend after a retired slot — hence the loop
+        // and the Option around the one-shot compute closure.
+        let mut compute = Some(compute);
+        loop {
+            // Decide leader vs. follower under the inflight lock. The
+            // cache check lives inside the critical section: a leader
+            // inserts into the cache *before* removing its inflight
+            // entry, so "no entry" here implies any earlier leader's
+            // result is already visible.
+            let role = {
+                let mut map = self.inflight.lock().unwrap();
+                if let Some(slot) = map.get(&key.0) {
+                    Err(Arc::clone(slot))
+                } else if let Some(stats) = self.cache.lookup(key) {
+                    return Ok(SimOutcome {
+                        stats,
+                        source: SimSource::CacheHit,
+                    });
+                } else {
+                    let slot = Arc::new(InflightSlot {
+                        state: Mutex::new(SlotState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key.0, Arc::clone(&slot));
+                    Ok(slot)
                 }
-                *slot.done.lock().unwrap() = Some(result.clone());
-                slot.cv.notify_all();
-                self.inflight.lock().unwrap().remove(&key.0);
-                result.map(|stats| SimOutcome {
-                    stats,
-                    source: SimSource::Computed,
-                })
-            }
-            Err(slot) => {
-                self.cache.coalesced.fetch_add(1, Ordering::Relaxed);
-                let mut done = slot.done.lock().unwrap();
-                loop {
-                    if let Some(result) = done.clone() {
-                        return result.map(|stats| SimOutcome {
-                            stats,
-                            source: SimSource::Coalesced,
-                        });
+            };
+            match role {
+                Ok(slot) => {
+                    // Leader: simulate, cache on success, publish
+                    // unconditionally (followers must never hang), then
+                    // retire the slot.
+                    let result = injected(compute.take().expect("a request leads at most once"));
+                    if let Ok(stats) = &result {
+                        self.cache.insert(key, stats);
                     }
-                    match wait_deadline {
-                        None => done = slot.cv.wait(done).unwrap(),
-                        Some(deadline) => {
-                            let now = Instant::now();
-                            if now >= deadline {
-                                return Err(JobError::fatal(
-                                    scope,
-                                    "deadline passed while waiting on an identical                                      in-flight simulation",
-                                )
-                                .with_code("deadline"));
+                    if matches!(&result, Err(e) if e.code == Some("cancelled")) {
+                        // Cancelled leader: no verdict about the job, so
+                        // nothing to publish. Remove the map entry first
+                        // (re-contending followers must find a fresh
+                        // leader or an empty slot, never this retired
+                        // one), then wake the waiters to re-contend.
+                        self.inflight.lock().unwrap().remove(&key.0);
+                        *slot.state.lock().unwrap() = SlotState::Retired;
+                        slot.cv.notify_all();
+                    } else {
+                        *slot.state.lock().unwrap() = SlotState::Done(result.clone());
+                        slot.cv.notify_all();
+                        self.inflight.lock().unwrap().remove(&key.0);
+                    }
+                    return result.map(|stats| SimOutcome {
+                        stats,
+                        source: SimSource::Computed,
+                    });
+                }
+                Err(slot) => {
+                    let mut state = slot.state.lock().unwrap();
+                    loop {
+                        match &*state {
+                            SlotState::Done(result) => {
+                                self.cache.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return result.clone().map(|stats| SimOutcome {
+                                    stats,
+                                    source: SimSource::Coalesced,
+                                });
                             }
-                            let (guard, _) = slot.cv.wait_timeout(done, deadline - now).unwrap();
-                            done = guard;
+                            // Leader cancelled: drop the slot lock and
+                            // re-contend from the top.
+                            SlotState::Retired => break,
+                            SlotState::Pending => {}
+                        }
+                        match wait_deadline {
+                            None => state = slot.cv.wait(state).unwrap(),
+                            Some(deadline) => {
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    return Err(JobError::fatal(
+                                        scope,
+                                        "deadline passed while waiting on an identical \
+                                         in-flight simulation",
+                                    )
+                                    .with_code("deadline"));
+                                }
+                                let (guard, _) =
+                                    slot.cv.wait_timeout(state, deadline - now).unwrap();
+                                state = guard;
+                            }
                         }
                     }
                 }

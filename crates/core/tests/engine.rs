@@ -248,3 +248,73 @@ fn persistent_cache_round_trips_across_engines() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A cancelled single-flight leader must not publish its cancellation to
+/// coalesced followers: it retires the slot, a waiting follower
+/// re-contends, becomes the new leader, and computes under its own token
+/// — no spurious deadline-exceeded for work never attempted on its
+/// behalf.
+#[test]
+fn cancelled_leader_retires_slot_and_follower_recontends() {
+    use catt_core::engine::{JobError, SimSource};
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    let engine = Engine::new();
+    let kernel = mv_kernel();
+    let launch = LaunchConfig::d1(1, 256);
+    let cfg = contended_config();
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+
+    std::thread::scope(|scope| {
+        // Leader: signals once it is computing, then blocks until the
+        // test releases it — and reports itself cancelled (the shape of
+        // a deadline/drain token firing mid-simulation).
+        let (engine_ref, kernel_ref, cfg_ref) = (&engine, &kernel, &cfg);
+        let leader = scope.spawn(move || {
+            engine_ref.sim_app_shared(
+                "retire",
+                std::slice::from_ref(kernel_ref),
+                &[launch],
+                cfg_ref,
+                None,
+                move || {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    Err(JobError::fatal("retire", "cancelled by its own deadline")
+                        .with_code("cancelled"))
+                },
+            )
+        });
+        started_rx.recv().unwrap();
+        // Follower: same digest, generous deadline of its own.
+        let follower = scope.spawn(|| {
+            engine.sim_app_shared(
+                "retire",
+                std::slice::from_ref(&kernel),
+                &[launch],
+                &cfg,
+                Some(Instant::now() + Duration::from_secs(60)),
+                || Ok(simulate(std::slice::from_ref(&kernel), launch, &cfg)),
+            )
+        });
+        // Give the follower a moment to park on the leader's slot, then
+        // cancel the leader. (If it has not parked yet it simply finds
+        // the retired slot gone and leads directly — same outcome.)
+        std::thread::sleep(Duration::from_millis(50));
+        release_tx.send(()).unwrap();
+
+        let leader_result = leader.join().unwrap();
+        assert_eq!(
+            leader_result.unwrap_err().code,
+            Some("cancelled"),
+            "the leader keeps its own cancellation"
+        );
+        let follower_result = follower.join().unwrap().expect(
+            "the follower must re-contend and compute, not inherit the leader's cancellation",
+        );
+        assert_eq!(follower_result.source, SimSource::Computed);
+        assert!(follower_result.stats.cycles > 0);
+    });
+}

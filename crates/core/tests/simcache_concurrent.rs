@@ -1,11 +1,12 @@
 //! Multi-writer hardening for the persistent simcache (DESIGN.md
-//! "Evaluation engine": the JSONL store is rewrite-on-persist, so two
-//! engines sharing one directory — two `catt serve` workers, a bench and
-//! a daemon — must not lose each other's acknowledged lines). The cross-
-//! process `cache.jsonl.lock` protocol plus merge-before-rewrite makes
-//! the union conflict-free; this suite drives two independent `Engine`
-//! instances (separate in-memory maps, so only the file protocol can
-//! save them) from racing threads and checks nothing is lost or corrupt.
+//! "Evaluation engine": two engines sharing one directory — two `catt
+//! serve` workers, a bench and a daemon — must not lose each other's
+//! acknowledged lines). Inserts append one checksummed line and flushes
+//! merge-then-rewrite, both under the cross-process `cache.jsonl.lock`,
+//! making the content-addressed union conflict-free; this suite drives
+//! two independent `Engine` instances (separate in-memory maps, so only
+//! the file protocol can save them) from racing threads and checks
+//! nothing is lost or corrupt.
 
 use catt_core::engine::Engine;
 use catt_frontend::parse_kernel;

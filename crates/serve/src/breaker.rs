@@ -47,29 +47,51 @@ impl Breaker {
         }
     }
 
-    /// Current state (advancing Open → HalfOpen is done by [`Breaker::admit`],
-    /// not here — observation must not consume the probe slot).
+    /// Current state (advancing Open → HalfOpen is done by
+    /// [`Breaker::commit`], not here — observation must not consume the
+    /// probe slot).
     pub fn state(&self) -> BreakerState {
         self.state
     }
 
     /// May a request from this tenant proceed at `now_ms`? `Err` carries
-    /// the suggested retry-after in milliseconds. An expired cooldown
-    /// admits exactly one probe (transitioning to half-open); further
-    /// requests are rejected until the probe reports back.
-    pub fn admit(&mut self, now_ms: u64) -> Result<(), u64> {
+    /// the suggested retry-after in milliseconds. Non-consuming: an
+    /// expired cooldown answers `Ok` for the would-be probe but the
+    /// half-open slot is only taken by [`Breaker::commit`] — a request
+    /// that passes this check and is then shed by a later admission gate
+    /// (quota, queue depth) must not leak the probe, or the breaker
+    /// would wedge half-open with no probe ever reporting back.
+    pub fn check(&self, now_ms: u64) -> Result<(), u64> {
         match self.state {
             BreakerState::Closed => Ok(()),
             BreakerState::HalfOpen => Err(self.cooldown_ms),
             BreakerState::Open => {
                 if now_ms >= self.reopen_at_ms {
-                    self.state = BreakerState::HalfOpen;
                     Ok(())
                 } else {
                     Err(self.reopen_at_ms - now_ms)
                 }
             }
         }
+    }
+
+    /// Consume the half-open probe slot for a request that passed
+    /// [`Breaker::check`] *and* every later admission gate — i.e. it is
+    /// actually going to run, so [`Breaker::on_success`] or
+    /// [`Breaker::on_fatal`] will eventually report back. A no-op unless
+    /// the breaker is open with its cooldown expired.
+    pub fn commit(&mut self, now_ms: u64) {
+        if self.state == BreakerState::Open && now_ms >= self.reopen_at_ms {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    /// [`Breaker::check`] + [`Breaker::commit`] in one step, for callers
+    /// with no admission gates between the check and the enqueue.
+    pub fn admit(&mut self, now_ms: u64) -> Result<(), u64> {
+        self.check(now_ms)?;
+        self.commit(now_ms);
+        Ok(())
     }
 
     /// A request completed without a fatal simulation fault (typed
@@ -135,6 +157,22 @@ mod tests {
         b.on_success();
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.admit(100), Ok(()));
+    }
+
+    #[test]
+    fn checked_but_uncommitted_probe_is_not_consumed() {
+        let mut b = Breaker::new(1, 100);
+        b.on_fatal(0);
+        // Cooldown expired: the check passes, but the request is shed by
+        // a later admission gate, so commit never runs — the breaker
+        // stays open and the probe slot survives for the next request.
+        assert_eq!(b.check(100), Ok(()));
+        assert_eq!(b.check(100), Ok(()));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The next request takes the probe for real.
+        assert_eq!(b.admit(100), Ok(()));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.check(100).is_err());
     }
 
     #[test]

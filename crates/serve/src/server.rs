@@ -8,9 +8,14 @@
 //! line ──parse──▶ admission ──▶ fair queue ──▶ worker ──▶ response
 //!                  │ drain?  ──▶ overloaded (draining)
 //!                  │ breaker ──▶ circuit-open (+retry-after)
-//!                  │ quota   ──▶ quota-exhausted (+retry-after)
 //!                  │ depth   ──▶ overloaded (+retry-after)
+//!                  │ quota   ──▶ quota-exhausted (+retry-after)
 //! ```
+//!
+//! Gate order matters: the breaker is *checked* first (an open breaker
+//! must not charge quota) but its half-open probe slot is only
+//! *committed* after every other gate passes, and depth precedes quota so
+//! a shed-as-overloaded submission never drains the tenant's bucket.
 //!
 //! Every admitted request terminates in exactly one typed response: the
 //! worker answers expired jobs without simulating, the deadline reaper
@@ -302,9 +307,12 @@ impl Server {
         }
     }
 
-    /// Admission control: drain gate, circuit breaker, quota, queue
-    /// depth — in that order — then weighted-fair enqueue. Rejections
-    /// reply immediately; admissions reply from a worker later.
+    /// Admission control: drain gate, circuit breaker, queue depth,
+    /// quota — in that order — then weighted-fair enqueue. Rejections
+    /// reply immediately; admissions reply from a worker later. The
+    /// breaker's half-open probe slot is consumed only once the request
+    /// is actually enqueued, so a probe shed by the depth or quota gate
+    /// cannot wedge the breaker half-open with no probe in flight.
     pub fn submit(&self, id: String, req: SubmitRequest, reply: mpsc::Sender<Response>) {
         let c = &self.inner.counters;
         if self.inner.draining.load(Ordering::SeqCst) {
@@ -321,12 +329,14 @@ impl Server {
         let cost = fuel_cost(&req);
         let cfg = &self.inner.config;
         let mut st = self.inner.state.lock().unwrap();
-        // Breaker first: an open breaker must not charge quota.
+        // Breaker first (check only: an open breaker must not charge
+        // quota, and the half-open probe slot is committed below, after
+        // every other gate passes).
         let breaker = st
             .breakers
             .entry(req.tenant.clone())
             .or_insert_with(|| Breaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms));
-        if let Err(retry_ms) = breaker.admit(now_ms) {
+        if let Err(retry_ms) = breaker.check(now_ms) {
             drop(st);
             c.shed_breaker.fetch_add(1, Ordering::Relaxed);
             let _ = reply.send(Response::Error(ErrorBody {
@@ -337,6 +347,23 @@ impl Server {
                     req.tenant
                 ),
                 retry_after_ms: Some(retry_ms),
+            }));
+            return;
+        }
+        // Depth before quota: a submission the server never accepts must
+        // not drain the tenant's bucket, or sustained overload would
+        // follow up with spurious quota-exhausted once the backlog clears.
+        if st.queue.len() >= cfg.queue_high_water {
+            drop(st);
+            c.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+            // Retry-after scales with backlog per worker — honest
+            // backpressure instead of a constant.
+            let per_worker = cfg.queue_high_water / cfg.workers.max(1);
+            let _ = reply.send(Response::Error(ErrorBody {
+                id,
+                kind: ErrorKind::Overloaded,
+                message: format!("admission queue full ({} queued)", cfg.queue_high_water),
+                retry_after_ms: Some((10 * per_worker.max(1) as u64).min(5_000)),
             }));
             return;
         }
@@ -358,19 +385,10 @@ impl Server {
             }));
             return;
         }
-        if st.queue.len() >= cfg.queue_high_water {
-            drop(st);
-            c.shed_overloaded.fetch_add(1, Ordering::Relaxed);
-            // Retry-after scales with backlog per worker — honest
-            // backpressure instead of a constant.
-            let per_worker = cfg.queue_high_water / cfg.workers.max(1);
-            let _ = reply.send(Response::Error(ErrorBody {
-                id,
-                kind: ErrorKind::Overloaded,
-                message: format!("admission queue full ({} queued)", cfg.queue_high_water),
-                retry_after_ms: Some((10 * per_worker.max(1) as u64).min(5_000)),
-            }));
-            return;
+        // All gates passed — the request will run and report back, so the
+        // half-open probe slot (if any) can safely be consumed now.
+        if let Some(b) = st.breakers.get_mut(&req.tenant) {
+            b.commit(now_ms);
         }
         let deadline_ms = req
             .deadline_ms

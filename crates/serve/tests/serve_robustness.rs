@@ -223,6 +223,111 @@ fn quota_exhaustion_sheds_with_retry_after() {
     server.drain();
 }
 
+/// An overload shed must not charge the tenant's quota: a submission the
+/// server never accepted is free, so once the backlog clears the tenant
+/// still has the fuel the shed request would have cost.
+#[test]
+fn overload_shed_does_not_charge_quota() {
+    let probe = req("ot", &kernel(20), Some(20_000));
+    let cost = fuel_cost(&probe);
+    let server = server_with(
+        ServeConfig {
+            workers: 1,
+            queue_high_water: 1,
+            // Exactly three requests' worth of fuel, negligible refill:
+            // r1 + r2 admitted (2×cost charged), r3 shed as overloaded
+            // (must charge nothing), r4 must still fit the bucket.
+            quota_burst: 3 * cost,
+            quota_rate: 1,
+            ..base_config()
+        },
+        "delay-job=100",
+    );
+    let (tx1, rx1) = mpsc::channel();
+    server.submit("r1".into(), req("ot", &kernel(20), Some(20_000)), tx1);
+    // Let the worker pick r1 up so r2 queues and r3 overflows.
+    std::thread::sleep(Duration::from_millis(40));
+    let (tx2, rx2) = mpsc::channel();
+    server.submit("r2".into(), req("ot", &kernel(21), Some(20_000)), tx2);
+    let (tx3, rx3) = mpsc::channel();
+    server.submit("r3".into(), req("ot", &kernel(22), Some(20_000)), tx3);
+    assert_eq!(
+        error_kind(&recv(&rx3, "overflow request")),
+        Some(ErrorKind::Overloaded),
+        "r3 must shed at the full queue"
+    );
+    // Drain the backlog, then spend the third request's worth of fuel.
+    assert!(matches!(recv(&rx1, "r1"), Response::Result(_)));
+    assert!(matches!(recv(&rx2, "r2"), Response::Result(_)));
+    let (tx4, rx4) = mpsc::channel();
+    server.submit("r4".into(), req("ot", &kernel(23), Some(20_000)), tx4);
+    let fourth = recv(&rx4, "post-overload request");
+    assert!(
+        matches!(fourth, Response::Result(_)),
+        "the overloaded shed must not have drained the bucket, got {fourth:?}"
+    );
+    server.drain();
+}
+
+/// A half-open probe that is shed by a later admission gate (queue full)
+/// must not consume the probe slot: the breaker stays open and the next
+/// submission after the backlog clears still gets the probe — it is never
+/// wedged half-open with no probe in flight.
+#[test]
+fn shed_probe_does_not_wedge_the_breaker() {
+    let server = server_with(
+        ServeConfig {
+            workers: 1,
+            queue_high_water: 1,
+            breaker_threshold: 1,
+            breaker_cooldown_ms: 100,
+            ..base_config()
+        },
+        // Job 0 (the breaker-tenant's first request) panics; every job is
+        // slow enough to observe queue overflow deterministically.
+        "panic-job=0,delay-job=100",
+    );
+    // Trip the breaker with one fault.
+    let (tx, rx) = mpsc::channel();
+    server.submit("f1".into(), req("bt", &kernel(30), Some(20_000)), tx);
+    assert_eq!(
+        error_kind(&recv(&rx, "injected fault")),
+        Some(ErrorKind::Fault)
+    );
+    let (tx, rx) = mpsc::channel();
+    server.submit("f2".into(), req("bt", &kernel(31), Some(20_000)), tx);
+    assert_eq!(
+        error_kind(&recv(&rx, "open-breaker submission")),
+        Some(ErrorKind::CircuitOpen)
+    );
+    // Cooldown expires; fill the queue from another tenant so the probe
+    // is shed by the depth gate.
+    std::thread::sleep(Duration::from_millis(150));
+    let (tx_b1, rx_b1) = mpsc::channel();
+    server.submit("b1".into(), req("other", &kernel(32), Some(20_000)), tx_b1);
+    std::thread::sleep(Duration::from_millis(40));
+    let (tx_b2, rx_b2) = mpsc::channel();
+    server.submit("b2".into(), req("other", &kernel(33), Some(20_000)), tx_b2);
+    let (tx, rx) = mpsc::channel();
+    server.submit("probe1".into(), req("bt", &kernel(34), Some(20_000)), tx);
+    assert_eq!(
+        error_kind(&recv(&rx, "probe into a full queue")),
+        Some(ErrorKind::Overloaded),
+        "the probe past its cooldown reaches the depth gate, not circuit-open"
+    );
+    // Backlog clears; the probe slot must still be available.
+    assert!(matches!(recv(&rx_b1, "blocker b1"), Response::Result(_)));
+    assert!(matches!(recv(&rx_b2, "blocker b2"), Response::Result(_)));
+    let (tx, rx) = mpsc::channel();
+    server.submit("probe2".into(), req("bt", &kernel(35), Some(20_000)), tx);
+    let resp = recv(&rx, "retried probe");
+    assert!(
+        matches!(resp, Response::Result(_)),
+        "the shed probe must not have consumed the half-open slot, got {resp:?}"
+    );
+    server.drain();
+}
+
 /// Identical submissions from different tenants coalesce onto one
 /// simulation (single-flight) or hit its cached result — exactly one
 /// actually computes.
