@@ -114,7 +114,8 @@ fn main() {
         eprintln!(
             "bench_summary: warning: host parallelism is 1 — sequential and parallel \
              mode run the same code on one core, so the speedup columns are pure \
-             measurement noise (emitting \"speedup_valid\": false)"
+             measurement noise (emitting \"speedup_valid\": false); skipping the \
+             redundant parallel-mode sampling pass (par_ms = seq_ms)"
         );
     }
 
@@ -156,20 +157,30 @@ fn main() {
         );
         // Interleave: every sample round times each mode once, so drift
         // over the measurement window hits all modes alike instead of
-        // only the modes measured last.
+        // only the modes measured last. On a 1-core host the parallel
+        // mode runs the same code as the sequential one (thread budget
+        // clamps to 1), so its sampling pass is skipped entirely — the
+        // warm-up above still checks cross-mode cycle equality — and
+        // `par_ms` aliases `seq_ms`.
+        let sampled: &[usize] = if speedup_valid { &[0, 1, 2] } else { &[0, 2] };
         let mut wall: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for _ in 0..samples {
-            for (m, cfg) in cfgs.iter().enumerate() {
+            for &m in sampled {
                 let t0 = Instant::now();
-                let stats = (w.run)(&kernels, cfg, false);
+                let stats = (w.run)(&kernels, &cfgs[m], false);
                 wall[m].push(t0.elapsed().as_secs_f64() * 1e3);
                 assert_eq!(stats.cycles, warm[0], "{}: non-deterministic", w.abbrev);
             }
         }
+        let seq_ms = median_f64(&mut wall[0]);
         let row = AppRow {
             abbrev: w.abbrev,
-            seq_ms: median_f64(&mut wall[0]),
-            par_ms: median_f64(&mut wall[1]),
+            seq_ms,
+            par_ms: if speedup_valid {
+                median_f64(&mut wall[1])
+            } else {
+                seq_ms
+            },
             prof_ms: median_f64(&mut wall[2]),
             sim_cycles: warm[0],
         };

@@ -8,6 +8,8 @@ use catt_workloads::micro;
 fn main() {
     let mut config = GpuConfig::titan_v_1sm();
     config.l1_cap_bytes = Some(32 * 1024);
+    // Fig. 3 isolates L1 contention; a warm L2 would flatten the U-shape.
+    config.l2_kb = Some(0);
     let tlps = [1u32, 2, 4, 8, 16, 32];
 
     println!("Fig. 3: execution time (cycles) vs TLP, fixed total work");

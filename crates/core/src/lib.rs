@@ -34,6 +34,7 @@ pub mod fault;
 pub mod multiversion;
 pub mod occupancy;
 pub mod pipeline;
+pub mod swizzle;
 pub mod transform;
 
 pub use analysis::{
@@ -45,6 +46,7 @@ pub use fault::FaultPlan;
 pub use multiversion::MultiVersioned;
 pub use occupancy::L1SmemPlan;
 pub use pipeline::{CompiledApp, CompiledKernel, Pipeline};
+pub use swizzle::{cta_swizzle, swizzle_map, SwizzlePolicy};
 pub use transform::{
     eligible_loops, eligible_loops_for, guard_block_uniform, tb_throttle, warp_throttle,
 };

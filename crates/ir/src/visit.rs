@@ -66,6 +66,35 @@ pub fn walk_exprs_in_stmts<F: FnMut(&Expr)>(stmts: &[Stmt], f: &mut F) {
     });
 }
 
+/// Mutable counterpart of [`walk_exprs_in_stmts`]: call `f` on every
+/// expression appearing in a statement (including lvalue indices),
+/// recursing into sub-statements and sub-expressions. Pre-order, so `f`
+/// sees a node before its (possibly rewritten) children.
+pub fn walk_exprs_in_stmts_mut<F: FnMut(&mut Expr)>(stmts: &mut [Stmt], f: &mut F) {
+    walk_stmts_mut(stmts, &mut |s| {
+        match s {
+            Stmt::DeclScalar { init: Some(e), .. } => walk_expr_mut(e, f),
+            Stmt::Assign { lhs, rhs, .. } => {
+                if let LValue::Elem(_, idx) = lhs {
+                    walk_expr_mut(idx, f);
+                }
+                walk_expr_mut(rhs, f);
+            }
+            Stmt::If { cond, .. } => walk_expr_mut(cond, f),
+            Stmt::For {
+                init, bound, step, ..
+            } => {
+                walk_expr_mut(init, f);
+                walk_expr_mut(bound, f);
+                walk_expr_mut(step, f);
+            }
+            Stmt::While { cond, .. } => walk_expr_mut(cond, f),
+            Stmt::ExprStmt(e) => walk_expr_mut(e, f),
+            _ => {}
+        };
+    });
+}
+
 /// Call `f` on `e` and every sub-expression, pre-order.
 pub fn walk_expr<F: FnMut(&Expr)>(e: &Expr, f: &mut F) {
     f(e);
@@ -83,6 +112,31 @@ pub fn walk_expr<F: FnMut(&Expr)>(e: &Expr, f: &mut F) {
         Expr::Call(_, args) => {
             for a in args {
                 walk_expr(a, f);
+            }
+        }
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
+    }
+}
+
+/// Mutable pre-order walk over `e` and every sub-expression. `f` runs on
+/// a node before its children, so a rewrite that replaces a node entirely
+/// (e.g. builtin → variable) is not re-entered through the old children.
+pub fn walk_expr_mut<F: FnMut(&mut Expr)>(e: &mut Expr, f: &mut F) {
+    f(e);
+    match e {
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Index(_, a) => walk_expr_mut(a, f),
+        Expr::Binary(_, a, b) => {
+            walk_expr_mut(a, f);
+            walk_expr_mut(b, f);
+        }
+        Expr::Select(c, a, b) => {
+            walk_expr_mut(c, f);
+            walk_expr_mut(a, f);
+            walk_expr_mut(b, f);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                walk_expr_mut(a, f);
             }
         }
         Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Builtin(_) => {}
@@ -217,6 +271,29 @@ mod tests {
         assert!(names.contains(&("A", false)));
         assert!(names.contains(&("B", false)));
         assert_eq!(acc.len(), 4);
+    }
+
+    #[test]
+    fn mut_walk_rewrites_everywhere_exprs_appear() {
+        use crate::expr::Builtin;
+        // if (blockIdx.x < 4) { out[blockIdx.x] = blockIdx.x; }
+        let bx = Expr::Builtin(Builtin::BlockIdxX);
+        let mut stmts = vec![Stmt::if_then(
+            bx.clone().lt(Expr::int(4)),
+            vec![Stmt::store("out", bx.clone(), bx)],
+        )];
+        walk_exprs_in_stmts_mut(&mut stmts, &mut |e| {
+            if matches!(e, Expr::Builtin(Builtin::BlockIdxX)) {
+                *e = Expr::var("bx");
+            }
+        });
+        let mut seen = 0;
+        walk_exprs_in_stmts(&stmts, &mut |e| match e {
+            Expr::Builtin(Builtin::BlockIdxX) => panic!("builtin survived the rewrite"),
+            Expr::Var(n) if n == "bx" => seen += 1,
+            _ => {}
+        });
+        assert_eq!(seen, 3, "condition, lvalue index, and rhs all rewritten");
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub fn check_against_stats(profiles: &[LaunchProfile], stats: &LaunchStats) -> R
     let mut misses_and_stores = 0u64;
     let mut instructions = 0u64;
     let mut cycles = 0u64;
+    let mut l2_accesses = 0u64;
+    let mut l2_hits = 0u64;
+    let mut l2_evictions = 0u64;
     for p in profiles {
         check_invariants(p)?;
         for t in p.set_totals() {
@@ -93,6 +96,11 @@ pub fn check_against_stats(profiles: &[LaunchProfile], stats: &LaunchStats) -> R
         // A launch's cycle count is the max over its SMs (they run
         // concurrently); accumulated stats sum the launches.
         cycles += p.sms.iter().map(|s| s.cycles).max().unwrap_or(0);
+        for sm in &p.sms {
+            l2_accesses += sm.l2_accesses;
+            l2_hits += sm.l2_hits;
+            l2_evictions += sm.l2_evictions;
+        }
     }
     let checks = [
         ("l1_accesses", accesses, stats.l1_accesses),
@@ -104,6 +112,9 @@ pub fn check_against_stats(profiles: &[LaunchProfile], stats: &LaunchStats) -> R
         ),
         ("instructions", instructions, stats.instructions),
         ("cycles", cycles, stats.cycles),
+        ("l2_accesses", l2_accesses, stats.l2_accesses),
+        ("l2_hits", l2_hits, stats.l2_hits),
+        ("l2_evictions", l2_evictions, stats.l2_evictions),
     ];
     for (name, profiled, reported) in checks {
         if profiled != reported {

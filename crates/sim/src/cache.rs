@@ -58,6 +58,9 @@ pub struct L1Cache {
     pub mshr_merges: u64,
     /// Off-chip (L2/DRAM) requests generated, loads + stores.
     pub offchip_requests: u64,
+    /// Valid resident lines displaced by fills (capacity/conflict
+    /// pressure; cold fills into invalid ways do not count).
+    pub evictions: u64,
 }
 
 impl L1Cache {
@@ -82,6 +85,7 @@ impl L1Cache {
             hits: 0,
             mshr_merges: 0,
             offchip_requests: 0,
+            evictions: 0,
         }
     }
 
@@ -175,6 +179,7 @@ impl L1Cache {
                         .expect("assoc >= 1 ways per set");
                     *lru = new_line;
                     evicted = true;
+                    self.evictions += 1;
                 }
             }
             AccessResult {

@@ -79,9 +79,15 @@ pub struct Latencies {
     pub sfu: u64,
     /// L1D hit latency.
     pub l1_hit: u64,
-    /// L1D miss service latency (L2 hit; we fold L2/DRAM into one
-    /// off-chip latency — the contention effect comes from the miss *rate*
-    /// and the off-chip bandwidth limit, not the precise split).
+    /// L2 hit latency: an L1D miss that the shared L2 slice serves
+    /// (see [`GpuConfig::l2_kb`]). ~193 cycles on Volta per the
+    /// Citadel microbenchmark paper; we round to 180 SM cycles.
+    pub l2_hit: u64,
+    /// DRAM service latency for an L1D miss that also misses the L2
+    /// (with `l2_kb = 0` the L2 is disabled and every L1D miss pays
+    /// this, which reproduces the pre-L2 model bit-for-bit — the
+    /// contention effect comes from the miss *rate* and the off-chip
+    /// bandwidth limit, not the precise latency split).
     pub offchip: u64,
     /// Shared-memory access latency.
     pub shared: u64,
@@ -100,6 +106,7 @@ impl Default for Latencies {
             alu: 4,
             sfu: 16,
             l1_hit: 28,
+            l2_hit: 180,
             offchip: 380,
             shared: 24,
             offchip_port: 8,
@@ -135,6 +142,19 @@ pub struct GpuConfig {
     pub l1_line_bytes: u32,
     /// L1D associativity.
     pub l1_assoc: u32,
+    /// Total shared L2 capacity in KB, modeled as per-SM slices of
+    /// `l2_kb × 1024 / num_sms` bytes sitting between each SM's L1D and
+    /// DRAM (set-associative, [`L2_ASSOC`]-way, L1-line-sized lines,
+    /// MSHR-merged misses). Slicing keeps every SM's timing state
+    /// private, which is what preserves the parallel-/sequential-SM
+    /// bit-identity guarantee — cross-SM sharing of one L2 image is a
+    /// documented substitution (DESIGN.md §3h). `Some(0)` disables the
+    /// L2 entirely (bit-identical to the pre-L2 model); `None` follows
+    /// the `CATT_L2_KB` environment variable, then the Volta-like
+    /// default [`L2_DEFAULT_KB`]. Unlike the execution-strategy knobs,
+    /// the resolved capacity is *architectural* and is canonicalized
+    /// into [`GpuConfig::content_digest`].
+    pub l2_kb: Option<u32>,
     /// Latency model.
     pub latencies: Latencies,
     /// Record the per-instruction off-chip request trace (paper Fig. 2).
@@ -186,6 +206,17 @@ pub struct GpuConfig {
     /// runs bypass the simulation cache so the profile is always produced
     /// by a real run (see `catt_core::engine`).
     pub profile: Option<bool>,
+    /// Record the windowed miss curve ([`crate::profile::MissWindow`])
+    /// inside profiled launches. The per-window bookkeeping is the
+    /// single most expensive part of the profiling sink (BENCH_sim.json:
+    /// 1.74× geomean profiled-run overhead, 2.6× on GSMV), and the
+    /// autotuner only needs the aggregate stall/L1/L2 counters, so
+    /// window recording is opt-in. `None` follows the
+    /// `CATT_PROFILE_WINDOWS` environment variable
+    /// (`on`/`1`/`true`/`yes` enables; default off); `Some` wins over
+    /// the environment. Observational only — excluded from
+    /// [`GpuConfig::content_digest`].
+    pub profile_windows: Option<bool>,
     /// Run launches under the dynamic sanitizer (see [`crate::sanitize`]):
     /// barrier-divergence, inter-block race, wild-read and shared-memory
     /// overflow detection, surfaced as
@@ -217,6 +248,13 @@ pub const FUEL_BASE: u64 = 1 << 24;
 /// orders of magnitude above any legitimate workload in this repo while
 /// still terminating a runaway loop in bounded time.
 pub const FUEL_PER_BYTE: u64 = 4096;
+
+/// Default total shared L2 capacity in KB when neither
+/// [`GpuConfig::l2_kb`] nor `CATT_L2_KB` is set: Volta's 6 MB.
+pub const L2_DEFAULT_KB: u32 = 6144;
+
+/// Associativity of each SM's L2 slice (Volta's L2 is 16-way).
+pub const L2_ASSOC: u32 = 16;
 
 /// Parameters of the DYNCTA-style dynamic throttler (Kayiran et al.,
 /// PACT'13, as summarized in the paper's §2.2): sample the fraction of
@@ -261,6 +299,7 @@ impl GpuConfig {
             l1_cap_bytes: None,
             l1_line_bytes: 128,
             l1_assoc: 4,
+            l2_kb: None,
             latencies: Latencies::default(),
             trace_requests: false,
             dyncta: None,
@@ -269,6 +308,7 @@ impl GpuConfig {
             sm_threads: None,
             sm_steal: None,
             profile: None,
+            profile_windows: None,
             sanitize: None,
             cancel: None,
         }
@@ -300,6 +340,7 @@ impl GpuConfig {
             l1_cap_bytes: Some(4 * 1024),
             l1_line_bytes: 128,
             l1_assoc: 4,
+            l2_kb: Some(64),
             latencies: Latencies::default(),
             trace_requests: false,
             dyncta: None,
@@ -308,6 +349,7 @@ impl GpuConfig {
             sm_threads: None,
             sm_steal: None,
             profile: None,
+            profile_windows: None,
             sanitize: None,
             cancel: None,
         }
@@ -379,6 +421,46 @@ impl GpuConfig {
             line_bytes: self.l1_line_bytes,
             assoc: self.l1_assoc,
         }
+    }
+
+    /// Resolve the total shared L2 capacity in KB. Resolution order:
+    /// [`GpuConfig::l2_kb`] (explicit config wins, so tests and CLI
+    /// flags are immune to ambient environment), then the `CATT_L2_KB`
+    /// environment variable (`0` or `off` disables), then the
+    /// Volta-like default [`L2_DEFAULT_KB`].
+    pub fn l2_kb_resolved(&self) -> u32 {
+        if let Some(kb) = self.l2_kb {
+            return kb;
+        }
+        if let Ok(v) = std::env::var("CATT_L2_KB") {
+            let v = v.trim();
+            if v.eq_ignore_ascii_case("off") {
+                return 0;
+            }
+            if let Ok(n) = v.parse::<u32>() {
+                return n;
+            }
+        }
+        L2_DEFAULT_KB
+    }
+
+    /// Geometry of one SM's slice of the shared L2 (capacity
+    /// `l2_kb / num_sms`, [`L2_ASSOC`]-way, L1-line-sized lines), or
+    /// `None` when the L2 is disabled: resolved capacity 0, or a slice
+    /// too small to hold even one full set. With `None` every L1D miss
+    /// goes straight to DRAM at `latencies.offchip`, bit-identical to
+    /// the pre-L2 model.
+    pub fn l2_slice_config(&self) -> Option<L1Config> {
+        let total = self.l2_kb_resolved() as u64 * 1024;
+        let slice = (total / self.num_sms.max(1) as u64) as u32;
+        if slice < self.l1_line_bytes * L2_ASSOC {
+            return None;
+        }
+        Some(L1Config {
+            size_bytes: slice,
+            line_bytes: self.l1_line_bytes,
+            assoc: L2_ASSOC,
+        })
     }
 
     /// Register file capacity in 32-bit registers per SM.
@@ -466,6 +548,27 @@ impl GpuConfig {
             return explicit;
         }
         match std::env::var("CATT_PROFILE") {
+            Ok(v) => matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "on" | "1" | "true" | "yes"
+            ),
+            Err(_) => false,
+        }
+    }
+
+    /// Whether profiled launches under this config record the windowed
+    /// miss curve (see [`crate::profile::MissWindow`]). Resolution
+    /// order: [`GpuConfig::profile_windows`] (explicit config wins),
+    /// then the `CATT_PROFILE_WINDOWS` environment variable
+    /// (`on`/`1`/`true`/`yes` enables), then the default: off. The
+    /// aggregate stall/L1/L2 counters are always recorded when
+    /// profiling is on; only the per-window curve is gated, because it
+    /// dominates the profiling overhead.
+    pub fn profile_windows_enabled(&self) -> bool {
+        if let Some(explicit) = self.profile_windows {
+            return explicit;
+        }
+        match std::env::var("CATT_PROFILE_WINDOWS") {
             Ok(v) => matches!(
                 v.trim().to_ascii_lowercase().as_str(),
                 "on" | "1" | "true" | "yes"

@@ -103,7 +103,16 @@ impl GpuConfig {
         canonical.sm_threads = None;
         canonical.sm_steal = None;
         canonical.profile = None;
+        // The windowed miss curve is part of the profile sink — pure
+        // observation, bit-identical results — so the knob is excluded
+        // like `profile` itself.
+        canonical.profile_windows = None;
         canonical.sanitize = None;
+        // The L2 capacity is *architectural* — unlike the knobs above it
+        // changes cycle counts — but `None`, `CATT_L2_KB` and an explicit
+        // `Some` of the same value must share a cache entry, so the
+        // digest folds the resolved capacity, not the raw option.
+        canonical.l2_kb = Some(self.l2_kb_resolved());
         // The cancellation token is an execution handle, not a simulated
         // parameter: a deadline-carrying `catt serve` request must share
         // its cache entry (and single-flight slot) with tokenless runs.
@@ -178,6 +187,35 @@ mod tests {
         assert_eq!(base.content_digest(), profiled.content_digest());
         profiled.profile = Some(false);
         assert_eq!(base.content_digest(), profiled.content_digest());
+    }
+
+    #[test]
+    fn l2_capacity_changes_the_digest_by_resolved_value() {
+        // Capacity is architectural: different sizes must not share a
+        // cache entry, but `None` (default) and an explicit `Some` of
+        // the resolved default must.
+        let base = GpuConfig::titan_v_1sm();
+        let mut shrunk = base.clone();
+        shrunk.l2_kb = Some(512);
+        assert_ne!(base.content_digest(), shrunk.content_digest());
+        let mut disabled = base.clone();
+        disabled.l2_kb = Some(0);
+        assert_ne!(base.content_digest(), disabled.content_digest());
+        let mut explicit_default = base.clone();
+        explicit_default.l2_kb = Some(base.l2_kb_resolved());
+        assert_eq!(base.content_digest(), explicit_default.content_digest());
+    }
+
+    #[test]
+    fn profile_windows_knob_does_not_change_the_digest() {
+        // Window recording only observes; a cached result must survive
+        // flipping it (profiled runs bypass the cache regardless).
+        let base = GpuConfig::titan_v_1sm();
+        let mut windows = base.clone();
+        windows.profile_windows = Some(true);
+        assert_eq!(base.content_digest(), windows.content_digest());
+        windows.profile_windows = Some(false);
+        assert_eq!(base.content_digest(), windows.content_digest());
     }
 
     #[test]

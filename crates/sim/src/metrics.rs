@@ -53,6 +53,16 @@ pub struct LaunchStats {
     pub l1_hits: u64,
     /// Off-chip 128-byte requests (load misses + stores), all SMs.
     pub offchip_requests: u64,
+    /// L2 load accesses (L1D load misses probing the shared L2 slice),
+    /// all SMs. Zero when the L2 is disabled (`l2_kb = 0`); stores
+    /// bypass the L2 (write-through, no-allocate at both levels), so
+    /// per launch `l2_accesses == l1_accesses - l1_hits`.
+    pub l2_accesses: u64,
+    /// L2 load hits (incl. MSHR merges), all SMs.
+    pub l2_hits: u64,
+    /// Valid L2 lines displaced by fills (capacity/conflict pressure),
+    /// all SMs.
+    pub l2_evictions: u64,
     /// Thread blocks executed.
     pub tbs: u64,
     /// Warps executed.
@@ -74,6 +84,15 @@ impl LaunchStats {
         }
     }
 
+    /// L2 load hit rate (over L1D load misses; 0 with the L2 disabled).
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.l2_accesses as f64
+        }
+    }
+
     /// Serialize the counters as the inner fields of a JSON object (no
     /// braces), for the persistent simulation cache's JSONL layer. The
     /// request trace is deliberately excluded: traced runs are diagnostic
@@ -81,12 +100,16 @@ impl LaunchStats {
     pub fn to_json_fields(&self) -> String {
         format!(
             "\"cycles\":{},\"instructions\":{},\"l1_accesses\":{},\"l1_hits\":{},\
-             \"offchip_requests\":{},\"tbs\":{},\"warps\":{},\"resident_tbs_per_sm\":{}",
+             \"offchip_requests\":{},\"l2_accesses\":{},\"l2_hits\":{},\"l2_evictions\":{},\
+             \"tbs\":{},\"warps\":{},\"resident_tbs_per_sm\":{}",
             self.cycles,
             self.instructions,
             self.l1_accesses,
             self.l1_hits,
             self.offchip_requests,
+            self.l2_accesses,
+            self.l2_hits,
+            self.l2_evictions,
             self.tbs,
             self.warps,
             self.resident_tbs_per_sm
@@ -113,6 +136,12 @@ impl LaunchStats {
             l1_accesses: field_u64(line, "l1_accesses")?,
             l1_hits: field_u64(line, "l1_hits")?,
             offchip_requests: field_u64(line, "offchip_requests")?,
+            // Absent from cache lines written before the L2 existed;
+            // those entries are unreachable anyway (the L2 capacity is
+            // part of the config digest) but parse leniently regardless.
+            l2_accesses: field_u64(line, "l2_accesses").unwrap_or(0),
+            l2_hits: field_u64(line, "l2_hits").unwrap_or(0),
+            l2_evictions: field_u64(line, "l2_evictions").unwrap_or(0),
             tbs: field_u64(line, "tbs")?,
             warps: field_u64(line, "warps")?,
             resident_tbs_per_sm: field_u64(line, "resident_tbs_per_sm")? as u32,
@@ -130,6 +159,9 @@ impl LaunchStats {
         self.l1_accesses += other.l1_accesses;
         self.l1_hits += other.l1_hits;
         self.offchip_requests += other.offchip_requests;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_hits += other.l2_hits;
+        self.l2_evictions += other.l2_evictions;
         self.tbs += other.tbs;
         self.warps += other.warps;
         self.trace.requests.extend_from_slice(&other.trace.requests);
@@ -216,6 +248,9 @@ mod tests {
                 l1_accesses: extreme(&mut rng),
                 l1_hits: extreme(&mut rng),
                 offchip_requests: extreme(&mut rng),
+                l2_accesses: extreme(&mut rng),
+                l2_hits: extreme(&mut rng),
+                l2_evictions: extreme(&mut rng),
                 tbs: extreme(&mut rng),
                 warps: extreme(&mut rng),
                 resident_tbs_per_sm: rng.next_u32(),
@@ -229,6 +264,9 @@ mod tests {
             assert_eq!(back.l1_accesses, s.l1_accesses, "case {case}");
             assert_eq!(back.l1_hits, s.l1_hits, "case {case}");
             assert_eq!(back.offchip_requests, s.offchip_requests, "case {case}");
+            assert_eq!(back.l2_accesses, s.l2_accesses, "case {case}");
+            assert_eq!(back.l2_hits, s.l2_hits, "case {case}");
+            assert_eq!(back.l2_evictions, s.l2_evictions, "case {case}");
             assert_eq!(back.tbs, s.tbs, "case {case}");
             assert_eq!(back.warps, s.warps, "case {case}");
             assert_eq!(
@@ -247,6 +285,9 @@ mod tests {
             l1_accesses: 90,
             l1_hits: 45,
             offchip_requests: 55,
+            l2_accesses: 45,
+            l2_hits: 30,
+            l2_evictions: 3,
             tbs: 8,
             warps: 64,
             resident_tbs_per_sm: 4,
@@ -259,9 +300,26 @@ mod tests {
         assert_eq!(back.l1_accesses, s.l1_accesses);
         assert_eq!(back.l1_hits, s.l1_hits);
         assert_eq!(back.offchip_requests, s.offchip_requests);
+        assert_eq!(back.l2_accesses, s.l2_accesses);
+        assert_eq!(back.l2_hits, s.l2_hits);
+        assert_eq!(back.l2_evictions, s.l2_evictions);
         assert_eq!(back.tbs, s.tbs);
         assert_eq!(back.warps, s.warps);
         assert_eq!(back.resident_tbs_per_sm, s.resident_tbs_per_sm);
+    }
+
+    #[test]
+    fn json_parse_defaults_missing_l2_fields() {
+        // Cache lines written before the L2 counters existed must still
+        // parse, with the L2 counters zeroed.
+        let line = "{\"cycles\":10,\"instructions\":2,\"l1_accesses\":4,\"l1_hits\":1,\
+                    \"offchip_requests\":3,\"tbs\":1,\"warps\":1,\"resident_tbs_per_sm\":1}";
+        let s = LaunchStats::from_json_line(line).unwrap();
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.l2_accesses, 0);
+        assert_eq!(s.l2_hits, 0);
+        assert_eq!(s.l2_evictions, 0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
     }
 
     #[test]

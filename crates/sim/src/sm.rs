@@ -240,6 +240,9 @@ fn launch_impl<S: ProfileSink>(
         config.sm_thread_budget().min(per_sm.len())
     };
     let nwarps = (resident * launch.warps_per_block()) as usize;
+    // Resolve the miss-curve opt-in once per launch, not per SM (it may
+    // consult the environment); irrelevant for the NullSink path.
+    let prof_windows = S::ENABLED && config.profile_windows_enabled();
 
     if workers <= 1 {
         // Sequential path: every SM mutates global memory directly. One
@@ -248,7 +251,13 @@ fn launch_impl<S: ProfileSink>(
         let mut ws = SmWorkspace::default();
         for (sm_id, blocks) in per_sm {
             let trace_this_sm = config.trace_requests && sm_id == 0;
-            let mut sink = S::for_sm(sm_id, config.l1_config(), nwarps, resident as usize);
+            let mut sink = S::for_sm(
+                sm_id,
+                config.l1_config(),
+                nwarps,
+                resident as usize,
+                prof_windows,
+            );
             let res = run_sm(
                 config,
                 program,
@@ -295,7 +304,13 @@ fn launch_impl<S: ProfileSink>(
                     let (sm_id, blocks) = &per_sm[i];
                     let trace_this_sm = config.trace_requests && *sm_id == 0;
                     let mut shadow = ShadowMem::new(snapshot);
-                    let mut sink = S::for_sm(*sm_id, config.l1_config(), nwarps, resident as usize);
+                    let mut sink = S::for_sm(
+                        *sm_id,
+                        config.l1_config(),
+                        nwarps,
+                        resident as usize,
+                        prof_windows,
+                    );
                     let res = run_sm(
                         config,
                         program,
@@ -350,6 +365,9 @@ fn fold_stats(total: &mut LaunchStats, stats: LaunchStats, take_trace: bool) {
     total.l1_accesses += stats.l1_accesses;
     total.l1_hits += stats.l1_hits;
     total.offchip_requests += stats.offchip_requests;
+    total.l2_accesses += stats.l2_accesses;
+    total.l2_hits += stats.l2_hits;
+    total.l2_evictions += stats.l2_evictions;
     total.tbs += stats.tbs;
     total.warps += stats.warps;
     total.cycles = total.cycles.max(stats.cycles);
@@ -442,6 +460,7 @@ fn run_sm<M: DeviceMem, S: ProfileSink>(
         launch,
         mem,
         cache: L1Cache::new(config.l1_config()),
+        l2: config.l2_slice_config().map(L1Cache::new),
         l1_port_free: 0,
         offchip_free: 0,
         cycle: 0,
@@ -683,6 +702,13 @@ struct Sm<'a, M: DeviceMem, S: ProfileSink> {
     launch: LaunchConfig,
     mem: &'a mut M,
     cache: L1Cache,
+    /// This SM's slice of the shared L2 (`None` when the L2 is
+    /// disabled, see [`GpuConfig::l2_slice_config`]). Probed only by
+    /// L1D load misses; stores bypass it (write-through, no-allocate
+    /// at both levels). Keeping the slice per-SM — no timing state
+    /// shared across SMs — is what preserves the parallel/sequential
+    /// bit-identity guarantee.
+    l2: Option<L1Cache>,
     /// Next cycle the L1D port is free (1 transaction / cycle).
     l1_port_free: u64,
     /// Next cycle the off-chip port is free.
@@ -915,6 +941,11 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         stats.l1_accesses = self.cache.accesses;
         stats.l1_hits = self.cache.hits + self.cache.mshr_merges;
         stats.offchip_requests = self.cache.offchip_requests;
+        if let Some(l2) = &self.l2 {
+            stats.l2_accesses = l2.accesses;
+            stats.l2_hits = l2.hits + l2.mshr_merges;
+            stats.l2_evictions = l2.evictions;
+        }
         if S::ENABLED {
             self.sink.sm_end(
                 stats.cycles,
@@ -1709,12 +1740,31 @@ impl<M: DeviceMem, S: ProfileSink> Sm<'_, M, S> {
         for (k, la) in lines[..n].iter().enumerate() {
             let t = start + k as u64;
             let offchip_free = &mut self.offchip_free;
+            let l2 = &mut self.l2;
+            let mut l2_probe = None;
             let res = self.cache.access_load(la * line_bytes, t, lat.l1_hit, || {
+                // Off-chip port first: L2 hits and misses both cross the
+                // SM's off-chip interface, so the bandwidth limit — the
+                // contention effect CATT exploits — is independent of the
+                // L2-hit/DRAM latency split below.
                 *offchip_free = (*offchip_free).max(t) + lat.offchip_port;
-                *offchip_free + lat.offchip
+                let issue = *offchip_free;
+                match l2 {
+                    Some(l2) => {
+                        let r = l2.access_load(la * line_bytes, issue, lat.l2_hit, || {
+                            issue + lat.offchip
+                        });
+                        l2_probe = Some((r.hit, r.evicted));
+                        r.data_ready
+                    }
+                    None => issue + lat.offchip,
+                }
             });
             if S::ENABLED {
                 self.sink.l1_load(res.set, *la, res.hit, res.evicted);
+                if let Some((hit, evicted)) = l2_probe {
+                    self.sink.l2_load(hit, evicted);
+                }
             }
             data_ready = data_ready.max(res.data_ready);
         }

@@ -46,6 +46,9 @@ fn assert_stats_identical(a: &LaunchStats, b: &LaunchStats, what: &str) {
         a.offchip_requests, b.offchip_requests,
         "{what}: offchip_requests"
     );
+    assert_eq!(a.l2_accesses, b.l2_accesses, "{what}: l2_accesses");
+    assert_eq!(a.l2_hits, b.l2_hits, "{what}: l2_hits");
+    assert_eq!(a.l2_evictions, b.l2_evictions, "{what}: l2_evictions");
     assert_eq!(a.tbs, b.tbs, "{what}: tbs");
     assert_eq!(a.warps, b.warps, "{what}: warps");
     assert_eq!(

@@ -19,7 +19,7 @@
 
 use crate::generate::TestCase;
 use crate::ViolationKind;
-use catt_core::{eligible_loops_for, tb_throttle, warp_throttle};
+use catt_core::{cta_swizzle, eligible_loops_for, tb_throttle, warp_throttle, SwizzlePolicy};
 use catt_ir::visit::walk_stmts;
 use catt_ir::{Kernel, Stmt};
 use catt_sim::{Arg, GlobalMem, Gpu, GpuConfig, SimError};
@@ -47,6 +47,39 @@ pub enum Recipe {
         n: u32,
         target_tbs: u32,
     },
+    /// `cta_swizzle(kernel, policy, grid)` — block-id remapping alone.
+    CtaSwizzle { policy: SwizzlePolicy },
+    /// CTA swizzle followed by warp-level throttling, the composition the
+    /// autotuner emits when both knobs fire. Swizzle runs first, exactly
+    /// as the tuner applies it, so the spliced barriers land in the
+    /// already-remapped kernel.
+    SwizzledWarp {
+        policy: SwizzlePolicy,
+        loop_id: usize,
+        n: u32,
+    },
+}
+
+/// Integer `k=v` encoding of a swizzle policy for recipe strings
+/// (`serp=1`, `tile=4`, `xor=3`) — [`SwizzlePolicy::describe`] itself is
+/// not used because `serpentine` carries no value and the recipe parser
+/// is strictly key=integer.
+fn policy_kv(policy: &SwizzlePolicy) -> String {
+    match policy {
+        SwizzlePolicy::Serpentine => "serp=1".into(),
+        SwizzlePolicy::TileMajor(t) => format!("tile={t}"),
+        SwizzlePolicy::XorFold(k) => format!("xor={k}"),
+    }
+}
+
+fn policy_from_kv(kv: &std::collections::BTreeMap<&str, u64>) -> Option<SwizzlePolicy> {
+    if kv.contains_key("serp") {
+        return Some(SwizzlePolicy::Serpentine);
+    }
+    if let Some(t) = kv.get("tile") {
+        return Some(SwizzlePolicy::TileMajor(*t as u32));
+    }
+    kv.get("xor").map(|k| SwizzlePolicy::XorFold(*k as u32))
 }
 
 impl Recipe {
@@ -62,6 +95,10 @@ impl Recipe {
                 n,
                 target_tbs,
             } => format!("composed loop={loop_id} n={n} target={target_tbs}"),
+            Recipe::CtaSwizzle { policy } => format!("cta_swizzle {}", policy_kv(policy)),
+            Recipe::SwizzledWarp { policy, loop_id, n } => {
+                format!("swizzled_warp {} loop={loop_id} n={n}", policy_kv(policy))
+            }
         }
     }
 
@@ -86,6 +123,14 @@ impl Recipe {
                 loop_id: *kv.get("loop")? as usize,
                 n: *kv.get("n")? as u32,
                 target_tbs: *kv.get("target")? as u32,
+            }),
+            "cta_swizzle" => Some(Recipe::CtaSwizzle {
+                policy: policy_from_kv(&kv)?,
+            }),
+            "swizzled_warp" => Some(Recipe::SwizzledWarp {
+                policy: policy_from_kv(&kv)?,
+                loop_id: *kv.get("loop")? as usize,
+                n: *kv.get("n")? as u32,
             }),
             _ => None,
         }
@@ -234,12 +279,32 @@ pub fn variant_recipes(kernel: &Kernel, case: &TestCase, legality_checked: bool)
             });
         }
     }
+    let grid = (launch.grid.x, launch.grid.y, launch.grid.z);
+    for policy in SwizzlePolicy::candidates() {
+        if cta_swizzle(kernel, policy, grid).is_none() {
+            continue; // not a bijection on this grid (t ∤ gx, 3-D, ...)
+        }
+        out.push(Recipe::CtaSwizzle { policy });
+        // Swizzling rewrites expressions, never control flow, so the
+        // loop numbering and legality verdicts carry over unchanged.
+        for &loop_id in &loops {
+            for &n in &divisors {
+                out.push(Recipe::SwizzledWarp { policy, loop_id, n });
+            }
+        }
+    }
     out
 }
 
 /// Apply a recipe. `None` when the transform rejects it (e.g. the loop
-/// id vanished during shrinking).
-pub fn apply_recipe(kernel: &Kernel, recipe: &Recipe, warps_per_tb: u32) -> Option<Kernel> {
+/// id vanished during shrinking). `grid` is the launch grid the swizzle
+/// bijections are built for; throttling recipes ignore it.
+pub fn apply_recipe(
+    kernel: &Kernel,
+    recipe: &Recipe,
+    warps_per_tb: u32,
+    grid: (u32, u32, u32),
+) -> Option<Kernel> {
     match recipe {
         Recipe::WarpThrottle { loop_id, n } => warp_throttle(kernel, *loop_id, *n, warps_per_tb),
         Recipe::TbThrottle { target_tbs } => tb_throttle(
@@ -261,6 +326,11 @@ pub fn apply_recipe(kernel: &Kernel, recipe: &Recipe, warps_per_tb: u32) -> Opti
                 warped.shared_mem_bytes(),
             )
         }
+        Recipe::CtaSwizzle { policy } => cta_swizzle(kernel, *policy, grid),
+        Recipe::SwizzledWarp { policy, loop_id, n } => {
+            let swizzled = cta_swizzle(kernel, *policy, grid)?;
+            warp_throttle(&swizzled, *loop_id, *n, warps_per_tb)
+        }
     }
 }
 
@@ -279,8 +349,9 @@ pub fn signature_reproduces(
         return false;
     }
     let warps = case.launch.warps_per_block();
+    let grid = (case.launch.grid.x, case.launch.grid.y, case.launch.grid.z);
     for recipe in variant_recipes(&case.kernel, case, legality_checked) {
-        let Some(v) = apply_recipe(&case.kernel, &recipe, warps) else {
+        let Some(v) = apply_recipe(&case.kernel, &recipe, warps, grid) else {
             continue;
         };
         let (var_class, var_digest) = run_case(&v, case);
@@ -305,10 +376,11 @@ pub fn check_case(case: &TestCase, legality_checked: bool) -> CaseOutcome {
         return CaseOutcome::DirtyOriginal { class: base_class };
     }
     let warps = case.launch.warps_per_block();
+    let grid = (case.launch.grid.x, case.launch.grid.y, case.launch.grid.z);
     let mut variants = 0;
     let mut violations = Vec::new();
     for recipe in variant_recipes(&case.kernel, case, legality_checked) {
-        let Some(variant) = apply_recipe(&case.kernel, &recipe, warps) else {
+        let Some(variant) = apply_recipe(&case.kernel, &recipe, warps, grid) else {
             continue;
         };
         variants += 1;
@@ -359,6 +431,20 @@ mod tests {
                 loop_id: 0,
                 n: 4,
                 target_tbs: 2,
+            },
+            Recipe::CtaSwizzle {
+                policy: SwizzlePolicy::Serpentine,
+            },
+            Recipe::CtaSwizzle {
+                policy: SwizzlePolicy::TileMajor(4),
+            },
+            Recipe::CtaSwizzle {
+                policy: SwizzlePolicy::XorFold(3),
+            },
+            Recipe::SwizzledWarp {
+                policy: SwizzlePolicy::XorFold(1),
+                loop_id: 1,
+                n: 2,
             },
         ] {
             assert_eq!(Recipe::parse(&r.describe()), Some(r));
@@ -448,6 +534,49 @@ mod tests {
                 .any(|v| v.baseline == "ok" && v.variant == "sanitizer: barrier divergence"),
             "unchecked mode must rediscover the miscompile: {violations:?}"
         );
+    }
+
+    /// Swizzle recipes join the enumeration on grids where they are
+    /// bijections, including the non-trivial XOR folds on 1-D grids, and
+    /// every one of them is bit-exact on a clean kernel.
+    #[test]
+    fn swizzle_variants_are_enumerated_and_bit_exact() {
+        let case = case_for(
+            "__global__ void s(float *a, float *b, float *out) {
+                 int i = blockIdx.x * blockDim.x + threadIdx.x;
+                 float acc = 0.0f;
+                 for (int j = 0; j < 4; j++) { acc += a[i % 64] * b[(i + j) % 32]; }
+                 out[i] = acc + (float)blockIdx.x;
+             }",
+            LaunchConfig::d1(4, 64),
+            &[("a", 64), ("b", 32), ("out", 256)],
+        );
+        let recipes = variant_recipes(&case.kernel, &case, true);
+        assert!(
+            recipes.iter().any(|r| matches!(
+                r,
+                Recipe::CtaSwizzle {
+                    policy: SwizzlePolicy::XorFold(_)
+                }
+            )),
+            "XOR folds must be live on 1-D grids: {recipes:?}"
+        );
+        assert!(
+            recipes
+                .iter()
+                .any(|r| matches!(r, Recipe::SwizzledWarp { .. })),
+            "swizzle ∘ warp-throttle compositions missing: {recipes:?}"
+        );
+        match check_case(&case, true) {
+            CaseOutcome::Checked {
+                variants,
+                violations,
+            } => {
+                assert!(violations.is_empty(), "{violations:?}");
+                assert!(variants > 4, "too few variants actually ran: {variants}");
+            }
+            other => panic!("clean kernel screened dirty: {other:?}"),
+        }
     }
 
     #[test]

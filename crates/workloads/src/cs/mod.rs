@@ -5,6 +5,7 @@ pub mod bfs;
 pub mod bicg;
 pub mod cfd;
 pub mod corr;
+pub mod dm;
 pub mod gsmv;
 pub mod km;
 pub mod mvt;

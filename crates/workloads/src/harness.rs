@@ -248,17 +248,28 @@ pub fn geomean(xs: &[f64]) -> Option<f64> {
     Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
 }
 
+/// L2 capacity granted to the single-SM evaluation vehicle, in KB.
+///
+/// A real Titan V SM competes with 79 others for the 4.5–6 MB device
+/// L2; giving the 1-SM vehicle the whole cache would let it hold entire
+/// working sets that a contended SM never could. 256 KB models a busy
+/// device's per-SM share (substitution documented in DESIGN.md §3h).
+pub const EVAL_L2_KB: u32 = 256;
+
 /// The evaluation GPU: one Titan V SM with the maximum L1D (the
 /// "Max. L1D" columns of the paper's figures). See DESIGN.md for why one
 /// SM is the evaluation vehicle.
 pub fn eval_config_max_l1d() -> GpuConfig {
-    GpuConfig::titan_v_1sm()
+    let mut c = GpuConfig::titan_v_1sm();
+    c.l2_kb = Some(EVAL_L2_KB);
+    c
 }
 
 /// The 32 KB L1D sensitivity configuration (paper §5.1.3, Fig. 10).
 pub fn eval_config_32kb_l1d() -> GpuConfig {
     let mut c = GpuConfig::titan_v_1sm();
     c.l1_cap_bytes = Some(32 * 1024);
+    c.l2_kb = Some(EVAL_L2_KB);
     c
 }
 

@@ -80,6 +80,9 @@ mod tests {
     fn one_sm() -> GpuConfig {
         let mut c = GpuConfig::titan_v_1sm();
         c.l1_cap_bytes = Some(32 * 1024); // 256 lines
+                                          // Fig. 3 isolates *L1* contention: a warm L2 would absorb the
+                                          // thrash misses and flatten the U-shape the paper plots.
+        c.l2_kb = Some(0);
         c
     }
 

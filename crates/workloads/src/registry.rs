@@ -101,6 +101,7 @@ pub fn cs_workloads() -> Vec<Workload> {
         crate::cs::cfd::workload(),
         crate::cs::km::workload(),
         crate::cs::pf::workload(),
+        crate::cs::dm::workload(),
     ]
 }
 
@@ -124,7 +125,7 @@ pub fn ci_workloads() -> Vec<Workload> {
     ]
 }
 
-/// All 24 applications.
+/// All 25 applications (Table 2's 24 plus the DM extension workload).
 pub fn all_workloads() -> Vec<Workload> {
     let mut v = cs_workloads();
     v.extend(ci_workloads());
@@ -145,9 +146,9 @@ mod tests {
     #[test]
     fn registry_has_all_table2_apps() {
         let all = all_workloads();
-        assert_eq!(cs_workloads().len(), 10);
+        assert_eq!(cs_workloads().len(), 11);
         assert_eq!(ci_workloads().len(), 14);
-        assert_eq!(all.len(), 24);
+        assert_eq!(all.len(), 25);
         let mut abbrevs: Vec<&str> = all.iter().map(|w| w.abbrev).collect();
         abbrevs.sort_unstable();
         let mut dedup = abbrevs.clone();

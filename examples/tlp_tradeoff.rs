@@ -12,6 +12,8 @@ use catt_repro::workloads::micro;
 fn main() {
     let mut config = GpuConfig::titan_v_1sm();
     config.l1_cap_bytes = Some(32 * 1024);
+    // This sweep isolates L1 contention; a warm L2 would flatten the U.
+    config.l2_kb = Some(0);
     let tlps = [1u32, 2, 4, 8, 16, 32];
 
     println!("normalized per-warp execution time (lower is better)");

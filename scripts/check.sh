@@ -30,7 +30,8 @@ for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
          crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/profile.rs \
          crates/sim/src/sanitize.rs crates/verify/src/lib.rs \
          crates/verify/src/generate.rs crates/verify/src/oracle.rs \
-         crates/verify/src/shrink.rs crates/verify/src/corpus.rs; do
+         crates/verify/src/shrink.rs crates/verify/src/corpus.rs \
+         crates/core/src/swizzle.rs crates/tune/src/lib.rs; do
     [ -f "$f" ] || continue
     if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^[[:space:]]*//' \
         | grep -nE '(^|[^_a-zA-Z])(panic!|assert!|assert_eq!|assert_ne!|unreachable!|todo!|unimplemented!)\(' ; then
@@ -85,6 +86,24 @@ PROFILE_TRACE="${PROFILE_TRACE:-target/profile-smoke-trace.json}"
 target/release/catt profile ATAX --trace-out "$PROFILE_TRACE" > /dev/null
 [ -s "$PROFILE_TRACE" ] || {
     echo "error: catt profile wrote no trace at $PROFILE_TRACE" >&2
+    exit 1
+}
+
+echo "==> tune smoke: fixed-seed autotune run with self-check invariants"
+# The CLI re-runs TuneReport::self_check on every report (tuned is the
+# argmin of the selectable trace, never slower than baseline or static
+# CATT, iteration bound respected, swizzle selection backed by the L2
+# gain) and exits non-zero on violation. DM must tune to the tile-major
+# CTA swizzle that pure throttling cannot find.
+TUNE_OUT="${TUNE_OUT:-target/tune-smoke.json}"
+TUNE_TXT="${TUNE_TXT:-target/tune-smoke.txt}"
+target/release/catt tune DM,ATAX --out "$TUNE_OUT" > "$TUNE_TXT"
+grep -q "tile=" "$TUNE_TXT" || {
+    echo "error: catt tune did not select the CTA swizzle on DM (see $TUNE_TXT)" >&2
+    exit 1
+}
+[ -s "$TUNE_OUT" ] || {
+    echo "error: catt tune wrote no summary at $TUNE_OUT" >&2
     exit 1
 }
 

@@ -5,6 +5,7 @@
 //! catt analyze kernels.cu --launch atax_kernel1=320x256 [--l1 32]
 //! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>] [--sm-parallel on|off]
 //! catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]
+//! catt tune    <ABBREV|all> [--l1 <KB>] [--seed <S>] [--iters <N>] [--out <tune.json>]
 //! catt fuzz    [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]
 //! ```
 //!
@@ -22,6 +23,13 @@
 //!   Chrome `trace_event` JSON (open in `chrome://tracing`). Profile
 //!   invariants and profile/stats reconciliation are re-checked on every
 //!   run; any violation exits non-zero;
+//! * `tune` runs the feedback-driven autotuner on a registry workload (or
+//!   `all`): an APEX-style increase/decrease-cap climb over the joint
+//!   `(N, M, CTA-swizzle)` space steered by observed profile counters,
+//!   compared against baseline, static CATT, and BFTT. `--out` writes the
+//!   machine-readable summary (`BENCH_tune.json` is the committed
+//!   artifact). Tuner self-checks run on every report; any violation
+//!   exits non-zero. Same seed ⇒ identical trajectory;
 //! * `fuzz` runs the `catt-verify` differential transform oracle:
 //!   deterministic random kernels, every reachable throttle variant,
 //!   bit-exact memory + `SimError`-classification comparison under the
@@ -46,6 +54,7 @@ fn usage() -> ExitCode {
          [--launch ...] [--l1 <KB>] [--fuel <cycles>] [--sm-parallel <on|off>] \
          [--args <spec,...>] [-o <out.cu>]\n\
          \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]\n\
+         \x20      catt tune <ABBREV|all> [--l1 <KB>] [--seed <S>] [--iters <N>] [--out <tune.json>]\n\
          \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]\n\
          \x20      catt serve [--stdio | --tcp <addr>]\n\
          \x20      catt serve-bench [--clients N] [--requests N] [--transport inproc|tcp] [...]"
@@ -268,6 +277,124 @@ fn profile_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `catt tune`: the feedback-driven `(N, M, swizzle)` autotuner.
+/// Environment knobs `CATT_TUNE_SEED`, `CATT_TUNE_ITERS`,
+/// `CATT_TUNE_STALL_THRESHOLD`, and `CATT_TUNE_L2_GAIN` set the defaults;
+/// explicit flags win.
+fn tune_main(args: &[String]) -> ExitCode {
+    use catt_repro::tune::{tune_workloads, TuneOptions};
+    use catt_repro::workloads::{harness, registry};
+
+    let target = &args[0];
+    let mut opts = TuneOptions::default();
+    if let Some(s) = std::env::var("CATT_TUNE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        opts.seed = s;
+    }
+    if let Some(n) = std::env::var("CATT_TUNE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        opts.max_iters = n;
+    }
+    if let Some(t) = std::env::var("CATT_TUNE_STALL_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        opts.mem_stall_threshold = t;
+    }
+    if let Some(g) = std::env::var("CATT_TUNE_L2_GAIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        opts.min_l2_gain = g;
+    }
+    let mut l1_kb: Option<u32> = None;
+    let mut out_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--l1" if i + 1 < args.len() => {
+                l1_kb = args[i + 1].parse().ok();
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                let Ok(s) = args[i + 1].parse() else {
+                    eprintln!("catt tune: bad --seed value `{}`", args[i + 1]);
+                    return usage();
+                };
+                opts.seed = s;
+                i += 2;
+            }
+            "--iters" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    eprintln!("catt tune: bad --iters value `{}`", args[i + 1]);
+                    return usage();
+                };
+                opts.max_iters = n;
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("catt tune: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    let workloads = if target.eq_ignore_ascii_case("all") {
+        registry::all_workloads()
+    } else {
+        let mut found = Vec::new();
+        for abbrev in target.split(',') {
+            match registry::find(abbrev) {
+                Some(w) => found.push(w),
+                None => {
+                    eprintln!(
+                        "catt tune: no workload `{abbrev}` (try a Table 2 abbreviation, \
+                         a comma-separated list, or `all`)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        found
+    };
+    let mut config = harness::eval_config_max_l1d();
+    if let Some(kb) = l1_kb {
+        config.l1_cap_bytes = Some(kb * 1024);
+    }
+
+    let summary = tune_workloads(&workloads, &config, &opts);
+    print!("{}", summary.render_table());
+
+    let mut failed = !summary.failures.is_empty();
+    for r in &summary.reports {
+        if let Err(e) = r.self_check(&opts) {
+            eprintln!("catt tune: SELF-CHECK VIOLATION: {e}");
+            failed = true;
+        }
+    }
+    if let Some(path) = out_path {
+        let json = summary.to_json(&opts);
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("catt tune: cannot write {path}: {e}");
+            failed = true;
+        } else {
+            println!("wrote {path}");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn parse_dims(s: &str) -> Option<Dim3> {
     let parts: Vec<&str> = s.split(',').collect();
     match parts.len() {
@@ -345,6 +472,9 @@ fn main() -> ExitCode {
     let mode = argv[0].as_str();
     if mode == "profile" {
         return profile_main(&argv[1..]);
+    }
+    if mode == "tune" {
+        return tune_main(&argv[1..]);
     }
     let path = &argv[1];
     let mut launches: Vec<(String, LaunchConfig)> = Vec::new();

@@ -12,8 +12,8 @@
 //! * [`sim`] — the cycle-level GPU simulator (`catt-sim`);
 //! * [`core`] — the CATT analysis + transformation pipeline and the BFTT
 //!   baseline (`catt-core`);
-//! * [`workloads`] — the paper's 24 benchmark applications
-//!   (`catt-workloads`);
+//! * [`workloads`] — the paper's 24 benchmark applications plus the DM
+//!   swizzle extension (`catt-workloads`);
 //! * [`profile`] — consumers of the simulator's profiling subsystem:
 //!   Chrome traces, stall reports, Eq. 8 model validation
 //!   (`catt-profile`; see `catt profile --help`);
@@ -22,7 +22,10 @@
 //!   regression corpus (`catt-verify`; see `catt fuzz`);
 //! * [`serve`] — the overload-safe multi-tenant compile-and-simulate
 //!   daemon and its chaos-driven load harness (`catt-serve`; see
-//!   `catt serve` / `catt serve-bench`).
+//!   `catt serve` / `catt serve-bench`);
+//! * [`tune`] — the feedback-driven autotuner hill-climbing the joint
+//!   `(N, M, CTA-swizzle)` space from observed profile counters
+//!   (`catt-tune`; see `catt tune`).
 //!
 //! ## Quickstart
 //!
@@ -60,5 +63,6 @@ pub use catt_ir as ir;
 pub use catt_profile as profile;
 pub use catt_serve as serve;
 pub use catt_sim as sim;
+pub use catt_tune as tune;
 pub use catt_verify as verify;
 pub use catt_workloads as workloads;

@@ -59,8 +59,18 @@ fn seeded_entry_is_still_a_live_counterexample_for_the_blind_transform() {
     // ...but applying the recorded recipe blindly still trips the
     // sanitizer: the entry documents a real, still-detectable hazard.
     let warps = entry.case.launch.warps_per_block();
-    let bad = oracle::apply_recipe(&entry.case.kernel, entry.recipe.as_ref().unwrap(), warps)
-        .expect("blind application must succeed");
+    let grid = (
+        entry.case.launch.grid.x,
+        entry.case.launch.grid.y,
+        entry.case.launch.grid.z,
+    );
+    let bad = oracle::apply_recipe(
+        &entry.case.kernel,
+        entry.recipe.as_ref().unwrap(),
+        warps,
+        grid,
+    )
+    .expect("blind application must succeed");
     let (class, _) = oracle::run_case(&bad, &entry.case);
     assert_eq!(class, "sanitizer: barrier divergence");
 }
@@ -117,7 +127,9 @@ fn unchecked_fuzzing_rediscovers_and_shrinks_the_miscompile() {
     assert!(
         matches!(
             v.recipe,
-            Some(Recipe::WarpThrottle { .. }) | Some(Recipe::Composed { .. })
+            Some(Recipe::WarpThrottle { .. })
+                | Some(Recipe::Composed { .. })
+                | Some(Recipe::SwizzledWarp { .. })
         ),
         "unexpected recipe: {:?}",
         v.recipe
