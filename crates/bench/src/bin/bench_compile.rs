@@ -1,0 +1,208 @@
+//! `bench_compile` — cold vs. memoized compile latency over the
+//! workload registry, with the pass-cache hit counters as a checked
+//! invariant: a memoized recompile must *skip* parse and analyze
+//! (hits, not misses), or this binary exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p catt-bench --bin bench_compile -- \
+//!     [--samples N] [--out BENCH_compile.json]
+//! ```
+//!
+//! Three passes per application, timed with the same interleaving-free
+//! structure (compiles are microseconds; drift is irrelevant here):
+//!
+//! * **cold** — pass cache reset before every compile;
+//! * **warm** — same sources recompiled against the populated cache
+//!   (parse/analyze replay from the memo);
+//! * **nocache** — `CATT_PASS_CACHE=off` equivalent (`with_pass_cache
+//!   (false)`), the floor the memo is measured against.
+//!
+//! Non-gating in CI (an artifact-producing step), but the hit-counter
+//! invariants are hard assertions wherever it runs.
+
+use catt_core::{pass_cache_stats, reset_pass_cache, PassStats, Pipeline};
+use catt_ir::LaunchConfig;
+use catt_workloads::harness::eval_config_max_l1d;
+use catt_workloads::registry::all_workloads;
+use std::time::Instant;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct AppRow {
+    abbrev: &'static str,
+    source_lines: usize,
+    kernels: usize,
+    cold_us: f64,
+    warm_us: f64,
+    nocache_us: f64,
+}
+
+fn stats_for(pass: &str) -> PassStats {
+    pass_cache_stats()
+        .into_iter()
+        .find(|(name, _)| *name == pass)
+        .map(|(_, s)| s)
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut samples: u32 = 20;
+    let mut out = "BENCH_compile.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" if i + 1 < args.len() => {
+                samples = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("bench_compile: bad --samples `{}`", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_compile: unknown option `{other}`");
+                eprintln!("usage: bench_compile [--samples N] [--out path.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = eval_config_max_l1d();
+    let cached = Pipeline::new(config.clone()).with_pass_cache(true);
+    let uncached = Pipeline::new(config).with_pass_cache(false);
+
+    println!("Compile latency: cold vs. memoized (pass cache), {samples} samples");
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let refs: Vec<(&str, LaunchConfig)> = w.launches.iter().map(|&(n, l)| (n, l)).collect();
+
+        // Cold: reset before every compile so each sample misses.
+        let mut cold = Vec::new();
+        for _ in 0..samples {
+            reset_pass_cache();
+            let t = Instant::now();
+            cached.compile_source(w.source, &refs).unwrap();
+            cold.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+
+        // Warm: the cache is populated by the last cold iteration;
+        // every sample from here on replays parse and analyze.
+        reset_pass_cache();
+        cached.compile_source(w.source, &refs).unwrap();
+        let before = (stats_for("parse"), stats_for("analyze"));
+        let mut warm = Vec::new();
+        for _ in 0..samples {
+            let t = Instant::now();
+            cached.compile_source(w.source, &refs).unwrap();
+            warm.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        let after = (stats_for("parse"), stats_for("analyze"));
+
+        // The checked invariant: memoized recompiles hit, never re-miss.
+        let parse_hits = after.0.hits - before.0.hits;
+        let analyze_hits = after.1.hits - before.1.hits;
+        assert_eq!(
+            parse_hits, samples as u64,
+            "{}: warm recompiles must replay the parse from the cache",
+            w.abbrev
+        );
+        assert!(
+            analyze_hits >= samples as u64,
+            "{}: warm recompiles must replay the analysis from the cache \
+             ({analyze_hits} hits over {samples} samples)",
+            w.abbrev
+        );
+        assert_eq!(
+            after.0.misses, before.0.misses,
+            "{}: a warm recompile re-parsed",
+            w.abbrev
+        );
+        assert_eq!(
+            after.1.misses, before.1.misses,
+            "{}: a warm recompile re-analyzed",
+            w.abbrev
+        );
+
+        let mut nocache = Vec::new();
+        for _ in 0..samples {
+            let t = Instant::now();
+            uncached.compile_source(w.source, &refs).unwrap();
+            nocache.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+
+        let row = AppRow {
+            abbrev: w.abbrev,
+            source_lines: w.source.lines().count(),
+            kernels: w.launches.len(),
+            cold_us: catt_bench::timing::median_f64(&mut cold),
+            warm_us: catt_bench::timing::median_f64(&mut warm),
+            nocache_us: catt_bench::timing::median_f64(&mut nocache),
+        };
+        println!(
+            "  {:>6}: cold {:>8.1} us | warm {:>7.1} us ({:>5.1}x) | no-cache {:>8.1} us",
+            row.abbrev,
+            row.cold_us,
+            row.warm_us,
+            row.cold_us / row.warm_us,
+            row.nocache_us,
+        );
+        rows.push(row);
+    }
+
+    let geomean_speedup = (rows
+        .iter()
+        .map(|r| (r.cold_us / r.warm_us).ln())
+        .sum::<f64>()
+        / rows.len() as f64)
+        .exp();
+    println!("geomean cold/warm speedup: {geomean_speedup:.2}x");
+
+    // Final counter snapshot for the artifact (cumulative over the warm
+    // and cold phases of the last app — the per-app invariant already
+    // ran; this is the observability surface).
+    let final_stats = pass_cache_stats();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"samples\": {samples},\n  \"geomean_cold_over_warm\": {geomean_speedup:.4},\n"
+    ));
+    json.push_str("  \"pass_cache\": {\n");
+    for (i, (name, s)) in final_stats.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"hits\": {}, \"misses\": {} }}{}\n",
+            json_escape(name),
+            s.hits,
+            s.misses,
+            if i + 1 < final_stats.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  },\n  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"source_lines\": {}, \"kernels\": {}, \
+             \"cold_us\": {:.3}, \"warm_us\": {:.3}, \"nocache_us\": {:.3}, \
+             \"cold_over_warm\": {:.4} }}{}\n",
+            json_escape(r.abbrev),
+            r.source_lines,
+            r.kernels,
+            r.cold_us,
+            r.warm_us,
+            r.nocache_us,
+            r.cold_us / r.warm_us,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_compile: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -19,8 +19,12 @@
 //!    loop into `N` warp-group phases separated by `__syncthreads()`
 //!    (Fig. 4); TB-level throttling inserts a dummy `__shared__` array to
 //!    reduce resident blocks (Fig. 5).
-//! 4. [`pipeline`] — the end-to-end `parse → analyze → transform → emit`
-//!    driver, the library's main entry point.
+//! 4. [`passes`] / [`pipeline`] — the end-to-end
+//!    `parse → analyze → legalize → transform → emit` driver, the
+//!    library's main entry point: an explicit pass pipeline with panic
+//!    containment (an escaped panic becomes an `E030` diagnostic, not a
+//!    crash) and content-addressed memoization of the parse and analyze
+//!    stages (`CATT_PASS_CACHE`).
 //!
 //! [`bftt`] implements the paper's strongest software baseline: best-fixed
 //! thread throttling, which exhaustively simulates every `(warps, TBs)`
@@ -33,6 +37,7 @@ pub mod engine;
 pub mod fault;
 pub mod multiversion;
 pub mod occupancy;
+pub mod passes;
 pub mod pipeline;
 pub mod swizzle;
 pub mod transform;
@@ -45,7 +50,8 @@ pub use engine::{CacheCounters, Engine, JobError, Progress};
 pub use fault::FaultPlan;
 pub use multiversion::MultiVersioned;
 pub use occupancy::L1SmemPlan;
-pub use pipeline::{CompiledApp, CompiledKernel, Pipeline};
+pub use passes::{pass_cache_stats, reset_pass_cache, LegalPlan, Pass, PassManager, PassStats};
+pub use pipeline::{CompiledApp, CompiledKernel, Pipeline, PipelineError};
 pub use swizzle::{cta_swizzle, swizzle_map, SwizzlePolicy};
 pub use transform::{
     eligible_loops, eligible_loops_for, guard_block_uniform, tb_throttle, warp_throttle,

@@ -54,11 +54,11 @@ impl MultiVersioned {
     /// the original code: `(variant index, diagnostic)` pairs, empty when
     /// every variant compiled cleanly. The fallback variants are still
     /// dispatchable — correct, merely unthrottled.
-    pub fn fallback_diagnostics(&self) -> Vec<(usize, &str)> {
+    pub fn fallback_diagnostics(&self) -> Vec<(usize, &catt_diag::Diagnostic)> {
         self.variants
             .iter()
             .enumerate()
-            .filter_map(|(i, v)| v.compiled.fallback_diagnostic.as_deref().map(|d| (i, d)))
+            .filter_map(|(i, v)| v.compiled.fallback_diagnostic.as_ref().map(|d| (i, d)))
             .collect()
     }
 
@@ -83,9 +83,13 @@ impl Pipeline {
         candidates: &[LaunchConfig],
     ) -> Result<MultiVersioned, PipelineError> {
         if candidates.is_empty() {
-            return Err(PipelineError {
-                message: format!("`{}`: no candidate launch configurations", kernel.name),
-            });
+            return Err(PipelineError::from_diags(vec![
+                catt_diag::Diagnostic::error(
+                    catt_diag::codes::MISSING_LAUNCH,
+                    format!("`{}`: no candidate launch configurations", kernel.name),
+                )
+                .with_span(kernel.spans.name),
+            ]));
         }
         let mut variants: Vec<Variant> = Vec::new();
         for &launch in candidates {

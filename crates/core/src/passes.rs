@@ -1,0 +1,593 @@
+//! The staged pass pipeline: an explicit [`Pass`] trait, a
+//! [`PassManager`] that runs each pass under `catch_unwind` (an escaped
+//! panic becomes an `E030` diagnostic naming the pass, not a dead
+//! process) and memoizes pass results content-addressed the way the
+//! simcache memoizes simulations, plus the concrete compile passes
+//! `parse → analyze → legalize → transform → emit`.
+//!
+//! Memoization is keyed on `(pass name, content digest)` — e.g. the
+//! parse pass keys on the FNV-64 of the source text, the analyze pass
+//! on the printed kernel + launch + GPU-config digest — so a repeat
+//! compile of a hot source replays the cached result (including its
+//! diagnostics) and skips straight to the uncached transform stage.
+//! `CATT_PASS_CACHE=off` disables it; hit/miss counters are exposed
+//! through [`pass_cache_stats`] and feed `BENCH_compile.json`.
+
+use crate::analysis::{analyze_kernel, search_factors, KernelAnalysis, LoopAnalysis};
+use crate::fault::FaultPlan;
+use crate::transform::{tb_throttle, warp_throttle};
+use catt_diag::{codes, Diagnostic};
+use catt_frontend::parse_module_recover;
+use catt_ir::kernel::{Kernel, LaunchConfig, Module};
+use catt_ir::printer;
+use catt_sim::digest::Fnv64;
+use catt_sim::{GpuConfig, SMEM_CONFIGS_KB};
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// One stage of the compile pipeline.
+///
+/// A pass consumes `&Input`, appends any number of typed diagnostics,
+/// and either produces an output or fails (`None`, in which case at
+/// least one error diagnostic explains why). Passes must be
+/// deterministic in their declared [`Pass::cache_key`]: two inputs with
+/// the same key must produce the same output and diagnostics, because
+/// the pass manager will replay a cached result for the second one.
+pub trait Pass {
+    type Input: ?Sized;
+    type Output: Clone + Send + 'static;
+
+    /// Stable pass name (appears in diagnostics and cache stats).
+    fn name(&self) -> &'static str;
+
+    /// Content digest of everything the output depends on, or `None`
+    /// for passes that must re-run every time (e.g. the transform pass,
+    /// which honors the ambient fault plan).
+    fn cache_key(&self, _input: &Self::Input) -> Option<u64> {
+        None
+    }
+
+    /// Run the pass. Errors and warnings go into `diags`; a `None`
+    /// return means the pipeline stops after this pass.
+    fn run(&self, input: &Self::Input, diags: &mut Vec<Diagnostic>) -> Option<Self::Output>;
+}
+
+/// Cumulative hit/miss counters for one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Keep the memo bounded: compile inputs are few and small, but a
+/// long-lived daemon must not grow without limit. Clear-on-full like
+/// the simcache's admission policy, only simpler — the cache refills
+/// from the hot working set within a handful of compiles.
+const PASS_CACHE_CAP: usize = 512;
+
+struct CacheEntry {
+    /// `None` records a failed pass (so repeat submissions of a broken
+    /// source replay its diagnostics without re-parsing).
+    output: Option<Box<dyn Any + Send>>,
+    diags: Vec<Diagnostic>,
+}
+
+fn cache() -> &'static Mutex<HashMap<(&'static str, u64), CacheEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<(&'static str, u64), CacheEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn stats() -> &'static Mutex<HashMap<&'static str, PassStats>> {
+    static STATS: OnceLock<Mutex<HashMap<&'static str, PassStats>>> = OnceLock::new();
+    STATS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic inside a pass can poison these locks (the pass manager
+    // keeps going after catch_unwind); the data is counters + a memo,
+    // both safe to keep using.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Snapshot of every pass's cache counters, sorted by pass name.
+pub fn pass_cache_stats() -> Vec<(&'static str, PassStats)> {
+    let mut out: Vec<_> = lock(stats()).iter().map(|(k, v)| (*k, *v)).collect();
+    out.sort_by_key(|(k, _)| *k);
+    out
+}
+
+/// Drop every memoized pass result and zero the counters (tests and
+/// benchmarks; a running daemon never needs this).
+pub fn reset_pass_cache() {
+    lock(cache()).clear();
+    lock(stats()).clear();
+}
+
+/// Runs passes: panic containment + content-addressed memoization.
+#[derive(Debug, Clone)]
+pub struct PassManager {
+    cache_enabled: bool,
+}
+
+impl Default for PassManager {
+    fn default() -> PassManager {
+        PassManager::from_env()
+    }
+}
+
+impl PassManager {
+    /// Honor `CATT_PASS_CACHE` (`off` / `0` / `false` disable; default on).
+    pub fn from_env() -> PassManager {
+        let cache_enabled = !matches!(
+            std::env::var("CATT_PASS_CACHE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        );
+        PassManager { cache_enabled }
+    }
+
+    /// Explicit cache switch (tests).
+    pub fn with_cache(cache_enabled: bool) -> PassManager {
+        PassManager { cache_enabled }
+    }
+
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Run `pass` on `input`. Cached results (outputs *and* their
+    /// diagnostics) are replayed on a key match; otherwise the pass runs
+    /// under `catch_unwind`, and an escaped panic is reported as an
+    /// `E030` diagnostic carrying the pass name.
+    pub fn run<P: Pass>(
+        &self,
+        pass: &P,
+        input: &P::Input,
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<P::Output> {
+        let key = if self.cache_enabled {
+            pass.cache_key(input).map(|k| (pass.name(), k))
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            let guard = lock(cache());
+            if let Some(entry) = guard.get(&key) {
+                let output = entry
+                    .output
+                    .as_ref()
+                    .and_then(|b| b.downcast_ref::<P::Output>())
+                    .cloned();
+                let cached_diags = entry.diags.clone();
+                drop(guard);
+                lock(stats()).entry(pass.name()).or_default().hits += 1;
+                diags.extend(cached_diags);
+                return output;
+            }
+        }
+
+        let mut local: Vec<Diagnostic> = Vec::new();
+        let result = catch_unwind(AssertUnwindSafe(|| pass.run(input, &mut local)));
+        match result {
+            Ok(output) => {
+                for d in &mut local {
+                    if d.pass.is_none() {
+                        d.pass = Some(pass.name());
+                    }
+                }
+                if let Some(key) = key {
+                    lock(stats()).entry(pass.name()).or_default().misses += 1;
+                    let mut guard = lock(cache());
+                    if guard.len() >= PASS_CACHE_CAP {
+                        guard.clear();
+                    }
+                    guard.insert(
+                        key,
+                        CacheEntry {
+                            output: output
+                                .as_ref()
+                                .map(|o| Box::new(o.clone()) as Box<dyn Any + Send>),
+                            diags: local.clone(),
+                        },
+                    );
+                }
+                diags.extend(local);
+                output
+            }
+            Err(payload) => {
+                // Never cache a panic: it may be environmental, and the
+                // next run deserves a fresh attempt.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                diags.extend(local);
+                diags.push(
+                    Diagnostic::error(
+                        codes::PASS_PANICKED,
+                        format!("internal error: pass `{}` panicked: {msg}", pass.name()),
+                    )
+                    .in_pass(pass.name()),
+                );
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete passes.
+// ---------------------------------------------------------------------
+
+/// `parse`: source text → IR module (recovering parser; all frontend
+/// diagnostics surface here). Cached on the FNV-64 of the source.
+pub struct ParsePass;
+
+impl Pass for ParsePass {
+    type Input = str;
+    type Output = Module;
+
+    fn name(&self) -> &'static str {
+        "parse"
+    }
+
+    fn cache_key(&self, input: &str) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_str(input);
+        Some(h.finish())
+    }
+
+    fn run(&self, input: &str, diags: &mut Vec<Diagnostic>) -> Option<Module> {
+        let outcome = parse_module_recover(input);
+        let clean = outcome.is_clean();
+        diags.extend(outcome.diagnostics);
+        clean.then_some(outcome.module)
+    }
+}
+
+/// `analyze`: kernel → occupancy plan + per-loop footprint decisions
+/// (paper §4.1–4.3), including the Fig. 5 carve-out reconfiguration
+/// when a TB throttle needs shared-memory space. Cached on the printed
+/// kernel + launch + GPU-config digest.
+pub struct AnalyzePass {
+    pub config: GpuConfig,
+    pub launch: LaunchConfig,
+}
+
+impl Pass for AnalyzePass {
+    type Input = Kernel;
+    type Output = KernelAnalysis;
+
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn cache_key(&self, kernel: &Kernel) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_str(&printer::kernel_to_string(kernel));
+        h.write_debug(&self.launch);
+        h.write(&self.config.content_digest().to_le_bytes());
+        Some(h.finish())
+    }
+
+    fn run(&self, kernel: &Kernel, diags: &mut Vec<Diagnostic>) -> Option<KernelAnalysis> {
+        let program = match catt_sim::lower(kernel) {
+            Ok(p) => p,
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error(codes::LOWERING_FAILED, e.to_string())
+                        .with_span(kernel.spans.name),
+                );
+                return None;
+            }
+        };
+        let Some(mut analysis) =
+            analyze_kernel(kernel, self.launch, &self.config, program.num_regs as u32)
+        else {
+            diags.push(
+                Diagnostic::error(
+                    codes::UNLAUNCHABLE,
+                    format!("kernel `{}` cannot launch on the target", kernel.name),
+                )
+                .with_span(kernel.spans.name),
+            );
+            return None;
+        };
+
+        // When any loop needs TB-level throttling on a kernel without free
+        // shared-memory space, the carve-out must be reconfigured (§4.3).
+        // Follow the paper's Fig. 5 setting: largest carve-out, 32 KB L1D,
+        // and re-run the factor search against that capacity.
+        if analysis.tb_throttle_m() > 0 && analysis.plan.smem_carveout_bytes == 0 {
+            let max_kb = SMEM_CONFIGS_KB.last().copied().unwrap_or(96);
+            let mut cfg = self.config.clone();
+            cfg.smem_carveout_bytes = max_kb * 1024;
+            let l1d_lines = (cfg.l1d_bytes() / cfg.l1_line_bytes) as u64;
+            for l in &mut analysis.loops {
+                if l.decision.m > 0 {
+                    let per_round: u64 = l.accesses.iter().map(|a| a.req_warp as u64).sum();
+                    l.decision = search_factors(
+                        per_round,
+                        analysis.warps_per_tb,
+                        analysis.plan.resident_tbs,
+                        l1d_lines,
+                    );
+                }
+            }
+            analysis.plan.config = cfg;
+            analysis.plan.smem_carveout_bytes = max_kb * 1024;
+            analysis.plan.l1d_bytes = analysis.plan.config.l1d_bytes();
+        }
+        Some(analysis)
+    }
+}
+
+/// The legalized throttling plan: which transforms will actually be
+/// applied, after every legality rejection has been reported.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LegalPlan {
+    /// `(loop_id, N)` warp throttles, outermost selected loops only.
+    pub warp: Vec<(usize, u32)>,
+    /// `(target resident TBs, carve-out bytes)` for the kernel-wide TB
+    /// throttle, when one is needed.
+    pub tb: Option<(u32, u32)>,
+}
+
+impl LegalPlan {
+    /// Whether the plan changes the kernel at all.
+    pub fn is_identity(&self) -> bool {
+        self.warp.is_empty() && self.tb.is_none()
+    }
+}
+
+/// `legalize`: analysis decisions → concrete transform plan. Every
+/// loop the analysis wanted to throttle but legality rejects is
+/// reported as a warning naming the loop's source span (`W010` barrier,
+/// `W011` divergent guard, `W012` unresolved factors).
+pub struct LegalizePass;
+
+impl Pass for LegalizePass {
+    type Input = (Kernel, KernelAnalysis);
+    type Output = LegalPlan;
+
+    fn name(&self) -> &'static str {
+        "legalize"
+    }
+
+    fn run(
+        &self,
+        (kernel, analysis): &(Kernel, KernelAnalysis),
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<LegalPlan> {
+        Some(legalize(kernel, analysis, diags))
+    }
+}
+
+fn loop_warning(
+    kernel: &Kernel,
+    l: &LoopAnalysis,
+    code: catt_diag::Code,
+    msg: String,
+) -> Diagnostic {
+    let mut d = Diagnostic::warning(code, msg);
+    if let Some(span) = kernel.spans.loop_span(l.loop_id) {
+        d = d.with_span(span);
+    } else {
+        d = d.with_span(kernel.spans.name);
+    }
+    d
+}
+
+/// Select the transforms the analysis decisions legally permit, with a
+/// typed warning for every rejection. This is the selection logic that
+/// used to live inline in `apply_decisions`.
+pub fn legalize(
+    kernel: &Kernel,
+    analysis: &KernelAnalysis,
+    diags: &mut Vec<Diagnostic>,
+) -> LegalPlan {
+    // Report loops whose contention even maximum throttling cannot fix
+    // (the CORR case, §5.1) — they stay untouched by design.
+    for l in &analysis.loops {
+        if !l.decision.resolved {
+            diags.push(loop_warning(
+                kernel,
+                l,
+                codes::LOOP_UNRESOLVED,
+                format!(
+                    "loop #{} stays unthrottled: even maximum throttling cannot fit its \
+                     footprint in the L1D",
+                    l.loop_id
+                ),
+            ));
+        }
+    }
+
+    // Select loops: resolved, n > 1, no barrier, a block-uniform guard
+    // (spliced barriers under divergent control flow deadlock on real
+    // hardware), and no throttled ancestor.
+    let wants_warp: Vec<&LoopAnalysis> = analysis
+        .loops
+        .iter()
+        .filter(|l| l.decision.is_throttled() && l.decision.n > 1)
+        .collect();
+    let mut throttled: Vec<&LoopAnalysis> = Vec::new();
+    for l in &wants_warp {
+        if l.has_barrier {
+            diags.push(loop_warning(
+                kernel,
+                l,
+                codes::LOOP_SKIPPED_BARRIER,
+                format!(
+                    "loop #{} needs warp throttling (N={}) but contains a barrier; \
+                     splitting it would interleave barrier sites",
+                    l.loop_id, l.decision.n
+                ),
+            ));
+        } else if l.divergent_guard {
+            diags.push(loop_warning(
+                kernel,
+                l,
+                codes::LOOP_SKIPPED_DIVERGENT,
+                format!(
+                    "loop #{} needs warp throttling (N={}) but sits under a \
+                     thread-divergent guard; a spliced barrier would deadlock",
+                    l.loop_id, l.decision.n
+                ),
+            ));
+        } else {
+            throttled.push(l);
+        }
+    }
+    let warp: Vec<(usize, u32)> = throttled
+        .iter()
+        .filter(|l| {
+            // Walk ancestors; drop if any ancestor is itself selected.
+            let mut p = l.parent;
+            while let Some(pid) = p {
+                if throttled.iter().any(|t| t.loop_id == pid) {
+                    return false;
+                }
+                p = analysis
+                    .loops
+                    .iter()
+                    .find(|x| x.loop_id == pid)
+                    .and_then(|x| x.parent);
+            }
+            true
+        })
+        .map(|l| (l.loop_id, l.decision.n))
+        .collect();
+
+    let m = analysis.tb_throttle_m();
+    let tb = (m > 0 && m < analysis.plan.resident_tbs).then(|| {
+        (
+            analysis.plan.resident_tbs - m,
+            analysis.plan.config.smem_carveout_bytes,
+        )
+    });
+
+    LegalPlan { warp, tb }
+}
+
+/// What the transform stage produced: the (possibly) rewritten kernel,
+/// plus the structured fallback diagnostic when the transform had to be
+/// abandoned and the original code is used instead.
+#[derive(Debug, Clone)]
+pub struct TransformOutcome {
+    pub kernel: Kernel,
+    pub fallback: Option<Diagnostic>,
+}
+
+/// `transform`: apply the legalized plan with a guard rail — a
+/// transform that panics or produces a kernel that no longer lowers
+/// falls back to the *original* code (correct, merely unthrottled) with
+/// a typed `W001`/`W002` diagnostic. Never cached: it honors the
+/// ambient fault plan.
+pub struct TransformPass {
+    pub fault: FaultPlan,
+}
+
+impl Pass for TransformPass {
+    type Input = (Kernel, KernelAnalysis, LegalPlan);
+    type Output = TransformOutcome;
+
+    fn name(&self) -> &'static str {
+        "transform"
+    }
+
+    fn run(
+        &self,
+        (kernel, analysis, plan): &(Kernel, KernelAnalysis, LegalPlan),
+        _diags: &mut Vec<Diagnostic>,
+    ) -> Option<TransformOutcome> {
+        if self.fault.fail_transform {
+            return Some(TransformOutcome {
+                kernel: kernel.clone(),
+                fallback: Some(
+                    Diagnostic::warning(
+                        codes::FAULT_FALLBACK,
+                        "fault injection: transform forced to fail",
+                    )
+                    .with_span(kernel.spans.name),
+                ),
+            });
+        }
+        match catch_unwind(AssertUnwindSafe(|| apply_plan(kernel, analysis, plan))) {
+            Ok(transformed) => match catt_sim::lower(&transformed) {
+                Ok(_) => Some(TransformOutcome {
+                    kernel: transformed,
+                    fallback: None,
+                }),
+                Err(e) => Some(TransformOutcome {
+                    kernel: kernel.clone(),
+                    fallback: Some(
+                        Diagnostic::warning(
+                            codes::TRANSFORM_FALLBACK,
+                            format!("transformed kernel fails to lower: {e}"),
+                        )
+                        .with_span(kernel.spans.name),
+                    ),
+                }),
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Some(TransformOutcome {
+                    kernel: kernel.clone(),
+                    fallback: Some(
+                        Diagnostic::warning(
+                            codes::TRANSFORM_FALLBACK,
+                            format!("transform panicked: {msg}"),
+                        )
+                        .with_span(kernel.spans.name),
+                    ),
+                })
+            }
+        }
+    }
+}
+
+/// Apply a legalized plan: warp throttles from the highest loop id down
+/// (so earlier ids stay valid while later subtrees get duplicated),
+/// then the kernel-wide TB throttle.
+pub fn apply_plan(kernel: &Kernel, analysis: &KernelAnalysis, plan: &LegalPlan) -> Kernel {
+    let mut out = kernel.clone();
+    let mut ordered = plan.warp.clone();
+    ordered.sort_by_key(|&(id, _)| std::cmp::Reverse(id));
+    for (id, n) in ordered {
+        if let Some(t) = warp_throttle(&out, id, n, analysis.warps_per_tb) {
+            out = t;
+        }
+    }
+    if let Some((target, carveout)) = plan.tb {
+        if let Some(t) = tb_throttle(&out, target, carveout, kernel.shared_mem_bytes()) {
+            out = t;
+        }
+    }
+    out
+}
+
+/// `emit`: kernel → CUDA source (the pretty printer; cannot fail).
+pub struct EmitPass;
+
+impl Pass for EmitPass {
+    type Input = Kernel;
+    type Output = String;
+
+    fn name(&self) -> &'static str {
+        "emit"
+    }
+
+    fn run(&self, kernel: &Kernel, _diags: &mut Vec<Diagnostic>) -> Option<String> {
+        Some(printer::kernel_to_string(kernel))
+    }
+}

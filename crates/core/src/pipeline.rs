@@ -1,24 +1,75 @@
-//! End-to-end CATT driver: `parse → analyze → transform → emit`.
+//! End-to-end CATT driver: the staged pass pipeline
+//! `parse → analyze → legalize → transform → emit`.
+//!
+//! Each stage is a [`crate::passes::Pass`] run by a
+//! [`crate::passes::PassManager`]: panics are contained (an escaped
+//! panic becomes an `E030` diagnostic naming the pass), and the parse
+//! and analyze stages are memoized content-addressed so a repeat
+//! compile of a hot source skips straight to the transform.
 
-use crate::analysis::{analyze_kernel, search_factors, KernelAnalysis};
+use crate::analysis::KernelAnalysis;
 use crate::fault::FaultPlan;
-use crate::transform::{tb_throttle, warp_throttle};
-use catt_frontend::parse_module;
+use crate::passes::{
+    legalize, AnalyzePass, EmitPass, LegalizePass, ParsePass, PassManager, TransformPass,
+};
+use catt_diag::{codes, Diagnostic, Severity};
 use catt_ir::kernel::{Kernel, LaunchConfig};
-use catt_ir::printer;
-use catt_sim::{GpuConfig, SMEM_CONFIGS_KB};
+use catt_sim::GpuConfig;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Pipeline error (parse or lowering failure, or an unlaunchable kernel).
+/// Pipeline failure: one or more error diagnostics (parse errors,
+/// lowering failures, an unlaunchable kernel, a panicked pass).
+///
+/// `message` mirrors the first error's message for quick formatting;
+/// `diagnostics` carries every typed diagnostic (errors *and* the
+/// warnings that accompanied them) with codes and source spans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineError {
     pub message: String,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PipelineError {
+    /// Build from a diagnostic list; guarantees at least one error
+    /// diagnostic is present (every pipeline `Err` must explain itself).
+    pub fn from_diags(mut diagnostics: Vec<Diagnostic>) -> PipelineError {
+        if !diagnostics.iter().any(|d| d.severity == Severity::Error) {
+            diagnostics.push(Diagnostic::error(
+                codes::PASS_PANICKED,
+                "internal error: pipeline failed without reporting an error",
+            ));
+        }
+        let message = diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map(|d| d.message.clone())
+            .unwrap_or_default();
+        PipelineError {
+            message,
+            diagnostics,
+        }
+    }
+
+    /// The error-severity diagnostics (skips riding-along warnings).
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CATT pipeline: {}", self.message)
+        write!(f, "CATT pipeline: {}", self.message)?;
+        let extra = self.errors().count().saturating_sub(1);
+        if extra > 0 {
+            write!(
+                f,
+                " (and {extra} more error{})",
+                if extra == 1 { "" } else { "s" }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -40,8 +91,13 @@ pub struct CompiledKernel {
     pub emitted_source: String,
     /// Why the throttling transform was abandoned, when it was: the
     /// kernel fell back to its original code (`transformed == original`)
-    /// and this records the diagnostic. `None` on a clean compile.
-    pub fallback_diagnostic: Option<String>,
+    /// and this records the typed diagnostic (`W001` transform fallback,
+    /// `W002` injected fault). `None` on a clean compile.
+    pub fallback_diagnostic: Option<Diagnostic>,
+    /// Warnings from the compile — chiefly legality rejections (`W010`
+    /// barrier, `W011` divergent guard, `W012` unresolvable footprint),
+    /// each naming the offending loop's source span.
+    pub warnings: Vec<Diagnostic>,
 }
 
 impl CompiledKernel {
@@ -80,21 +136,32 @@ pub struct Pipeline {
     base_config: GpuConfig,
     /// Armed fault injections (`fail-transform` forces the fallback path).
     fault: FaultPlan,
+    /// Runs the passes: panic containment + content-addressed memoization.
+    manager: PassManager,
 }
 
 impl Pipeline {
     /// A pipeline targeting `config` (e.g. [`GpuConfig::titan_v`]).
-    /// Honors the `CATT_FAULT_PLAN` environment variable.
+    /// Honors the `CATT_FAULT_PLAN` and `CATT_PASS_CACHE` environment
+    /// variables.
     pub fn new(base_config: GpuConfig) -> Pipeline {
         Pipeline {
             base_config,
             fault: FaultPlan::from_env(),
+            manager: PassManager::from_env(),
         }
     }
 
     /// Replace the fault plan (builder-style, for fault-injection tests).
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Pipeline {
         self.fault = fault;
+        self
+    }
+
+    /// Force the pass cache on or off regardless of the environment
+    /// (builder-style, for tests and benchmarks).
+    pub fn with_pass_cache(mut self, enabled: bool) -> Pipeline {
+        self.manager = PassManager::with_cache(enabled);
         self
     }
 
@@ -111,109 +178,92 @@ impl Pipeline {
         src: &str,
         launches: &[(&str, LaunchConfig)],
     ) -> Result<CompiledApp, PipelineError> {
-        let module = parse_module(src).map_err(|e| PipelineError {
-            message: e.to_string(),
-        })?;
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        let Some(module) = self.manager.run(&ParsePass, src, &mut diags) else {
+            catt_diag::locate(&mut diags, src);
+            return Err(PipelineError::from_diags(diags));
+        };
         let mut kernels = Vec::new();
         for k in &module.kernels {
-            let launch = launches
-                .iter()
-                .find(|(n, _)| *n == k.name)
-                .map(|(_, l)| *l)
-                .ok_or_else(|| PipelineError {
-                    message: format!("no launch configuration for kernel `{}`", k.name),
-                })?;
-            kernels.push(self.compile_kernel(k, launch)?);
+            let Some(launch) = launches.iter().find(|(n, _)| *n == k.name).map(|(_, l)| *l) else {
+                diags.push(
+                    Diagnostic::error(
+                        codes::MISSING_LAUNCH,
+                        format!("no launch configuration for kernel `{}`", k.name),
+                    )
+                    .with_span(k.spans.name),
+                );
+                catt_diag::locate(&mut diags, src);
+                return Err(PipelineError::from_diags(diags));
+            };
+            match self.compile_kernel(k, launch) {
+                Ok(mut compiled) => {
+                    catt_diag::locate(&mut compiled.warnings, src);
+                    if let Some(fb) = &mut compiled.fallback_diagnostic {
+                        let mut one = vec![fb.clone()];
+                        catt_diag::locate(&mut one, src);
+                        *fb = one.pop().unwrap_or_else(|| fb.clone());
+                    }
+                    kernels.push(compiled);
+                }
+                Err(mut e) => {
+                    catt_diag::locate(&mut e.diagnostics, src);
+                    return Err(e);
+                }
+            }
         }
         Ok(CompiledApp { kernels })
     }
 
-    /// Compile one kernel.
+    /// Compile one kernel through the staged passes.
     pub fn compile_kernel(
         &self,
         kernel: &Kernel,
         launch: LaunchConfig,
     ) -> Result<CompiledKernel, PipelineError> {
-        let program = catt_sim::lower(kernel).map_err(|e| PipelineError {
-            message: e.to_string(),
-        })?;
-        let mut analysis =
-            analyze_kernel(kernel, launch, &self.base_config, program.num_regs as u32).ok_or_else(
-                || PipelineError {
-                    message: format!("kernel `{}` cannot launch on the target", kernel.name),
-                },
-            )?;
+        let mut diags: Vec<Diagnostic> = Vec::new();
 
-        // When any loop needs TB-level throttling on a kernel without free
-        // shared-memory space, the carve-out must be reconfigured (§4.3).
-        // Follow the paper's Fig. 5 setting: largest carve-out, 32 KB L1D,
-        // and re-run the factor search against that capacity.
-        if analysis.tb_throttle_m() > 0 && analysis.plan.smem_carveout_bytes == 0 {
-            let max_kb = *SMEM_CONFIGS_KB.last().expect("carve-out table");
-            let mut cfg = self.base_config.clone();
-            cfg.smem_carveout_bytes = max_kb * 1024;
-            let l1d_lines = (cfg.l1d_bytes() / cfg.l1_line_bytes) as u64;
-            for l in &mut analysis.loops {
-                if l.decision.m > 0 {
-                    let per_round: u64 = l.accesses.iter().map(|a| a.req_warp as u64).sum();
-                    l.decision = search_factors(
-                        per_round,
-                        analysis.warps_per_tb,
-                        analysis.plan.resident_tbs,
-                        l1d_lines,
-                    );
-                }
-            }
-            analysis.plan.config = cfg;
-            analysis.plan.smem_carveout_bytes = max_kb * 1024;
-            analysis.plan.l1d_bytes = analysis.plan.config.l1d_bytes();
+        let analyze = AnalyzePass {
+            config: self.base_config.clone(),
+            launch,
+        };
+        let Some(analysis) = self.manager.run(&analyze, kernel, &mut diags) else {
+            return Err(PipelineError::from_diags(diags));
+        };
+
+        let legal_input = (kernel.clone(), analysis.clone());
+        let Some(plan) = self.manager.run(&LegalizePass, &legal_input, &mut diags) else {
+            return Err(PipelineError::from_diags(diags));
+        };
+
+        let transform = TransformPass {
+            fault: self.fault.clone(),
+        };
+        let tr_input = (kernel.clone(), analysis.clone(), plan);
+        let Some(outcome) = self.manager.run(&transform, &tr_input, &mut diags) else {
+            return Err(PipelineError::from_diags(diags));
+        };
+
+        let Some(emitted_source) = self.manager.run(&EmitPass, &outcome.kernel, &mut diags) else {
+            return Err(PipelineError::from_diags(diags));
+        };
+
+        // Anything error-severity at this point means a pass panicked
+        // mid-flight even though a later stage produced output — fail
+        // loudly rather than ship a suspect kernel.
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            return Err(PipelineError::from_diags(diags));
         }
 
-        let (transformed, fallback_diagnostic) = self.transform_with_fallback(kernel, &analysis);
-        let emitted_source = printer::kernel_to_string(&transformed);
         Ok(CompiledKernel {
             original: kernel.clone(),
-            transformed,
+            transformed: outcome.kernel,
             launch,
             analysis,
             emitted_source,
-            fallback_diagnostic,
+            fallback_diagnostic: outcome.fallback,
+            warnings: diags,
         })
-    }
-
-    /// Apply the throttling decisions with a guard rail: a transform that
-    /// panics or produces a kernel that no longer lowers falls back to
-    /// the *original* code — correct, merely unthrottled — with the
-    /// diagnostic recorded. A mis-transformed kernel must never be worse
-    /// than no transform at all.
-    fn transform_with_fallback(
-        &self,
-        kernel: &Kernel,
-        analysis: &KernelAnalysis,
-    ) -> (Kernel, Option<String>) {
-        if self.fault.fail_transform {
-            return (
-                kernel.clone(),
-                Some("fault injection: transform forced to fail".to_string()),
-            );
-        }
-        match catch_unwind(AssertUnwindSafe(|| apply_decisions(kernel, analysis))) {
-            Ok(transformed) => match catt_sim::lower(&transformed) {
-                Ok(_) => (transformed, None),
-                Err(e) => (
-                    kernel.clone(),
-                    Some(format!("transformed kernel fails to lower: {e}")),
-                ),
-            },
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                (kernel.clone(), Some(format!("transform panicked: {msg}")))
-            }
-        }
     }
 }
 
@@ -221,61 +271,13 @@ impl Pipeline {
 /// every outermost resolved loop (descendants of a throttled loop are
 /// skipped — splitting nested loops would interleave barrier sites), then
 /// one kernel-wide TB throttle for the largest `M`.
+///
+/// This is the legalize + apply steps fused, without diagnostics — the
+/// convenience entry point for callers that already hold an analysis.
 pub fn apply_decisions(kernel: &Kernel, analysis: &KernelAnalysis) -> Kernel {
-    let mut out = kernel.clone();
-    // Select loops: resolved, n > 1, no barrier, a block-uniform guard
-    // (spliced barriers under divergent control flow deadlock on real
-    // hardware), and no throttled ancestor.
-    let throttled: Vec<&crate::analysis::LoopAnalysis> = analysis
-        .loops
-        .iter()
-        .filter(|l| {
-            l.decision.is_throttled() && l.decision.n > 1 && !l.has_barrier && !l.divergent_guard
-        })
-        .collect();
-    let selected: Vec<(usize, u32)> = throttled
-        .iter()
-        .filter(|l| {
-            // Walk ancestors; drop if any ancestor is itself selected.
-            let mut p = l.parent;
-            while let Some(pid) = p {
-                if throttled.iter().any(|t| t.loop_id == pid) {
-                    return false;
-                }
-                p = analysis
-                    .loops
-                    .iter()
-                    .find(|x| x.loop_id == pid)
-                    .and_then(|x| x.parent);
-            }
-            true
-        })
-        .map(|l| (l.loop_id, l.decision.n))
-        .collect();
-
-    // Apply from the highest loop id down so earlier ids stay valid while
-    // later subtrees get duplicated.
-    let mut ordered = selected;
-    ordered.sort_by_key(|&(id, _)| std::cmp::Reverse(id));
-    for (id, n) in ordered {
-        if let Some(t) = warp_throttle(&out, id, n, analysis.warps_per_tb) {
-            out = t;
-        }
-    }
-
-    let m = analysis.tb_throttle_m();
-    if m > 0 && m < analysis.plan.resident_tbs {
-        let target = analysis.plan.resident_tbs - m;
-        if let Some(t) = tb_throttle(
-            &out,
-            target,
-            analysis.plan.config.smem_carveout_bytes,
-            kernel.shared_mem_bytes(),
-        ) {
-            out = t;
-        }
-    }
-    out
+    let mut diags = Vec::new();
+    let plan = legalize(kernel, analysis, &mut diags);
+    crate::passes::apply_plan(kernel, analysis, &plan)
 }
 
 /// Apply a *uniform* `(n, m)` throttling to a kernel — the BFTT baseline's
@@ -289,6 +291,7 @@ pub fn apply_uniform(
     resident_tbs: u32,
     carveout_bytes: u32,
 ) -> Kernel {
+    use crate::transform::{tb_throttle, warp_throttle};
     let mut out = kernel.clone();
     if n > 1 {
         // The block shape is implied by `warps_per_tb`; it feeds the
@@ -319,6 +322,7 @@ pub fn apply_uniform(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use catt_ir::printer;
 
     const ATAX_SRC: &str = "
         #define NX 4096
@@ -366,6 +370,29 @@ mod tests {
             .compile_source(ATAX_SRC, &[("atax1", LaunchConfig::d1(640, 256))])
             .unwrap_err();
         assert!(err.message.contains("atax2"));
+        let first = err.errors().next().expect("a typed diagnostic");
+        assert_eq!(first.code, codes::MISSING_LAUNCH);
+        assert!(first.span.is_some(), "points at the kernel name");
+        assert!(first.line > 0, "line/col located against the source");
+    }
+
+    #[test]
+    fn parse_errors_carry_spanned_diagnostics() {
+        let pipe = Pipeline::new(GpuConfig::titan_v());
+        let err = pipe
+            .compile_source(
+                "__global__ void k(float *A) { A[0] = ; }",
+                &[("k", LaunchConfig::d1(1, 64))],
+            )
+            .unwrap_err();
+        assert!(!err.diagnostics.is_empty());
+        for d in err.errors() {
+            assert!(
+                d.span.is_some(),
+                "{}: parse errors carry spans",
+                d.headline()
+            );
+        }
     }
 
     #[test]
@@ -408,6 +435,41 @@ mod tests {
         if m > 0 {
             assert!(k1.analysis.plan.smem_carveout_bytes > 0);
             assert!(k1.transformed.shared_mem_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn legality_rejections_surface_as_spanned_warnings() {
+        // A barrier inside a contended loop: the analysis wants to warp-
+        // throttle it, legality refuses, and the compile records a W010
+        // naming the loop's span.
+        let src = "
+            #define NX 4096
+            __global__ void k(float *A, float *tmp) {
+                int i = blockIdx.x * blockDim.x + threadIdx.x;
+                for (int j = 0; j < NX; j++) {
+                    tmp[i] += A[i * NX + j];
+                    __syncthreads();
+                }
+            }";
+        let pipe = Pipeline::new(GpuConfig::titan_v());
+        let app = pipe
+            .compile_source(src, &[("k", LaunchConfig::d1(640, 256))])
+            .unwrap();
+        let k = &app.kernels[0];
+        if k.analysis
+            .loops
+            .iter()
+            .any(|l| l.decision.n > 1 && l.has_barrier)
+        {
+            let w = k
+                .warnings
+                .iter()
+                .find(|d| d.code == codes::LOOP_SKIPPED_BARRIER)
+                .expect("barrier rejection reported");
+            let span = w.span.expect("names the loop span");
+            let text = &src[span.start as usize..span.end as usize];
+            assert!(text.starts_with("for"), "span covers the loop: {text:?}");
         }
     }
 }

@@ -317,8 +317,9 @@ fn failed_transform_falls_back_to_the_original_kernel() {
         compiled.transformed, kernel,
         "fallback ships the original code"
     );
-    let diag = compiled.fallback_diagnostic.as_deref().unwrap();
-    assert!(diag.contains("fault injection"), "{diag}");
+    let diag = compiled.fallback_diagnostic.as_ref().unwrap();
+    assert!(diag.message.contains("fault injection"), "{}", diag.message);
+    assert_eq!(diag.code.as_str(), "W002", "typed fault-injection code");
 
     // The healthy pipeline transforms the same kernel (the fault, not
     // the kernel, caused the fallback) and multiversion surfaces the

@@ -1,0 +1,168 @@
+//! The pass-cache contract: memoized recompiles skip parse/analyze
+//! (observable through the hit counters), failures replay their
+//! diagnostics, a disabled cache never counts anything, and a panicking
+//! pass is contained as an `E030` diagnostic instead of an unwind.
+//!
+//! The cache and its counters are process-global, so every test
+//! serializes on one lock and resets the cache first.
+
+use catt_core::{pass_cache_stats, reset_pass_cache, Pass, PassManager, Pipeline, PipelineError};
+use catt_diag::Diagnostic;
+use catt_sim::GpuConfig;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn stats_map() -> HashMap<&'static str, catt_core::PassStats> {
+    pass_cache_stats().into_iter().collect()
+}
+
+const SRC: &str = "#define NX 64\n\
+                   __global__ void k(float *a, float *b, int n) {\n\
+                   int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+                   if (i < NX) { for (int j = 0; j < NX; j++) { a[i] += b[j]; } }\n\
+                   }\n";
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(GpuConfig::titan_v_1sm()).with_pass_cache(true)
+}
+
+fn launches() -> Vec<(&'static str, catt_ir::LaunchConfig)> {
+    vec![("k", catt_ir::LaunchConfig::d1(320, 256))]
+}
+
+#[test]
+fn memoized_recompile_skips_parse_and_analyze() {
+    let _g = serial();
+    reset_pass_cache();
+    let pipe = pipeline();
+
+    let cold = pipe.compile_source(SRC, &launches()).expect("cold compile");
+    let after_cold = stats_map();
+    assert_eq!(after_cold["parse"].hits, 0, "cold run cannot hit");
+    assert_eq!(after_cold["parse"].misses, 1);
+    assert_eq!(after_cold["analyze"].hits, 0);
+    assert_eq!(after_cold["analyze"].misses, 1);
+
+    let warm = pipe.compile_source(SRC, &launches()).expect("warm compile");
+    let after_warm = stats_map();
+    assert_eq!(
+        after_warm["parse"].hits, 1,
+        "recompile must reuse the parse"
+    );
+    assert_eq!(after_warm["parse"].misses, 1, "no second parse miss");
+    assert_eq!(
+        after_warm["analyze"].hits, 1,
+        "recompile must reuse the analysis"
+    );
+    assert_eq!(after_warm["analyze"].misses, 1);
+
+    // Replayed results are the real results.
+    assert_eq!(
+        cold.kernels[0].emitted_source,
+        warm.kernels[0].emitted_source
+    );
+}
+
+#[test]
+fn analysis_cache_keys_on_launch_and_config() {
+    let _g = serial();
+    reset_pass_cache();
+    let pipe = pipeline();
+
+    pipe.compile_source(SRC, &launches()).expect("first");
+    // Same source, different launch: parse hits, analyze misses.
+    pipe.compile_source(SRC, &[("k", catt_ir::LaunchConfig::d1(160, 128))])
+        .expect("second");
+    let s = stats_map();
+    assert_eq!(s["parse"].hits, 1);
+    assert_eq!(s["analyze"].hits, 0, "launch is part of the analysis key");
+    assert_eq!(s["analyze"].misses, 2);
+
+    // Different GPU config: analyze misses again.
+    let mut config = GpuConfig::titan_v_1sm();
+    config.l1_cap_bytes = Some(32 * 1024);
+    Pipeline::new(config)
+        .with_pass_cache(true)
+        .compile_source(SRC, &launches())
+        .expect("third");
+    let s = stats_map();
+    assert_eq!(s["parse"].hits, 2);
+    assert_eq!(s["analyze"].misses, 3, "config is part of the analysis key");
+}
+
+#[test]
+fn failed_parses_replay_their_diagnostics() {
+    let _g = serial();
+    reset_pass_cache();
+    let pipe = pipeline();
+    let bad = "__global__ void k(float *a, int n) { a[0] = @; }";
+
+    let e1: PipelineError = pipe.compile_source(bad, &launches()).unwrap_err();
+    let e2: PipelineError = pipe.compile_source(bad, &launches()).unwrap_err();
+    assert!(!e1.diagnostics.is_empty());
+    assert_eq!(
+        e1.diagnostics, e2.diagnostics,
+        "cached failure replays verbatim"
+    );
+    let s = stats_map();
+    assert_eq!(s["parse"].hits, 1, "the failure itself is memoized");
+    assert_eq!(s["parse"].misses, 1);
+}
+
+#[test]
+fn disabled_cache_reruns_every_pass() {
+    let _g = serial();
+    reset_pass_cache();
+    let pipe = Pipeline::new(GpuConfig::titan_v_1sm()).with_pass_cache(false);
+
+    pipe.compile_source(SRC, &launches()).expect("first");
+    pipe.compile_source(SRC, &launches()).expect("second");
+    let s = stats_map();
+    assert!(
+        s.values().all(|v| v.hits == 0 && v.misses == 0),
+        "a disabled cache must not count at all: {s:?}"
+    );
+}
+
+/// A pass that always panics: the manager must convert the unwind into
+/// an `E030` diagnostic naming the pass, and must not cache it.
+struct PanickyPass;
+
+impl Pass for PanickyPass {
+    type Input = str;
+    type Output = ();
+
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+
+    fn run(&self, _input: &str, _diags: &mut Vec<Diagnostic>) -> Option<()> {
+        panic!("deliberate test panic");
+    }
+}
+
+#[test]
+fn escaped_panics_become_e030_diagnostics() {
+    let _g = serial();
+    reset_pass_cache();
+    let manager = PassManager::with_cache(true);
+    let mut diags = Vec::new();
+    let out = manager.run(&PanickyPass, "anything", &mut diags);
+    assert!(out.is_none());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code.as_str(), "E030");
+    assert_eq!(diags[0].pass, Some("panicky"));
+    assert!(
+        diags[0].message.contains("deliberate test panic"),
+        "panic payload surfaced: {}",
+        diags[0].message
+    );
+}

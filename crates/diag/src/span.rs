@@ -1,0 +1,138 @@
+//! Byte spans and the offset → line/column index.
+
+/// A half-open byte range `[start, end)` into the source text a
+/// diagnostic refers to. Offsets are byte offsets, not char offsets:
+/// the lexer only ever starts and ends tokens on character boundaries,
+/// so a span produced by the frontend always slices cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-length span at one offset (insertion point, EOF).
+    pub fn point(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn len(self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` iff the span lies within a source of `src_len` bytes and
+    /// is well-ordered. The fuzz campaign asserts this on every
+    /// diagnostic the frontend emits.
+    pub fn in_bounds(self, src_len: usize) -> bool {
+        self.start <= self.end && (self.end as usize) <= src_len
+    }
+}
+
+/// Precomputed line-start table for O(log n) offset → (line, col)
+/// translation. Lines and columns are 1-based; column counts bytes,
+/// matching what the lexer has always reported.
+#[derive(Debug, Clone)]
+pub struct LineIndex {
+    /// Byte offset of the start of each line; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl LineIndex {
+    pub fn new(src: &str) -> LineIndex {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineIndex {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// (line, col), both 1-based, for a byte offset. Offsets past the
+    /// end clamp to the final position.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let offset = offset.min(self.len);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The text of 1-based line `line` in `src`, without its newline.
+    pub fn line_text<'s>(&self, src: &'s str, line: u32) -> &'s str {
+        let i = (line as usize).saturating_sub(1);
+        if i >= self.line_starts.len() {
+            return "";
+        }
+        let start = self.line_starts[i] as usize;
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(src.len());
+        src[start..end.min(src.len())].trim_end_matches(['\n', '\r'])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(s.in_bounds(7));
+        assert!(!s.in_bounds(6));
+        assert!(Span::point(5).is_empty());
+        assert_eq!(Span::new(1, 2).to(Span::new(5, 9)), Span::new(1, 9));
+        assert!(!Span { start: 4, end: 2 }.in_bounds(10));
+    }
+
+    #[test]
+    fn line_index_maps_offsets() {
+        let src = "ab\ncde\n\nf";
+        let ix = LineIndex::new(src);
+        assert_eq!(ix.line_col(0), (1, 1));
+        assert_eq!(ix.line_col(2), (1, 3)); // the '\n' itself
+        assert_eq!(ix.line_col(3), (2, 1));
+        assert_eq!(ix.line_col(5), (2, 3));
+        assert_eq!(ix.line_col(7), (3, 1));
+        assert_eq!(ix.line_col(8), (4, 1));
+        assert_eq!(ix.line_col(100), (4, 2)); // clamped to EOF
+        assert_eq!(ix.line_text(src, 1), "ab");
+        assert_eq!(ix.line_text(src, 2), "cde");
+        assert_eq!(ix.line_text(src, 3), "");
+        assert_eq!(ix.line_text(src, 4), "f");
+        assert_eq!(ix.line_text(src, 9), "");
+    }
+
+    #[test]
+    fn line_index_empty_source() {
+        let ix = LineIndex::new("");
+        assert_eq!(ix.line_col(0), (1, 1));
+        assert_eq!(ix.line_col(5), (1, 1));
+    }
+}

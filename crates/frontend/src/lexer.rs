@@ -1,5 +1,14 @@
 //! Tokenizer for the CUDA-C subset.
+//!
+//! Errors are reported as [`catt_diag::Diagnostic`]s with byte spans
+//! into the source; [`Lexer::tokenize_recover`] additionally *recovers*
+//! (skip the offending byte or malformed literal and keep lexing) so
+//! one submission can surface every lexical error at once. The lexer
+//! contains no panic or unwrap sites: arbitrary byte soup — including
+//! invalid UTF-8 reached through fuzzing — lexes to tokens plus
+//! diagnostics.
 
+use catt_diag::{codes, Diagnostic, Span};
 use std::fmt;
 
 /// Token kinds.
@@ -28,12 +37,14 @@ const PUNCTS: &[&str] = &[
     "%", "<", ">", "=", "!", "&", "|", "^", "?", ":", ".", "~",
 ];
 
-/// A token with its source position (1-based line and column).
+/// A token with its source position (1-based line and column) and byte
+/// span into the original source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
     pub line: u32,
     pub col: u32,
+    pub span: Span,
 }
 
 impl fmt::Display for TokenKind {
@@ -48,22 +59,6 @@ impl fmt::Display for TokenKind {
         }
     }
 }
-
-/// Lexer error (unexpected character / malformed literal).
-#[derive(Debug, Clone, PartialEq)]
-pub struct LexError {
-    pub message: String,
-    pub line: u32,
-    pub col: u32,
-}
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.line, self.col, self.message)
-    }
-}
-
-impl std::error::Error for LexError {}
 
 /// Streaming tokenizer.
 pub struct Lexer<'a> {
@@ -84,17 +79,59 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    /// Tokenize the entire input (convenience for the parser), appending a
-    /// final `Eof` token.
-    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+    /// Tokenize the entire input, appending a final `Eof` token. Stops
+    /// at the first lexical error.
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, Diagnostic> {
+        let (tokens, mut diags) = Lexer::tokenize_recover(src);
+        if diags.is_empty() {
+            Ok(tokens)
+        } else {
+            Err(diags.remove(0))
+        }
+    }
+
+    /// Tokenize with recovery: every lexical error becomes a diagnostic
+    /// and lexing continues past it. The token stream always ends with
+    /// `Eof`, so the parser can run over partially-broken input.
+    pub fn tokenize_recover(src: &'a str) -> (Vec<Token>, Vec<Diagnostic>) {
         let mut lx = Lexer::new(src);
         let mut out = Vec::new();
+        let mut diags = Vec::new();
         loop {
-            let t = lx.next_token()?;
-            let is_eof = t.kind == TokenKind::Eof;
-            out.push(t);
-            if is_eof {
-                return Ok(out);
+            let before = lx.pos;
+            match lx.next_token() {
+                Ok(t) => {
+                    let is_eof = t.kind == TokenKind::Eof;
+                    out.push(t);
+                    if is_eof {
+                        return (out, diags);
+                    }
+                }
+                Err(d) => {
+                    // Same error budget as the parser: past it, keep
+                    // consuming (so the token stream stays usable) but
+                    // stop accumulating diagnostics — a pathological
+                    // input must not allocate one per byte.
+                    if diags.len() < crate::parser::MAX_ERRORS {
+                        diags.push(d);
+                    }
+                    // Recovery: every error path in `next_token` consumes
+                    // at least the offending byte; the defensive bump
+                    // guarantees progress even if one does not.
+                    if lx.pos == before {
+                        lx.bump();
+                    }
+                    if lx.pos >= lx.src.len() {
+                        let at = lx.pos as u32;
+                        out.push(Token {
+                            kind: TokenKind::Eof,
+                            line: lx.line,
+                            col: lx.col,
+                            span: Span::point(at),
+                        });
+                        return (out, diags);
+                    }
+                }
             }
         }
     }
@@ -119,7 +156,28 @@ impl<'a> Lexer<'a> {
         Some(c)
     }
 
-    fn skip_trivia(&mut self) -> Result<(), LexError> {
+    /// Slice `[start, pos)` as text. The lexer only groups ASCII bytes
+    /// into multi-byte tokens, so this is normally valid UTF-8; the
+    /// lossy fallback keeps arbitrary byte soup panic-free.
+    fn text(&self, start: usize) -> std::borrow::Cow<'a, str> {
+        String::from_utf8_lossy(&self.src[start..self.pos])
+    }
+
+    fn error(
+        &self,
+        code: catt_diag::Code,
+        message: String,
+        start: usize,
+        line: u32,
+        col: u32,
+    ) -> Diagnostic {
+        let end = self.pos.max(start + 1).min(self.src.len()).max(start);
+        Diagnostic::error(code, message)
+            .with_span(Span::new(start as u32, end as u32))
+            .at(line, col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
         loop {
             match self.peek() {
                 Some(c) if c.is_ascii_whitespace() => {
@@ -134,7 +192,7 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(b'/') if self.peek2() == Some(b'*') => {
-                    let (line, col) = (self.line, self.col);
+                    let (start, line, col) = (self.pos, self.line, self.col);
                     self.bump();
                     self.bump();
                     loop {
@@ -148,11 +206,12 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                             }
                             None => {
-                                return Err(LexError {
-                                    message: "unterminated block comment".into(),
-                                    line,
-                                    col,
-                                })
+                                return Err(Diagnostic::error(
+                                    codes::UNTERMINATED_COMMENT,
+                                    "unterminated block comment",
+                                )
+                                .with_span(Span::new(start as u32, (start + 2) as u32))
+                                .at(line, col));
                             }
                         }
                     }
@@ -163,34 +222,35 @@ impl<'a> Lexer<'a> {
     }
 
     /// Produce the next token.
-    pub fn next_token(&mut self) -> Result<Token, LexError> {
+    pub fn next_token(&mut self) -> Result<Token, Diagnostic> {
         self.skip_trivia()?;
-        let (line, col) = (self.line, self.col);
+        let (start, line, col) = (self.pos, self.line, self.col);
         let Some(c) = self.peek() else {
             return Ok(Token {
                 kind: TokenKind::Eof,
                 line,
                 col,
+                span: Span::point(start as u32),
             });
         };
 
         // Preprocessor: only `#define` is meaningful; `#include` and
         // `#pragma` lines are skipped entirely.
         if c == b'#' {
-            let start = self.pos;
             while let Some(c) = self.peek() {
                 if !c.is_ascii_alphanumeric() && c != b'#' {
                     break;
                 }
                 self.bump();
             }
-            let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-            match word {
+            let word = self.text(start);
+            match word.as_ref() {
                 "#define" => {
                     return Ok(Token {
                         kind: TokenKind::HashDefine,
                         line,
                         col,
+                        span: Span::new(start as u32, self.pos as u32),
                     })
                 }
                 _ => {
@@ -207,7 +267,6 @@ impl<'a> Lexer<'a> {
         }
 
         if c.is_ascii_alphabetic() || c == b'_' {
-            let start = self.pos;
             while let Some(c) = self.peek() {
                 if c.is_ascii_alphanumeric() || c == b'_' {
                     self.bump();
@@ -215,18 +274,17 @@ impl<'a> Lexer<'a> {
                     break;
                 }
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos])
-                .unwrap()
-                .to_string();
+            let s = self.text(start).into_owned();
             return Ok(Token {
                 kind: TokenKind::Ident(s),
                 line,
                 col,
+                span: Span::new(start as u32, self.pos as u32),
             });
         }
 
         if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
-            return self.lex_number(line, col);
+            return self.lex_number(start, line, col);
         }
 
         for p in PUNCTS {
@@ -238,19 +296,29 @@ impl<'a> Lexer<'a> {
                     kind: TokenKind::Punct(p),
                     line,
                     col,
+                    span: Span::new(start as u32, self.pos as u32),
                 });
             }
         }
 
-        Err(LexError {
-            message: format!("unexpected character `{}`", c as char),
-            line,
-            col,
-        })
+        // `c` may be a stray non-ASCII byte (including bytes that are not
+        // valid UTF-8 on their own); render it without assuming anything,
+        // and consume it so recovery makes progress.
+        self.bump();
+        let shown = if c.is_ascii_graphic() {
+            format!("`{}`", c as char)
+        } else {
+            format!("byte 0x{c:02x}")
+        };
+        Err(Diagnostic::error(
+            codes::UNEXPECTED_CHARACTER,
+            format!("unexpected character {shown}"),
+        )
+        .with_span(Span::new(start as u32, (start + 1) as u32))
+        .at(line, col))
     }
 
-    fn lex_number(&mut self, line: u32, col: u32) -> Result<Token, LexError> {
-        let start = self.pos;
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) -> Result<Token, Diagnostic> {
         let mut is_float = false;
         // Hex literals.
         if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
@@ -260,16 +328,21 @@ impl<'a> Lexer<'a> {
             while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
                 self.bump();
             }
-            let text = std::str::from_utf8(&self.src[hstart..self.pos]).unwrap();
-            let v = i64::from_str_radix(text, 16).map_err(|_| LexError {
-                message: "malformed hex literal".into(),
-                line,
-                col,
+            let text = self.text(hstart);
+            let v = i64::from_str_radix(text.as_ref(), 16).map_err(|_| {
+                self.error(
+                    codes::MALFORMED_INT,
+                    format!("malformed hex literal `{}`", self.text(start)),
+                    start,
+                    line,
+                    col,
+                )
             })?;
             return Ok(Token {
                 kind: TokenKind::Int(v),
                 line,
                 col,
+                span: Span::new(start as u32, self.pos as u32),
             });
         }
         while self.peek().is_some_and(|c| c.is_ascii_digit()) {
@@ -300,7 +373,7 @@ impl<'a> Lexer<'a> {
                 self.col = save.2;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let digits_end = self.pos;
         // Trailing f/F (float) or u/U/l/L suffixes.
         let mut suffix_float = false;
         while let Some(c) = self.peek() {
@@ -315,27 +388,37 @@ impl<'a> Lexer<'a> {
                 _ => break,
             }
         }
+        let text = String::from_utf8_lossy(&self.src[start..digits_end]);
+        let span = Span::new(start as u32, self.pos as u32);
         if is_float || suffix_float {
-            let v: f64 = text.parse().map_err(|_| LexError {
-                message: format!("malformed float literal `{text}`"),
-                line,
-                col,
+            let v: f64 = text.parse().map_err(|_| {
+                Diagnostic::error(
+                    codes::MALFORMED_FLOAT,
+                    format!("malformed float literal `{text}`"),
+                )
+                .with_span(span)
+                .at(line, col)
             })?;
             Ok(Token {
                 kind: TokenKind::Float(v),
                 line,
                 col,
+                span,
             })
         } else {
-            let v: i64 = text.parse().map_err(|_| LexError {
-                message: format!("malformed integer literal `{text}`"),
-                line,
-                col,
+            let v: i64 = text.parse().map_err(|_| {
+                Diagnostic::error(
+                    codes::MALFORMED_INT,
+                    format!("malformed integer literal `{text}`"),
+                )
+                .with_span(span)
+                .at(line, col)
             })?;
             Ok(Token {
                 kind: TokenKind::Int(v),
                 line,
                 col,
+                span,
             })
         }
     }
@@ -412,7 +495,9 @@ mod tests {
 
     #[test]
     fn unterminated_comment_errors() {
-        assert!(Lexer::tokenize("/* oops").is_err());
+        let e = Lexer::tokenize("/* oops").unwrap_err();
+        assert_eq!(e.code, catt_diag::codes::UNTERMINATED_COMMENT);
+        assert_eq!(e.span, Some(Span::new(0, 2)));
     }
 
     #[test]
@@ -431,10 +516,13 @@ mod tests {
     }
 
     #[test]
-    fn positions_track_lines() {
+    fn positions_track_lines_and_spans() {
         let ts = Lexer::tokenize("a\n  b").unwrap();
         assert_eq!((ts[0].line, ts[0].col), (1, 1));
         assert_eq!((ts[1].line, ts[1].col), (2, 3));
+        assert_eq!(ts[0].span, Span::new(0, 1));
+        assert_eq!(ts[1].span, Span::new(4, 5));
+        assert_eq!(ts[2].span, Span::point(5)); // Eof
     }
 
     #[test]
@@ -457,5 +545,48 @@ mod tests {
         assert!(e.message.contains('@'));
         assert_eq!(e.line, 1);
         assert_eq!(e.col, 3);
+        assert_eq!(e.span, Some(Span::new(2, 3)));
+    }
+
+    #[test]
+    fn recovery_collects_multiple_errors() {
+        let (tokens, diags) = Lexer::tokenize_recover("a @ b $ c");
+        assert_eq!(diags.len(), 2);
+        assert!(diags
+            .iter()
+            .all(|d| d.code == catt_diag::codes::UNEXPECTED_CHARACTER));
+        let idents: Vec<_> = tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+        assert_eq!(tokens.last().map(|t| t.kind.clone()), Some(TokenKind::Eof));
+    }
+
+    #[test]
+    fn huge_int_literal_is_a_diagnostic_not_a_panic() {
+        let (_, diags) = Lexer::tokenize_recover("x = 99999999999999999999;");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, catt_diag::codes::MALFORMED_INT);
+        let s = diags[0].span.unwrap();
+        assert!(s.in_bounds("x = 99999999999999999999;".len()));
+    }
+
+    #[test]
+    fn non_utf8_safe_paths() {
+        // Lexer is byte-oriented; drive it with a lossy-decoded string the
+        // way the fuzzer does, plus a stray continuation byte.
+        let src = String::from_utf8_lossy(&[b'a', 0xC3, 0x28, b'b']).into_owned();
+        let (tokens, diags) = Lexer::tokenize_recover(&src);
+        assert!(!diags.is_empty());
+        for d in &diags {
+            assert!(d.span.is_some_and(|s| s.in_bounds(src.len())));
+        }
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("a".into())));
     }
 }

@@ -19,10 +19,14 @@
 //! * expressions with the usual C precedence, the ternary operator,
 //!   builtin variables (`threadIdx.x` ...), casts, and math intrinsics.
 //!
-//! Errors carry line/column positions.
+//! Errors are [`catt_diag::Diagnostic`]s with byte spans and stable
+//! codes; [`parse_module_recover`] reports *every* error in a
+//! submission (statement-level recovery at `;` / `}`) instead of just
+//! the first, and the lexer/parser are panic-free on arbitrary input
+//! (fuzzed continuously by `catt fuzz --frontend`).
 
 pub mod lexer;
 pub mod parser;
 
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse_kernel, parse_module, ParseError};
+pub use parser::{parse_kernel, parse_module, parse_module_recover, ParseError, ParseOutcome};

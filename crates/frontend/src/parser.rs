@@ -1,19 +1,82 @@
 //! Recursive-descent parser producing `catt-ir`.
+//!
+//! The parser *recovers* from errors instead of stopping at the first
+//! one: a failed statement synchronizes at the next `;` (or before the
+//! enclosing `}`), a failed top-level item synchronizes at the next
+//! `__global__` / `#define`, and everything reported lands in one
+//! [`catt_diag::Diagnostic`] list with byte spans into the source.
+//! [`parse_module_recover`] exposes the full outcome (partial module +
+//! all diagnostics); [`parse_module`] / [`parse_kernel`] keep the
+//! strict all-or-nothing surface the rest of the workspace uses.
+//!
+//! While parsing a kernel the parser also fills
+//! [`catt_ir::KernelSpans`]: the kernel-name span, one span per
+//! `for`/`while` in the same blind pre-order numbering `catt_core`
+//! uses for `loop_id`, and one span per `__syncthreads()` — this is
+//! what lets legality diagnostics point at the offending loop.
 
 use crate::lexer::{Lexer, Token, TokenKind};
+use catt_diag::{codes, Diagnostic, Severity, Span};
 use catt_ir::expr::{BinOp, Builtin, Expr, Intrinsic, UnOp};
-use catt_ir::kernel::{Kernel, Module, Param, ParamTy};
+use catt_ir::kernel::{Kernel, KernelSpans, Module, Param, ParamTy};
 use catt_ir::stmt::{LValue, Stmt};
 use catt_ir::types::DType;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Parse error with source position.
+/// Stop reporting after this many error diagnostics: past a certain
+/// point the parser is lost and further reports are noise. Shared with
+/// the lexer so a pathological input cannot allocate one diagnostic
+/// per byte.
+pub(crate) const MAX_ERRORS: usize = 25;
+
+/// Result of a recovering parse: a (possibly partial) module plus every
+/// diagnostic collected along the way, in emission order, located
+/// (line/col filled in) against the source.
+#[derive(Debug, Clone)]
+pub struct ParseOutcome {
+    /// Kernels and defines that parsed; statements a recovery skipped
+    /// are simply absent. Only trust this for further compilation when
+    /// [`ParseOutcome::is_clean`].
+    pub module: Module,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseOutcome {
+    /// `true` iff no error-severity diagnostic was emitted.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Parse error: every diagnostic from the recovering parse, plus the
+/// first error's position/message as plain fields for callers that
+/// just want one line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
+    pub diagnostics: Vec<Diagnostic>,
     pub message: String,
     pub line: u32,
     pub col: u32,
+}
+
+impl ParseError {
+    fn from_diags(diagnostics: Vec<Diagnostic>) -> ParseError {
+        let first = diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .cloned()
+            .unwrap_or_else(|| Diagnostic::error(codes::UNEXPECTED_TOKEN, "parse failed"));
+        ParseError {
+            message: first.message,
+            line: first.line,
+            col: first.col,
+            diagnostics,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -24,66 +87,195 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse a translation unit (defines + kernels).
+/// Parse a translation unit (defines + kernels), reporting *every*
+/// error found, not just the first.
+pub fn parse_module_recover(src: &str) -> ParseOutcome {
+    let (tokens, lex_diags) = Lexer::tokenize_recover(src);
+    let mut p = Parser::new(tokens);
+    p.diags = lex_diags;
+    let module = p.module_recover();
+    let mut diagnostics = p.diags;
+    catt_diag::locate(&mut diagnostics, src);
+    ParseOutcome {
+        module,
+        diagnostics,
+    }
+}
+
+/// Parse a translation unit (defines + kernels). Strict: any error
+/// fails the whole parse (but the error still carries every diagnostic
+/// the recovering parser found).
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
-    let tokens = Lexer::tokenize(src).map_err(|e| ParseError {
-        message: e.message,
-        line: e.line,
-        col: e.col,
-    })?;
-    Parser::new(tokens).module()
+    let outcome = parse_module_recover(src);
+    if outcome.is_clean() {
+        Ok(outcome.module)
+    } else {
+        Err(ParseError::from_diags(outcome.diagnostics))
+    }
 }
 
 /// Parse a module and return its single / first kernel.
 pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
     let m = parse_module(src)?;
-    m.kernels.into_iter().next().ok_or(ParseError {
-        message: "no kernel found in source".into(),
-        line: 1,
-        col: 1,
+    m.kernels.into_iter().next().ok_or_else(|| {
+        ParseError::from_diags(vec![Diagnostic::error(
+            codes::KERNEL_NOT_FOUND,
+            "no kernel found in source",
+        )
+        .at(1, 1)])
     })
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// End offset of the most recently consumed token (for loop spans).
+    prev_end: u32,
     defines: HashMap<String, i64>,
     define_order: Vec<(String, i64)>,
+    diags: Vec<Diagnostic>,
+    /// Per-kernel span recording (reset at each kernel header), in the
+    /// blind pre-order `catt_core` uses for `loop_id`.
+    loop_spans: Vec<Span>,
+    barrier_spans: Vec<Span>,
 }
+
+type PResult<T> = Result<T, Diagnostic>;
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Parser {
         Parser {
             tokens,
             pos: 0,
+            prev_end: 0,
             defines: HashMap::new(),
             define_order: Vec::new(),
+            diags: Vec::new(),
+            loop_spans: Vec::new(),
+            barrier_spans: Vec::new(),
         }
     }
 
     fn cur(&self) -> &Token {
-        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+        // The token stream always ends with `Eof`; an empty stream
+        // cannot come out of the lexer, but fall back defensively.
+        &self.tokens[self.pos.min(self.tokens.len().saturating_sub(1))]
     }
 
     fn kind(&self) -> &TokenKind {
         &self.cur().kind
     }
 
+    fn at_eof(&self) -> bool {
+        matches!(self.kind(), TokenKind::Eof)
+    }
+
     fn bump(&mut self) -> Token {
         let t = self.cur().clone();
-        if self.pos < self.tokens.len() - 1 {
+        self.prev_end = t.span.end;
+        if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
         t
     }
 
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        self.err_code(codes::UNEXPECTED_TOKEN, msg)
+    }
+
+    fn err_code<T>(&self, code: catt_diag::Code, msg: impl Into<String>) -> PResult<T> {
         let t = self.cur();
-        Err(ParseError {
-            message: msg.into(),
-            line: t.line,
-            col: t.col,
-        })
+        Err(Diagnostic::error(code, msg)
+            .with_span(t.span)
+            .at(t.line, t.col))
+    }
+
+    fn push_diag(&mut self, d: Diagnostic) {
+        if self.diags.len() < MAX_ERRORS {
+            self.diags.push(d);
+        }
+    }
+
+    fn error_budget_spent(&self) -> bool {
+        self.diags.len() >= MAX_ERRORS
+    }
+
+    // ----- recovery ----------------------------------------------------
+
+    /// Statement-level synchronization: consume through the next `;` at
+    /// brace depth 0, or stop before the enclosing `}` / end of input.
+    /// Guarantees progress relative to `before`.
+    fn sync_stmt(&mut self, before: usize) {
+        let mut depth = 0usize;
+        loop {
+            match self.kind() {
+                TokenKind::Eof => break,
+                TokenKind::Punct(";") if depth == 0 => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Punct("{") => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct("}") => {
+                    if depth == 0 {
+                        break; // the enclosing block consumes it
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if self.pos == before && !self.at_eof() && !self.at_punct("}") {
+            self.bump();
+        }
+    }
+
+    /// Top-level synchronization: skip to the next `__global__`,
+    /// `#define`, or end of input, consuming at least one token.
+    fn sync_top_level(&mut self) {
+        if !self.at_eof() {
+            self.bump();
+        }
+        loop {
+            match self.kind() {
+                TokenKind::Eof => break,
+                TokenKind::HashDefine => break,
+                TokenKind::Ident(s) if s == "__global__" => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Swallow the rest of the current block, including its closing
+    /// `}` (used once the error budget is spent).
+    fn skip_balanced_to_close(&mut self) {
+        let mut depth = 1usize;
+        loop {
+            match self.kind() {
+                TokenKind::Eof => return,
+                TokenKind::Punct("{") => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Punct("}") => {
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
     }
 
     fn at_punct(&self, p: &str) -> bool {
@@ -99,7 +291,7 @@ impl Parser {
         }
     }
 
-    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
         if self.eat_punct(p) {
             Ok(())
         } else {
@@ -120,7 +312,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
+    fn expect_ident(&mut self) -> PResult<String> {
         match self.kind().clone() {
             TokenKind::Ident(s) => {
                 self.bump();
@@ -176,47 +368,82 @@ impl Parser {
 
     // ----- module ------------------------------------------------------
 
-    fn module(&mut self) -> Result<Module, ParseError> {
+    fn module_recover(&mut self) -> Module {
         let mut kernels = Vec::new();
         loop {
+            if self.error_budget_spent() {
+                break;
+            }
             match self.kind().clone() {
                 TokenKind::Eof => break,
                 TokenKind::HashDefine => {
-                    self.bump();
-                    let name = self.expect_ident()?;
-                    let val_expr = self.expr()?;
-                    let Some(v) = val_expr.const_int() else {
-                        return self
-                            .err(format!("#define {name}: value must be an integer constant"));
-                    };
-                    self.defines.insert(name.clone(), v);
-                    self.define_order.push((name, v));
+                    if let Err(d) = self.define() {
+                        self.push_diag(d);
+                        self.sync_top_level();
+                    }
                 }
-                TokenKind::Ident(s) if s == "__global__" => {
-                    kernels.push(self.kernel()?);
-                }
+                TokenKind::Ident(s) if s == "__global__" => match self.kernel() {
+                    Ok(k) => kernels.push(k),
+                    Err(d) => {
+                        self.push_diag(d);
+                        self.sync_top_level();
+                    }
+                },
                 TokenKind::Ident(s) if s == "extern" => {
-                    // `extern "C"` — not in subset; treat as error for now.
-                    return self.err("`extern` declarations are not supported");
+                    // `extern "C"` — not in the subset.
+                    let d = self
+                        .err_code::<()>(
+                            codes::UNSUPPORTED,
+                            "`extern` declarations are not supported",
+                        )
+                        .unwrap_err();
+                    self.push_diag(d);
+                    self.sync_top_level();
                 }
                 other => {
-                    return self.err(format!("expected `__global__` or `#define`, found {other}"))
+                    let d = self
+                        .err_code::<()>(
+                            codes::UNEXPECTED_TOKEN,
+                            format!("expected `__global__` or `#define`, found {other}"),
+                        )
+                        .unwrap_err();
+                    self.push_diag(d);
+                    self.sync_top_level();
                 }
             }
         }
-        Ok(Module {
+        Module {
             defines: self.define_order.clone(),
             kernels,
-        })
+        }
     }
 
-    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+    fn define(&mut self) -> PResult<()> {
+        self.bump(); // `#define`
+        let name = self.expect_ident()?;
+        let val_expr = self.expr()?;
+        let Some(v) = val_expr.const_int() else {
+            return self.err_code(
+                codes::BAD_DEFINE,
+                format!("#define {name}: value must be an integer constant"),
+            );
+        };
+        self.defines.insert(name.clone(), v);
+        self.define_order.push((name, v));
+        Ok(())
+    }
+
+    fn kernel(&mut self) -> PResult<Kernel> {
+        let diags_before = self.diags.len();
+        self.loop_spans.clear();
+        self.barrier_spans.clear();
         if !self.eat_ident("__global__") {
             return self.err("expected `__global__`");
         }
         if !self.eat_ident("void") {
             return self.err("kernels must return `void`");
         }
+        let name_span = self.cur().span;
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
@@ -247,26 +474,55 @@ impl Parser {
         self.expect_punct(")")?;
         self.expect_punct("{")?;
         let body = self.block_body()?;
-        Ok(Kernel::new(name, params, body))
+        let mut kernel = Kernel::new(name, params, body);
+        let mut spans = KernelSpans {
+            name: name_span,
+            loops: std::mem::take(&mut self.loop_spans),
+            barriers: std::mem::take(&mut self.barrier_spans),
+        };
+        if self.diags.len() > diags_before {
+            // Recovery dropped statements, so the recorded pre-order can
+            // disagree with the surviving tree — keep only the name span.
+            spans.loops.clear();
+            spans.barriers.clear();
+        }
+        kernel.spans = spans;
+        Ok(kernel)
     }
 
     // ----- statements --------------------------------------------------
 
-    /// Parse statements until the matching `}` (which is consumed).
-    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    /// Parse statements until the matching `}` (which is consumed),
+    /// recovering at statement boundaries so one block can report
+    /// several errors.
+    fn block_body(&mut self) -> PResult<Vec<Stmt>> {
         let mut out = Vec::new();
-        while !self.at_punct("}") {
-            if matches!(self.kind(), TokenKind::Eof) {
+        loop {
+            if self.eat_punct("}") {
+                return Ok(out);
+            }
+            if self.at_eof() {
                 return self.err("unexpected end of input inside block");
             }
-            self.stmt_into(&mut out)?;
+            if self.error_budget_spent() {
+                self.skip_balanced_to_close();
+                return Ok(out);
+            }
+            let before = self.pos;
+            if let Err(d) = self.stmt_into(&mut out) {
+                if self.at_eof() {
+                    // Propagate: let one "unexpected end of input" speak
+                    // for the whole unterminated nest.
+                    return Err(d);
+                }
+                self.push_diag(d);
+                self.sync_stmt(before);
+            }
         }
-        self.expect_punct("}")?;
-        Ok(out)
     }
 
     /// A single statement or `{ ... }` block, as a statement list.
-    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    fn stmt_or_block(&mut self) -> PResult<Vec<Stmt>> {
         if self.eat_punct("{") {
             self.block_body()
         } else {
@@ -276,7 +532,7 @@ impl Parser {
         }
     }
 
-    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+    fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> PResult<()> {
         // Empty statement.
         if self.eat_punct(";") {
             return Ok(());
@@ -284,16 +540,35 @@ impl Parser {
         if self.at_ident("__shared__") {
             self.bump();
             let Some(elem) = self.try_type() else {
-                return self.err("expected element type after `__shared__`");
+                return self.err_code(
+                    codes::BAD_SHARED_DECL,
+                    "expected element type after `__shared__`",
+                );
             };
             let name = self.expect_ident()?;
             self.expect_punct("[")?;
+            let len_span = self.cur().span;
             let len_expr = self.expr()?;
             let Some(len) = len_expr.const_int() else {
-                return self.err("__shared__ array length must be a constant");
+                return Err(Diagnostic::error(
+                    codes::BAD_SHARED_DECL,
+                    "__shared__ array length must be a constant",
+                )
+                .with_span(len_span));
             };
             if len <= 0 {
-                return self.err("__shared__ array length must be positive");
+                return Err(Diagnostic::error(
+                    codes::BAD_SHARED_DECL,
+                    "__shared__ array length must be positive",
+                )
+                .with_span(len_span));
+            }
+            if len > u32::MAX as i64 {
+                return Err(Diagnostic::error(
+                    codes::BAD_SHARED_DECL,
+                    format!("__shared__ array length {len} is too large"),
+                )
+                .with_span(len_span));
             }
             self.expect_punct("]")?;
             self.expect_punct(";")?;
@@ -305,10 +580,12 @@ impl Parser {
             return Ok(());
         }
         if self.at_ident("__syncthreads") {
+            let kw = self.cur().span;
             self.bump();
             self.expect_punct("(")?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
+            self.barrier_spans.push(Span::new(kw.start, self.prev_end));
             out.push(Stmt::SyncThreads);
             return Ok(());
         }
@@ -331,11 +608,15 @@ impl Parser {
             return Ok(());
         }
         if self.at_ident("while") {
+            let kw = self.cur().span;
             self.bump();
+            let slot = self.loop_spans.len();
+            self.loop_spans.push(kw);
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let body = self.stmt_or_block()?;
+            self.loop_spans[slot] = Span::new(kw.start, self.prev_end.max(kw.end));
             out.push(Stmt::While { cond, body });
             return Ok(());
         }
@@ -378,17 +659,15 @@ impl Parser {
 
     /// Assignment, `x++`, `x--`; `with_semi` controls whether the trailing
     /// `;` is required (the `for`-update reuses this without it).
-    fn assign_stmt(&mut self, with_semi: bool) -> Result<Stmt, ParseError> {
+    fn assign_stmt(&mut self, with_semi: bool) -> PResult<Stmt> {
         // Prefix increment/decrement.
         if self.at_punct("++") || self.at_punct("--") {
-            let TokenKind::Punct(op) = self.bump().kind else {
-                unreachable!()
-            };
+            let delta = if self.at_punct("++") { 1 } else { -1 };
+            self.bump();
             let name = self.expect_ident()?;
             if with_semi {
                 self.expect_punct(";")?;
             }
-            let delta = if op == "++" { 1 } else { -1 };
             return Ok(Stmt::Assign {
                 lhs: LValue::Var(name),
                 op: Some(BinOp::Add),
@@ -450,8 +729,11 @@ impl Parser {
     }
 
     /// Canonical `for` loop.
-    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn for_stmt(&mut self) -> PResult<Stmt> {
+        let kw = self.cur().span;
         self.bump(); // `for`
+        let slot = self.loop_spans.len();
+        self.loop_spans.push(kw);
         self.expect_punct("(")?;
         let decl = self.is_type_start();
         if decl {
@@ -459,7 +741,10 @@ impl Parser {
                 return self.err("expected type in for-init");
             };
             if ty != DType::I32 && ty != DType::U32 {
-                return self.err("for-loop iterator must be an integer");
+                return self.err_code(
+                    codes::NON_CANONICAL_FOR,
+                    "for-loop iterator must be an integer",
+                );
             }
         }
         let var = self.expect_ident()?;
@@ -467,11 +752,16 @@ impl Parser {
         let init = self.expr()?;
         self.expect_punct(";")?;
         // Guard must compare the iterator.
+        let guard_span = self.cur().span;
         let guard_var = self.expect_ident()?;
         if guard_var != var {
-            return self.err(format!(
-                "non-canonical for loop: guard tests `{guard_var}` but iterator is `{var}`"
-            ));
+            return Err(Diagnostic::error(
+                codes::NON_CANONICAL_FOR,
+                format!(
+                    "non-canonical for loop: guard tests `{guard_var}` but iterator is `{var}`"
+                ),
+            )
+            .with_span(guard_span));
         }
         let cond_op = if self.eat_punct("<") {
             BinOp::Lt
@@ -484,7 +774,10 @@ impl Parser {
         } else if self.eat_punct("!=") {
             BinOp::Ne
         } else {
-            return self.err("expected comparison operator in for guard");
+            return self.err_code(
+                codes::NON_CANONICAL_FOR,
+                "expected comparison operator in for guard",
+            );
         };
         let bound = self.expr()?;
         self.expect_punct(";")?;
@@ -492,6 +785,7 @@ impl Parser {
         let step = self.for_update(&var)?;
         self.expect_punct(")")?;
         let body = self.stmt_or_block()?;
+        self.loop_spans[slot] = Span::new(kw.start, self.prev_end.max(kw.end));
         Ok(Stmt::For {
             var,
             decl,
@@ -503,7 +797,7 @@ impl Parser {
         })
     }
 
-    fn for_update(&mut self, var: &str) -> Result<Expr, ParseError> {
+    fn for_update(&mut self, var: &str) -> PResult<Expr> {
         let upd = self.assign_stmt(false)?;
         match upd {
             Stmt::Assign {
@@ -520,25 +814,36 @@ impl Parser {
                         Expr::Binary(BinOp::Sub, a, b) if *a == Expr::var(var) => {
                             Ok(Expr::Unary(UnOp::Neg, b))
                         }
-                        Expr::Binary(BinOp::Mul, _, _) | Expr::Binary(BinOp::Shl, _, _) => {
-                            self.err("multiplicative for-updates are not supported")
-                        }
-                        _ => self.err("non-canonical for-update expression"),
+                        Expr::Binary(BinOp::Mul, _, _) | Expr::Binary(BinOp::Shl, _, _) => self
+                            .err_code(
+                                codes::NON_CANONICAL_FOR,
+                                "multiplicative for-updates are not supported",
+                            ),
+                        _ => self.err_code(
+                            codes::NON_CANONICAL_FOR,
+                            "non-canonical for-update expression",
+                        ),
                     }
                 }
-                _ => self.err("unsupported compound operator in for-update"),
+                _ => self.err_code(
+                    codes::NON_CANONICAL_FOR,
+                    "unsupported compound operator in for-update",
+                ),
             },
-            _ => self.err(format!("for-update must assign the iterator `{var}`")),
+            _ => self.err_code(
+                codes::NON_CANONICAL_FOR,
+                format!("for-update must assign the iterator `{var}`"),
+            ),
         }
     }
 
     // ----- expressions --------------------------------------------------
 
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    fn expr(&mut self) -> PResult<Expr> {
         self.ternary()
     }
 
-    fn ternary(&mut self) -> Result<Expr, ParseError> {
+    fn ternary(&mut self) -> PResult<Expr> {
         let c = self.binary(0)?;
         if self.eat_punct("?") {
             let a = self.expr()?;
@@ -551,7 +856,7 @@ impl Parser {
     }
 
     /// Precedence-climbing over binary operators.
-    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+    fn binary(&mut self, min_prec: u8) -> PResult<Expr> {
         let mut lhs = self.unary()?;
         while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
@@ -592,7 +897,7 @@ impl Parser {
         Some((op, op.precedence()))
     }
 
-    fn unary(&mut self) -> Result<Expr, ParseError> {
+    fn unary(&mut self) -> PResult<Expr> {
         if self.eat_punct("-") {
             return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
         }
@@ -617,12 +922,12 @@ impl Parser {
         self.postfix()
     }
 
-    fn postfix(&mut self) -> Result<Expr, ParseError> {
+    fn postfix(&mut self) -> PResult<Expr> {
         let mut e = self.primary()?;
         loop {
             if self.at_punct("[") {
                 let Expr::Var(name) = e else {
-                    return self.err("only named arrays can be indexed");
+                    return self.err_code(codes::UNSUPPORTED, "only named arrays can be indexed");
                 };
                 self.bump();
                 let idx = self.expr()?;
@@ -635,7 +940,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn primary(&mut self) -> Result<Expr, ParseError> {
+    fn primary(&mut self) -> PResult<Expr> {
         match self.kind().clone() {
             TokenKind::Int(v) => {
                 self.bump();
@@ -659,34 +964,38 @@ impl Parser {
                     "threadIdx" | "blockIdx" | "blockDim" | "gridDim"
                 ) {
                     self.expect_punct(".")?;
+                    let member_span = self.cur().span;
                     let member = self.expect_ident()?;
-                    let axis = match member.as_str() {
-                        "x" => 0,
-                        "y" => 1,
-                        "z" => 2,
-                        _ => return self.err(format!("unknown member `.{member}`")),
-                    };
-                    let b = match (name.as_str(), axis) {
-                        ("threadIdx", 0) => Builtin::ThreadIdxX,
-                        ("threadIdx", 1) => Builtin::ThreadIdxY,
-                        ("threadIdx", 2) => Builtin::ThreadIdxZ,
-                        ("blockIdx", 0) => Builtin::BlockIdxX,
-                        ("blockIdx", 1) => Builtin::BlockIdxY,
-                        ("blockIdx", 2) => Builtin::BlockIdxZ,
-                        ("blockDim", 0) => Builtin::BlockDimX,
-                        ("blockDim", 1) => Builtin::BlockDimY,
-                        ("blockDim", 2) => Builtin::BlockDimZ,
-                        ("gridDim", 0) => Builtin::GridDimX,
-                        ("gridDim", 1) => Builtin::GridDimY,
-                        ("gridDim", 2) => Builtin::GridDimZ,
-                        _ => unreachable!(),
+                    let b = match (name.as_str(), member.as_str()) {
+                        ("threadIdx", "x") => Builtin::ThreadIdxX,
+                        ("threadIdx", "y") => Builtin::ThreadIdxY,
+                        ("threadIdx", "z") => Builtin::ThreadIdxZ,
+                        ("blockIdx", "x") => Builtin::BlockIdxX,
+                        ("blockIdx", "y") => Builtin::BlockIdxY,
+                        ("blockIdx", "z") => Builtin::BlockIdxZ,
+                        ("blockDim", "x") => Builtin::BlockDimX,
+                        ("blockDim", "y") => Builtin::BlockDimY,
+                        ("blockDim", "z") => Builtin::BlockDimZ,
+                        ("gridDim", "x") => Builtin::GridDimX,
+                        ("gridDim", "y") => Builtin::GridDimY,
+                        ("gridDim", "z") => Builtin::GridDimZ,
+                        _ => {
+                            return Err(Diagnostic::error(
+                                codes::UNKNOWN_MEMBER,
+                                format!("unknown member `.{member}`"),
+                            )
+                            .with_span(member_span))
+                        }
                     };
                     return Ok(Expr::Builtin(b));
                 }
                 // Intrinsic call.
                 if self.at_punct("(") {
                     let Some(intr) = Intrinsic::from_name(&name) else {
-                        return self.err(format!("unknown function `{name}`"));
+                        return self.err_code(
+                            codes::UNKNOWN_FUNCTION,
+                            format!("unknown function `{name}`"),
+                        );
                     };
                     self.bump();
                     let mut args = Vec::new();
@@ -700,11 +1009,14 @@ impl Parser {
                     }
                     self.expect_punct(")")?;
                     if args.len() != intr.arity() {
-                        return self.err(format!(
-                            "`{name}` expects {} argument(s), got {}",
-                            intr.arity(),
-                            args.len()
-                        ));
+                        return self.err_code(
+                            codes::BAD_INTRINSIC_ARITY,
+                            format!(
+                                "`{name}` expects {} argument(s), got {}",
+                                intr.arity(),
+                                args.len()
+                            ),
+                        );
                     }
                     return Ok(Expr::Call(intr, args));
                 }
@@ -714,7 +1026,10 @@ impl Parser {
                 }
                 Ok(Expr::Var(name))
             }
-            other => self.err(format!("expected expression, found {other}")),
+            other => self.err_code(
+                codes::EXPECTED_EXPRESSION,
+                format!("expected expression, found {other}"),
+            ),
         }
     }
 }
@@ -785,6 +1100,9 @@ mod tests {
             n
         };
         assert_eq!(syncs, 2);
+        // The span side table saw both loops and both barriers.
+        assert_eq!(k.spans.loops.len(), 2);
+        assert_eq!(k.spans.barriers.len(), 2);
     }
 
     /// The paper's Fig. 5 TB-throttled kernel parses.
@@ -923,6 +1241,7 @@ mod tests {
         let src = "__global__ void k(float *A) {\n  A[0] = @;\n}";
         let e = parse_module(src).unwrap_err();
         assert_eq!(e.line, 2);
+        assert!(!e.diagnostics.is_empty());
     }
 
     #[test]
@@ -930,6 +1249,7 @@ mod tests {
         let src = "__global__ void k(float *A) { A[0] = frobnicate(1); }";
         let e = parse_kernel(src).unwrap_err();
         assert!(e.message.contains("frobnicate"));
+        assert_eq!(e.diagnostics[0].code, codes::UNKNOWN_FUNCTION);
     }
 
     #[test]
@@ -970,5 +1290,37 @@ mod tests {
         let src = "#define N 1024\n#define M N * 2\n__global__ void k(float *A) { A[M] = 0.0f; }";
         let m = parse_module(src).unwrap();
         assert_eq!(m.defines[1], ("M".to_string(), 2048));
+    }
+
+    #[test]
+    fn loop_spans_follow_preorder() {
+        let src = "\
+__global__ void k(float *A, int n) {
+    for (int i = 0; i < n; i++) {
+        while (i < 4) {
+            A[i] = 0.0f;
+            break;
+        }
+    }
+    for (int j = 0; j < n; j++) {
+        A[j] = 1.0f;
+    }
+}";
+        let k = parse_kernel(src).unwrap();
+        assert_eq!(k.spans.loops.len(), 3);
+        // Pre-order: outer for, inner while, trailing for.
+        assert_eq!(&src[k.spans.loops[0].start as usize..][..3], "for");
+        assert_eq!(&src[k.spans.loops[1].start as usize..][..5], "while");
+        assert_eq!(&src[k.spans.loops[2].start as usize..][..3], "for");
+        // Outer loop encloses the inner one; all spans in bounds.
+        assert!(k.spans.loops[0].start < k.spans.loops[1].start);
+        assert!(k.spans.loops[0].end >= k.spans.loops[1].end);
+        for s in &k.spans.loops {
+            assert!(s.in_bounds(src.len()));
+        }
+        assert_eq!(
+            &src[k.spans.name.start as usize..k.spans.name.end as usize],
+            "k"
+        );
     }
 }

@@ -1,0 +1,154 @@
+//! Parser error recovery: a submission with several independent
+//! mistakes is reported in one pass — every error, with a byte span
+//! that lands on the offending token — while everything that *did*
+//! parse stays available in the partial module.
+
+use catt_diag::Severity;
+use catt_frontend::{parse_module, parse_module_recover};
+use catt_prng::Rng;
+
+/// Two independent statement-level errors in one kernel body.
+const TWO_ERRORS: &str = "__global__ void k(float *a, int n) {\n\
+                          int i = threadIdx.x;\n\
+                          a[i] = 1.0f @;\n\
+                          int j = 0;\n\
+                          a[j] = 2.0f $;\n\
+                          }\n";
+
+#[test]
+fn multiple_errors_reported_in_one_pass() {
+    let outcome = parse_module_recover(TWO_ERRORS);
+    assert!(!outcome.is_clean());
+    let errors: Vec<_> = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.len() >= 2,
+        "recovery should reach the second error, got: {:?}",
+        errors
+    );
+    // Distinct errors point at distinct places.
+    let spans: Vec<_> = errors.iter().filter_map(|d| d.span).collect();
+    assert!(spans.windows(2).all(|w| w[0] != w[1]), "spans collapsed");
+}
+
+#[test]
+fn strict_parse_carries_the_same_diagnostics() {
+    let err = parse_module(TWO_ERRORS).unwrap_err();
+    let recovered = parse_module_recover(TWO_ERRORS);
+    assert_eq!(err.diagnostics, recovered.diagnostics);
+    assert!(err.line > 0 && err.col > 0, "headline error located");
+}
+
+#[test]
+fn good_kernels_survive_a_broken_sibling() {
+    let src = "__global__ void good(float *a, int n) { a[0] = 1.0f; }\n\
+               __global__ void bad(float *a, int n) { a[0] = @; }\n\
+               __global__ void also_good(float *a, int n) { a[1] = 2.0f; }\n";
+    let outcome = parse_module_recover(src);
+    assert!(!outcome.is_clean());
+    let names: Vec<_> = outcome
+        .module
+        .kernels
+        .iter()
+        .map(|k| k.name.as_str())
+        .collect();
+    assert!(names.contains(&"good"), "first kernel lost: {names:?}");
+    assert!(
+        names.contains(&"also_good"),
+        "recovery never resumed: {names:?}"
+    );
+}
+
+#[test]
+fn spans_land_on_the_offending_token() {
+    let src = "__global__ void k(float *a, int n) { a[0] = 1.0f @; }";
+    let outcome = parse_module_recover(src);
+    let d = outcome
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+        .expect("an error");
+    let span = d.span.expect("spanned");
+    assert_eq!(&src[span.start as usize..span.end as usize], "@");
+    assert!(
+        d.line == 1 && d.col > 0,
+        "line/col backfilled: {}:{}",
+        d.line,
+        d.col
+    );
+}
+
+#[test]
+fn error_budget_caps_a_pathological_submission() {
+    // 200 bad statements; the parser must stop reporting at its budget
+    // rather than drown the user (and must still terminate).
+    let mut src = String::from("__global__ void k(float *a, int n) {\n");
+    for _ in 0..200 {
+        src.push_str("a[0] = @;\n");
+    }
+    src.push('}');
+    let outcome = parse_module_recover(&src);
+    let errors = outcome
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    assert!(errors >= 10, "budget too tight: {errors}");
+    assert!(errors <= 30, "error budget not applied: {errors}");
+}
+
+/// Property: under random byte mutations of a real kernel, every
+/// diagnostic span (and note span) stays inside the mutated source.
+#[test]
+fn prop_mutated_sources_keep_spans_in_bounds() {
+    let base = "#define N 64\n\
+                __global__ void k(float *a, float *b, int n) {\n\
+                int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+                if (i < N) { for (int j = 0; j < N; j++) { a[i] += b[j]; } }\n\
+                }\n";
+    let mut rng = Rng::seed(0xC0FFEE);
+    for _ in 0..400 {
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..rng.range_u32(1, 5) {
+            match rng.bounded_u64(3) {
+                0 => {
+                    let at = rng.bounded_u64(bytes.len() as u64) as usize;
+                    bytes[at] = rng.bounded_u64(256) as u8;
+                }
+                1 => {
+                    let at = rng.bounded_u64(bytes.len() as u64) as usize;
+                    bytes.truncate(at);
+                }
+                _ => {
+                    let at = rng.bounded_u64(bytes.len() as u64 + 1) as usize;
+                    bytes.splice(at..at, *b"@#`");
+                }
+            }
+            if bytes.is_empty() {
+                bytes.push(b'{');
+            }
+        }
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = parse_module_recover(&src);
+        for d in &outcome.diagnostics {
+            if let Some(span) = d.span {
+                assert!(
+                    span.in_bounds(src.len()),
+                    "[{}] span {}..{} outside {}-byte source:\n{src}",
+                    d.code,
+                    span.start,
+                    span.end,
+                    src.len()
+                );
+            }
+            for note in &d.notes {
+                if let Some(span) = note.span {
+                    assert!(span.in_bounds(src.len()), "note span out of bounds");
+                }
+            }
+        }
+    }
+}

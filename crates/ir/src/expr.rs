@@ -349,25 +349,18 @@ impl Expr {
     pub fn const_int(&self) -> Option<i64> {
         match self {
             Expr::Int(v) => Some(*v),
-            Expr::Unary(UnOp::Neg, e) => e.const_int().map(|v| -v),
+            Expr::Unary(UnOp::Neg, e) => e.const_int().and_then(i64::checked_neg),
             Expr::Binary(op, l, r) => {
                 let (l, r) = (l.const_int()?, r.const_int()?);
+                // Checked arithmetic throughout: fuzzed `#define` folding
+                // can reach any operand values, and an overflow here must
+                // be "not a constant", not a debug-mode panic.
                 Some(match op {
-                    BinOp::Add => l + r,
-                    BinOp::Sub => l - r,
-                    BinOp::Mul => l * r,
-                    BinOp::Div => {
-                        if r == 0 {
-                            return None;
-                        }
-                        l / r
-                    }
-                    BinOp::Rem => {
-                        if r == 0 {
-                            return None;
-                        }
-                        l % r
-                    }
+                    BinOp::Add => l.checked_add(r)?,
+                    BinOp::Sub => l.checked_sub(r)?,
+                    BinOp::Mul => l.checked_mul(r)?,
+                    BinOp::Div => l.checked_div(r)?,
+                    BinOp::Rem => l.checked_rem(r)?,
                     BinOp::Shl => l << (r & 63),
                     BinOp::Shr => l >> (r & 63),
                     BinOp::BitAnd => l & r,

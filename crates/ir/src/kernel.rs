@@ -3,6 +3,44 @@
 use crate::stmt::Stmt;
 use crate::types::DType;
 use crate::visit;
+use catt_diag::Span;
+
+/// Source-span side table for a kernel: where in the submitted source
+/// the kernel name, each loop, and each barrier sit. Filled by the
+/// parser; empty (`Default`) for kernels built programmatically.
+///
+/// Loops are indexed by the same blind pre-order numbering over
+/// `for`/`while` that `catt_core` analysis and transforms use for
+/// `loop_id`, so a legality diagnostic for loop *k* can point at
+/// `spans.loops[k]`.
+///
+/// Equality is intentionally vacuous: the round-trip check
+/// `parse(print(k)) == k` and the pipeline's `original != transformed`
+/// comparison must not be perturbed by where the text happened to sit.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSpans {
+    /// Span of the kernel's name token in its declaration.
+    pub name: Span,
+    /// One span per `for`/`while`, pre-order, from the loop keyword to
+    /// the end of the loop body.
+    pub loops: Vec<Span>,
+    /// Span of every `__syncthreads()` call, in source order.
+    pub barriers: Vec<Span>,
+}
+
+impl PartialEq for KernelSpans {
+    fn eq(&self, _other: &KernelSpans) -> bool {
+        true
+    }
+}
+
+impl KernelSpans {
+    /// Span for pre-order loop `loop_id`, if the kernel came through
+    /// the parser and the id is in range.
+    pub fn loop_span(&self, loop_id: usize) -> Option<Span> {
+        self.loops.get(loop_id).copied()
+    }
+}
 
 /// A three-component launch dimension (`dim3`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +113,9 @@ pub struct Kernel {
     pub name: String,
     pub params: Vec<Param>,
     pub body: Vec<Stmt>,
+    /// Source spans (see [`KernelSpans`]); does not participate in
+    /// equality. Empty for programmatically built kernels.
+    pub spans: KernelSpans,
 }
 
 impl Kernel {
@@ -84,6 +125,7 @@ impl Kernel {
             name: name.into(),
             params,
             body,
+            spans: KernelSpans::default(),
         }
     }
 
@@ -94,7 +136,10 @@ impl Kernel {
         let mut total = 0u32;
         visit::walk_stmts(&self.body, &mut |s| {
             if let Stmt::DeclShared { elem, len, .. } = s {
-                total += elem.size_bytes() * len;
+                // Saturating: fuzzed sources can declare absurd extents,
+                // and "more shared memory than any config has" is the
+                // right downstream outcome, not an overflow panic.
+                total = total.saturating_add(elem.size_bytes().saturating_mul(*len));
             }
         });
         total

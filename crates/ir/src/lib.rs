@@ -33,6 +33,6 @@ pub mod types;
 pub mod visit;
 
 pub use expr::{BinOp, Builtin, Expr, Intrinsic, UnOp};
-pub use kernel::{Dim3, Kernel, LaunchConfig, Module, Param, ParamTy};
+pub use kernel::{Dim3, Kernel, KernelSpans, LaunchConfig, Module, Param, ParamTy};
 pub use stmt::{LValue, Stmt};
 pub use types::DType;

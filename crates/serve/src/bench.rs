@@ -20,7 +20,7 @@
 //! rate, per-tenant fairness spread, and cache/coalesce hit rates.
 
 use crate::json::{obj, Json};
-use crate::proto::{parse_response, Response, SubmitRequest};
+use crate::proto::{parse_response, ErrorKind, Response, SubmitRequest};
 use crate::server::{engine_from_env, ServeConfig, Server};
 use catt_prng::Rng;
 use std::collections::HashMap;
@@ -38,6 +38,11 @@ pub struct BenchOptions {
     pub transport: Transport,
     pub out_path: String,
     pub seed: u64,
+    /// Percentage of requests that submit a deliberately mangled source
+    /// (lexer garbage spliced in). Exercises the compile-error path: the
+    /// harness hard-fails if any rejection arrives without structured
+    /// diagnostics or with an out-of-bounds span.
+    pub malformed_pct: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +63,7 @@ impl Default for BenchOptions {
             transport: Transport::Inproc,
             out_path: "BENCH_serve.json".to_string(),
             seed: 0xCA77,
+            malformed_pct: 10,
         }
     }
 }
@@ -113,6 +119,22 @@ struct Sample {
     latency_us: u64,
     outcome: &'static str,
     source: Option<&'static str>,
+    /// A `compile-error` response arrived without structured diagnostics.
+    diag_missing: bool,
+    /// A diagnostic span fell outside the submitted source.
+    span_oob: bool,
+}
+
+/// Splice lexer garbage into a source at a PRNG-chosen byte (always a
+/// guaranteed `E001`, so a mangled submission is always a compile error).
+fn mangle(src: &str, rng: &mut Rng) -> String {
+    let at = rng.bounded_u64(src.len().max(1) as u64) as usize;
+    // Snap to a char boundary (corpus is ASCII, but stay safe).
+    let at = (0..=at)
+        .rev()
+        .find(|&i| src.is_char_boundary(i))
+        .unwrap_or(0);
+    format!("{}@{}", &src[..at], &src[at..])
 }
 
 /// A TCP connection shared by many clients: writer guarded by a mutex,
@@ -192,11 +214,13 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
     let cdf = Arc::new(zipf_cdf(opts.kernels));
     let total_requests = opts.clients * opts.requests_per_client;
     eprintln!(
-        "[serve-bench] {} clients x {} requests over {} kernels, {} tenants, {:?} transport{}",
+        "[serve-bench] {} clients x {} requests over {} kernels, {} tenants, {}% malformed, \
+         {:?} transport{}",
         opts.clients,
         opts.requests_per_client,
         opts.kernels,
         opts.tenants,
+        opts.malformed_pct,
         opts.transport,
         if fault_plan.is_empty() {
             " (clean)".to_string()
@@ -250,11 +274,12 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
         let samples = Arc::clone(&samples);
         let hung = Arc::clone(&hung);
         let conns = Arc::clone(&conns);
-        let (requests, tenants, seed, transport) = (
+        let (requests, tenants, seed, transport, malformed_pct) = (
             opts.requests_per_client,
             opts.tenants,
             opts.seed,
             opts.transport,
+            opts.malformed_pct,
         );
         let handle = std::thread::Builder::new()
             .name(format!("bench-client-{client}"))
@@ -267,10 +292,16 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
                     let (name, src) = &kernels[ki];
                     let grid = if rng.bool(0.5) { 4 } else { 8 };
                     let id = format!("c{client}-r{r}");
+                    let mangled = rng.bool(malformed_pct as f64 / 100.0);
+                    let sent_src = if mangled {
+                        mangle(src, &mut rng)
+                    } else {
+                        src.clone()
+                    };
                     let req = SubmitRequest {
                         tenant: format!("tenant-{tenant}"),
-                        kernel_source: src.clone(),
-                        name: name.clone(),
+                        kernel_source: sent_src.clone(),
+                        name: if mangled { String::new() } else { name.clone() },
                         grid,
                         block: 64,
                         args: "f:1024,f:1024,si:1024".to_string(),
@@ -298,11 +329,24 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
                                 Response::Result(r) => Some(r.source),
                                 _ => None,
                             };
+                            let (mut diag_missing, mut span_oob) = (false, false);
+                            if let Response::Error(e) = &resp {
+                                if e.kind == ErrorKind::CompileError {
+                                    diag_missing = e.diagnostics.is_empty();
+                                    span_oob = e
+                                        .diagnostics
+                                        .iter()
+                                        .filter_map(|d| d.span)
+                                        .any(|s| !s.in_bounds(sent_src.len()));
+                                }
+                            }
                             samples.lock().unwrap().push(Sample {
                                 tenant,
                                 latency_us,
                                 outcome: outcome_token(&resp),
                                 source,
+                                diag_missing,
+                                span_oob,
                             });
                         }
                         None => hung.lock().unwrap().push(id),
@@ -337,6 +381,20 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
         return Err(format!(
             "response count {} != request count {total_requests} (lost requests)",
             samples.len()
+        ));
+    }
+    // The diagnostics contract: every compile-error rejection carries
+    // structured diagnostics with in-bounds spans.
+    let compile_errors = samples
+        .iter()
+        .filter(|s| s.outcome == "compile-error")
+        .count() as u64;
+    let diag_missing = samples.iter().filter(|s| s.diag_missing).count() as u64;
+    let span_oob = samples.iter().filter(|s| s.span_oob).count() as u64;
+    if diag_missing > 0 || span_oob > 0 {
+        return Err(format!(
+            "{diag_missing} compile-error responses lacked structured diagnostics, \
+             {span_oob} carried out-of-bounds spans (of {compile_errors} compile errors)"
         ));
     }
 
@@ -411,6 +469,15 @@ pub fn run(opts: &BenchOptions) -> Result<Json, String> {
         ("completed", Json::Num(completed as f64)),
         ("shed_rate", Json::Num(shed as f64 / total_requests as f64)),
         ("hung", Json::Num(0.0)),
+        ("malformed_pct", Json::Num(opts.malformed_pct as f64)),
+        (
+            "diagnostics",
+            obj(vec![
+                ("compile_errors", Json::Num(compile_errors as f64)),
+                ("missing", Json::Num(diag_missing as f64)),
+                ("span_out_of_bounds", Json::Num(span_oob as f64)),
+            ]),
+        ),
         ("outcomes", Json::Obj(outcome_fields)),
         (
             "latency_us",
@@ -540,6 +607,13 @@ pub fn bench_main(args: &[String]) -> u8 {
                 }
                 None => return usage(),
             },
+            "--malformed" => match need(i).and_then(|v| v.parse().ok()).filter(|&p| p <= 100) {
+                Some(p) => {
+                    opts.malformed_pct = p;
+                    i += 2;
+                }
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -564,7 +638,7 @@ pub fn bench_main(args: &[String]) -> u8 {
 fn usage() -> u8 {
     eprintln!(
         "usage: catt serve-bench [--clients N] [--requests N] [--kernels K] [--tenants T] \
-         [--transport inproc|tcp] [--out FILE] [--seed S]"
+         [--transport inproc|tcp] [--out FILE] [--seed S] [--malformed PCT]"
     );
     2
 }

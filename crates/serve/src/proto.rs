@@ -32,6 +32,7 @@
 //! admitted request gets exactly one response, whatever happens.
 
 use crate::json::{obj, parse, Json};
+use catt_diag::{codes, Diagnostic, Note, Severity, Span};
 
 /// Operations a request line can carry.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +145,9 @@ pub struct ResultBody {
     pub total_ms: u64,
     /// Emitted throttled CUDA source (only when requested via `emit`).
     pub emitted_source: Option<String>,
+    /// The transform fell back to the original code: the typed fallback
+    /// diagnostic (`W001`/`W002`, code + span) travels with the result.
+    pub fallback: Option<Diagnostic>,
 }
 
 /// Failure payload.
@@ -154,6 +158,104 @@ pub struct ErrorBody {
     pub message: String,
     /// When retrying could help (overload, quota, open breaker).
     pub retry_after_ms: Option<u64>,
+    /// Structured diagnostics for `compile-error` rejections: every one
+    /// carries a stable code (`E0xx`/`W0xx`) and, where known, a byte
+    /// span + line/col into the submitted source. Empty for other kinds.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Wire form of one diagnostic (same shape as `Diagnostic::to_json`).
+fn diag_to_json(d: &Diagnostic) -> Json {
+    let mut f: Vec<(&str, Json)> = vec![
+        ("severity", Json::Str(d.severity.label().to_string())),
+        ("code", Json::Str(d.code.as_str().to_string())),
+        ("message", Json::Str(d.message.clone())),
+    ];
+    if let Some(s) = d.span {
+        f.push((
+            "span",
+            obj(vec![
+                ("start", Json::Num(s.start as f64)),
+                ("end", Json::Num(s.end as f64)),
+            ]),
+        ));
+    }
+    if d.line > 0 {
+        f.push(("line", Json::Num(d.line as f64)));
+        f.push(("col", Json::Num(d.col as f64)));
+    }
+    if let Some(p) = d.pass {
+        f.push(("pass", Json::Str(p.to_string())));
+    }
+    if !d.notes.is_empty() {
+        f.push((
+            "notes",
+            Json::Arr(
+                d.notes
+                    .iter()
+                    .map(|n| {
+                        let mut nf = vec![("message", Json::Str(n.message.clone()))];
+                        if let Some(s) = n.span {
+                            nf.push((
+                                "span",
+                                obj(vec![
+                                    ("start", Json::Num(s.start as f64)),
+                                    ("end", Json::Num(s.end as f64)),
+                                ]),
+                            ));
+                        }
+                        obj(nf)
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    obj(f)
+}
+
+fn span_from_json(v: &Json) -> Option<Span> {
+    Some(Span::new(
+        v.get("start")?.as_u64()? as u32,
+        v.get("end")?.as_u64()? as u32,
+    ))
+}
+
+/// Parse a diagnostic back off the wire. Codes resolve through the
+/// stable registry; unknown codes and severities are rejected (the
+/// harness treats that as a malformed response).
+fn diag_from_json(v: &Json) -> Option<Diagnostic> {
+    let code = codes::lookup(v.get("code")?.as_str()?)?;
+    let severity = match v.get("severity")?.as_str()? {
+        "error" => Severity::Error,
+        "warning" => Severity::Warning,
+        "note" => Severity::Note,
+        _ => return None,
+    };
+    let mut d = match severity {
+        Severity::Error => Diagnostic::error(code, v.get("message")?.as_str()?),
+        _ => Diagnostic::warning(code, v.get("message")?.as_str()?),
+    };
+    d.severity = severity;
+    d.span = v.get("span").and_then(span_from_json);
+    d.line = v.get("line").and_then(Json::as_u64).unwrap_or(0) as u32;
+    d.col = v.get("col").and_then(Json::as_u64).unwrap_or(0) as u32;
+    // Pass names are static strings; resolve through the known set.
+    d.pass = v.get("pass").and_then(Json::as_str).and_then(|p| {
+        ["parse", "analyze", "legalize", "transform", "emit"]
+            .iter()
+            .find(|k| **k == p)
+            .copied()
+    });
+    if let Some(Json::Arr(notes)) = v.get("notes") {
+        for n in notes {
+            let msg = n.get("message").and_then(Json::as_str)?;
+            d.notes.push(Note {
+                message: msg.to_string(),
+                span: n.get("span").and_then(span_from_json),
+            });
+        }
+    }
+    Some(d)
 }
 
 impl Response {
@@ -186,6 +288,9 @@ impl Response {
                 if let Some(src) = &r.emitted_source {
                     fields.push(("emitted_source", Json::Str(src.clone())));
                 }
+                if let Some(fb) = &r.fallback {
+                    fields.push(("fallback", diag_to_json(fb)));
+                }
                 obj(fields).render()
             }
             Response::Error(e) => {
@@ -197,6 +302,12 @@ impl Response {
                 ];
                 if let Some(ms) = e.retry_after_ms {
                     fields.push(("retry_after_ms", Json::Num(ms as f64)));
+                }
+                if !e.diagnostics.is_empty() {
+                    fields.push((
+                        "diagnostics",
+                        Json::Arr(e.diagnostics.iter().map(diag_to_json).collect()),
+                    ));
                 }
                 obj(fields).render()
             }
@@ -319,6 +430,14 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             "fault" => ErrorKind::Fault,
             other => return Err(format!("unknown error kind `{other}`")),
         };
+        let diagnostics = match v.get("diagnostics") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(diag_from_json)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed diagnostic in response")?,
+            _ => Vec::new(),
+        };
         return Ok(Response::Error(ErrorBody {
             id,
             kind,
@@ -328,6 +447,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 .unwrap_or_default()
                 .to_string(),
             retry_after_ms: v.get("retry_after_ms").and_then(Json::as_u64),
+            diagnostics,
         }));
     }
     match v.get("kernel").and_then(Json::as_str) {
@@ -353,6 +473,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 .get("emitted_source")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            fallback: v.get("fallback").and_then(diag_from_json),
         })),
         None => Ok(Response::Info { id, fields: v }),
     }
@@ -402,6 +523,7 @@ mod tests {
             queue_ms: 3,
             total_ms: 40,
             emitted_source: None,
+            fallback: None,
         });
         assert_eq!(parse_response(&r.render()).unwrap(), r);
         let e = Response::Error(ErrorBody {
@@ -409,7 +531,50 @@ mod tests {
             kind: ErrorKind::Overloaded,
             message: "queue full".into(),
             retry_after_ms: Some(40),
+            diagnostics: Vec::new(),
         });
         assert_eq!(parse_response(&e.render()).unwrap(), e);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_on_the_wire() {
+        let d = Diagnostic::error(codes::UNEXPECTED_TOKEN, "expected `;`")
+            .with_span(Span::new(10, 13))
+            .at(2, 4)
+            .in_pass("parse")
+            .note("while parsing the kernel body", None);
+        let e = Response::Error(ErrorBody {
+            id: "z".into(),
+            kind: ErrorKind::CompileError,
+            message: "expected `;`".into(),
+            retry_after_ms: None,
+            diagnostics: vec![d.clone()],
+        });
+        let back = parse_response(&e.render()).unwrap();
+        let Response::Error(eb) = back else {
+            panic!("want error")
+        };
+        assert_eq!(eb.diagnostics, vec![d]);
+
+        let fb = Diagnostic::warning(codes::TRANSFORM_FALLBACK, "transform panicked: boom")
+            .with_span(Span::new(17, 18));
+        let r = Response::Result(ResultBody {
+            id: "w".into(),
+            kernel: "k".into(),
+            n: 1,
+            m: 0,
+            transformed: false,
+            cycles: 1,
+            miss_rate: 0.0,
+            source: "computed",
+            queue_ms: 0,
+            total_ms: 1,
+            emitted_source: None,
+            fallback: Some(fb.clone()),
+        });
+        let Response::Result(rb) = parse_response(&r.render()).unwrap() else {
+            panic!("want result")
+        };
+        assert_eq!(rb.fallback, Some(fb));
     }
 }

@@ -33,6 +33,7 @@ use crate::proto::{
 use crate::quota::TokenBucket;
 use catt_core::engine::{Engine, JobError, SimSource};
 use catt_core::pipeline::{CompiledKernel, Pipeline};
+use catt_diag::{codes, Diagnostic};
 use catt_frontend::parse_module;
 use catt_ir::kernel::{Kernel, LaunchConfig, ParamTy};
 use catt_ir::types::DType;
@@ -273,6 +274,7 @@ impl Server {
                     kind: ErrorKind::BadRequest,
                     message,
                     retry_after_ms: None,
+                    diagnostics: Vec::new(),
                 }));
                 true
             }
@@ -322,6 +324,7 @@ impl Server {
                 kind: ErrorKind::Overloaded,
                 message: "server is draining (shutdown in progress)".to_string(),
                 retry_after_ms: None,
+                diagnostics: Vec::new(),
             }));
             return;
         }
@@ -347,6 +350,7 @@ impl Server {
                     req.tenant
                 ),
                 retry_after_ms: Some(retry_ms),
+                diagnostics: Vec::new(),
             }));
             return;
         }
@@ -364,6 +368,7 @@ impl Server {
                 kind: ErrorKind::Overloaded,
                 message: format!("admission queue full ({} queued)", cfg.queue_high_water),
                 retry_after_ms: Some((10 * per_worker.max(1) as u64).min(5_000)),
+                diagnostics: Vec::new(),
             }));
             return;
         }
@@ -382,6 +387,7 @@ impl Server {
                     req.tenant
                 ),
                 retry_after_ms: Some(retry_ms),
+                diagnostics: Vec::new(),
             }));
             return;
         }
@@ -486,6 +492,7 @@ impl Server {
                         kind: ErrorKind::DeadlineExceeded,
                         message: "cancelled by shutdown drain".to_string(),
                         retry_after_ms: None,
+                        diagnostics: Vec::new(),
                     }));
                 }
                 for tok in &st.running_tokens {
@@ -667,6 +674,19 @@ fn err(id: &str, kind: ErrorKind, message: impl Into<String>) -> Response {
         kind,
         message: message.into(),
         retry_after_ms: None,
+        diagnostics: Vec::new(),
+    })
+}
+
+/// A `compile-error` response carrying its structured diagnostics
+/// (stable code + byte span into the submitted source).
+fn compile_err(id: &str, message: impl Into<String>, diagnostics: Vec<Diagnostic>) -> Response {
+    Response::Error(ErrorBody {
+        id: id.to_string(),
+        kind: ErrorKind::CompileError,
+        message: message.into(),
+        retry_after_ms: None,
+        diagnostics,
     })
 }
 
@@ -691,7 +711,7 @@ fn process_job(inner: &Arc<Inner>, job: Job) -> Response {
         Ok(m) => m,
         Err(e) => {
             c.compile_error.fetch_add(1, Ordering::Relaxed);
-            return err(&id, ErrorKind::CompileError, e.to_string());
+            return compile_err(&id, e.to_string(), e.diagnostics);
         }
     };
     let kernel = if job.req.name.is_empty() {
@@ -701,21 +721,23 @@ fn process_job(inner: &Arc<Inner>, job: Job) -> Response {
     };
     let Some(kernel) = kernel else {
         c.compile_error.fetch_add(1, Ordering::Relaxed);
-        return err(
-            &id,
-            ErrorKind::CompileError,
-            format!(
-                "kernel `{}` not found in the translation unit",
-                job.req.name
-            ),
+        let message = format!(
+            "kernel `{}` not found in the translation unit",
+            job.req.name
         );
+        let diag = Diagnostic::error(codes::KERNEL_NOT_FOUND, message.clone())
+            .with_span(catt_diag::Span::point(0))
+            .at(1, 1);
+        return compile_err(&id, message, vec![diag]);
     };
     let launch = LaunchConfig::d1(job.req.grid, job.req.block);
     let compiled: CompiledKernel = match inner.pipe.compile_kernel(kernel, launch) {
         Ok(ck) => ck,
-        Err(e) => {
+        Err(mut e) => {
             c.compile_error.fetch_add(1, Ordering::Relaxed);
-            return err(&id, ErrorKind::CompileError, e.to_string());
+            catt_diag::locate(&mut e.diagnostics, &job.req.kernel_source);
+            let message = e.to_string();
+            return compile_err(&id, message, e.diagnostics);
         }
     };
 
@@ -816,6 +838,11 @@ fn process_job(inner: &Arc<Inner>, job: Job) -> Response {
                 queue_ms,
                 total_ms: job.admitted.elapsed().as_millis() as u64,
                 emitted_source: job.req.emit.then(|| compiled.emitted_source.clone()),
+                fallback: compiled.fallback_diagnostic.clone().map(|fb| {
+                    let mut one = vec![fb];
+                    catt_diag::locate(&mut one, &job.req.kernel_source);
+                    one.pop().unwrap()
+                }),
             })
         }
         Err(e) if matches!(e.code, Some("cancelled" | "deadline")) => {
@@ -833,6 +860,7 @@ fn process_job(inner: &Arc<Inner>, job: Job) -> Response {
                     e.message
                 ),
                 retry_after_ms: None,
+                diagnostics: Vec::new(),
             })
         }
     }

@@ -206,3 +206,90 @@ fn every_chaotic_submission_gets_one_typed_response() {
     );
     server.drain();
 }
+
+/// Malformed-source clients under the same chaos plan: every submission
+/// still finishes (zero hangs), every compile rejection is typed
+/// `compile-error`, and every one carries ≥1 structured diagnostic with
+/// a stable code and an in-bounds span — on the wire, through a full
+/// render/parse round trip.
+#[test]
+fn malformed_sources_are_rejected_with_spanned_diagnostics() {
+    arm_chaos();
+    let server = Server::new(config(), Engine::new());
+    let malformed: Vec<String> = vec![
+        // Statement-level garbage: two separate errors to recover past.
+        "__global__ void k(float *a, int n) { a[0] = ; int x = @; }".to_string(),
+        // Truncated mid-body.
+        "__global__ void k(float *a, int n) { for (int i = 0; i < n; i++) {".to_string(),
+        // Unterminated comment.
+        "__global__ void k(float *a) { /* never closed".to_string(),
+        // Lexer garbage bytes.
+        "__global__ void k(float *a) { a[0] = 1.0; } \u{1}\u{2}$$".to_string(),
+        // Parses fine, but the requested kernel name is absent.
+        tiny_kernel(7),
+    ];
+    let receivers: Vec<_> = malformed
+        .iter()
+        .enumerate()
+        .map(|(i, src)| {
+            let (tx, rx) = mpsc::channel();
+            server.submit(
+                format!("m{i}"),
+                SubmitRequest {
+                    tenant: "mangler".to_string(),
+                    kernel_source: src.clone(),
+                    // The last source is valid but we ask for a kernel
+                    // that is not there.
+                    name: if i == 4 {
+                        "ghost".to_string()
+                    } else {
+                        String::new()
+                    },
+                    grid: 1,
+                    block: 32,
+                    args: String::new(),
+                    deadline_ms: Some(20_000),
+                    weight: 1,
+                    emit: false,
+                },
+                tx,
+            );
+            rx
+        })
+        .collect();
+    for (i, rx) in receivers.iter().enumerate() {
+        let resp = recv(rx, &format!("malformed m{i}"));
+        // Round-trip through the NDJSON wire form: the structured
+        // diagnostics must survive serialization.
+        let wire = resp.render();
+        let back = catt_serve::proto::parse_response(&wire)
+            .unwrap_or_else(|e| panic!("m{i}: response line unparseable: {e}\n{wire}"));
+        let Response::Error(e) = back else {
+            panic!("m{i}: malformed source must be rejected, got {wire}");
+        };
+        assert_eq!(e.kind, ErrorKind::CompileError, "m{i}: {}", e.message);
+        assert!(
+            !e.diagnostics.is_empty(),
+            "m{i}: rejection must carry structured diagnostics: {}",
+            e.message
+        );
+        for d in &e.diagnostics {
+            assert!(!d.code.as_str().is_empty(), "m{i}: stable code");
+            if let Some(span) = d.span {
+                assert!(
+                    span.in_bounds(malformed[i].len()),
+                    "m{i}: span {}..{} out of bounds for {}-byte source",
+                    span.start,
+                    span.end,
+                    malformed[i].len()
+                );
+            }
+        }
+        // At least one diagnostic pins a source location.
+        assert!(
+            e.diagnostics.iter().any(|d| d.span.is_some()),
+            "m{i}: at least one diagnostic must carry a span"
+        );
+    }
+    server.drain();
+}

@@ -32,6 +32,12 @@
 //! hash-order dependence: the same seed produces a byte-identical
 //! [`FuzzReport`].
 //!
+//! A second campaign targets the *frontend* instead of the transforms:
+//! [`frontfuzz`] (`catt fuzz --frontend`) mutates real kernel sources
+//! (byte flips, truncation, token splices) and asserts the lexer/parser
+//! contract on arbitrary input — no panics, every rejection carries an
+//! error diagnostic, every span in bounds.
+//!
 //! The oracle can also run with the legality analysis *disabled*
 //! ([`FuzzOptions::legality_checked`] = false, `catt fuzz --unchecked`),
 //! enumerating every barrier-free loop the way the compiler did before
@@ -42,10 +48,12 @@
 //! the regression corpus.
 
 pub mod corpus;
+pub mod frontfuzz;
 pub mod generate;
 pub mod oracle;
 pub mod shrink;
 
+pub use frontfuzz::{run_frontend_fuzz, FrontFuzzOptions, FrontFuzzReport, FrontViolation};
 pub use generate::{GenOptions, TestCase};
 pub use oracle::{CaseOutcome, Recipe};
 

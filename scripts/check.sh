@@ -31,7 +31,11 @@ for f in crates/sim/src/sm.rs crates/sim/src/mem.rs crates/sim/src/warp.rs \
          crates/sim/src/sanitize.rs crates/verify/src/lib.rs \
          crates/verify/src/generate.rs crates/verify/src/oracle.rs \
          crates/verify/src/shrink.rs crates/verify/src/corpus.rs \
-         crates/core/src/swizzle.rs crates/tune/src/lib.rs; do
+         crates/verify/src/frontfuzz.rs \
+         crates/core/src/swizzle.rs crates/tune/src/lib.rs \
+         crates/frontend/src/lexer.rs crates/frontend/src/parser.rs \
+         crates/frontend/src/lib.rs crates/diag/src/lib.rs \
+         crates/diag/src/span.rs crates/diag/src/codes.rs; do
     [ -f "$f" ] || continue
     if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^[[:space:]]*//' \
         | grep -nE '(^|[^_a-zA-Z])(panic!|assert!|assert_eq!|assert_ne!|unreachable!|todo!|unimplemented!)\(' ; then
@@ -77,6 +81,21 @@ if ! [ "$(grep -v '^corpus replay' "$FUZZ_OUT_A")" = "$(cat "$FUZZ_OUT_B")" ]; t
     diff "$FUZZ_OUT_A" "$FUZZ_OUT_B" >&2 || true
     exit 1
 fi
+
+echo "==> frontend-fuzz smoke: fixed-seed mutational lexer/parser campaign"
+# The frontend contract on arbitrary input: no panics, every rejection
+# carries an error diagnostic, every span in bounds. Deterministic:
+# same seed ⇒ byte-identical report.
+FRONT_OUT="${FRONT_OUT:-target/frontfuzz-smoke.txt}"
+target/release/catt fuzz --frontend --seed 1 --iters 300 > "$FRONT_OUT"
+grep -q "violations .............. 0" "$FRONT_OUT" || {
+    echo "error: catt fuzz --frontend found violations (see $FRONT_OUT)" >&2
+    exit 1
+}
+grep -q "rejected with errors" "$FRONT_OUT" || {
+    echo "error: catt fuzz --frontend produced no report" >&2
+    exit 1
+}
 
 echo "==> profile smoke: catt profile emits reports + a valid Chrome trace"
 # The CLI validates the trace JSON and re-checks the stall-sum /

@@ -6,7 +6,7 @@
 //! catt run     kernels.cu --launch k=4x256 --args f:1024,f:1024 [--l1 32] [--fuel <cycles>] [--sm-parallel on|off]
 //! catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]
 //! catt tune    <ABBREV|all> [--l1 <KB>] [--seed <S>] [--iters <N>] [--out <tune.json>]
-//! catt fuzz    [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]
+//! catt fuzz    [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>] [--frontend]
 //! ```
 //!
 //! * `analyze` prints the per-loop footprint analysis and throttling
@@ -38,7 +38,11 @@
 //!   findings there; `--shrink` minimizes findings first; `--unchecked`
 //!   disables the legality analysis to exercise the oracle itself.
 //!   Exits non-zero on any violation or failed replay. Same seed ⇒
-//!   byte-identical report.
+//!   byte-identical report. `--frontend` runs the mutational
+//!   lexer/parser campaign instead (byte flips, truncation, token
+//!   splices over the registry workload sources; default 300 iters):
+//!   no panics, every rejection carries an error diagnostic, every
+//!   span in bounds.
 //!
 //! Launch syntax: `<kernel>=<grid>x<block>` (1-D) or
 //! `<kernel>=<gx>,<gy>x<bx>,<by>` (2-D). Repeat `--launch` per kernel.
@@ -48,6 +52,20 @@ use catt_repro::ir::{Dim3, LaunchConfig};
 use catt_repro::sim::{Arg, GlobalMem, Gpu, GpuConfig};
 use std::process::ExitCode;
 
+/// Render diagnostics per `CATT_DIAG_FORMAT`: `human` (default) produces
+/// caret listings against the source; `json` emits one object per line
+/// for tooling.
+fn render_diags(diags: &[catt_repro::diag::Diagnostic], src: &str, file: &str) -> String {
+    let mut out = match std::env::var("CATT_DIAG_FORMAT").as_deref() {
+        Ok("json") => catt_repro::diag::render_json(diags),
+        _ => catt_repro::diag::render_human_all(diags, src, file),
+    };
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: catt <compile|analyze|run> <file.cu> --launch <kernel>=<grid>x<block> \
@@ -55,7 +73,7 @@ fn usage() -> ExitCode {
          [--args <spec,...>] [-o <out.cu>]\n\
          \x20      catt profile <ABBREV|all> [--l1 <KB>] [--trace-out <trace.json>]\n\
          \x20      catt tune <ABBREV|all> [--l1 <KB>] [--seed <S>] [--iters <N>] [--out <tune.json>]\n\
-         \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>]\n\
+         \x20      catt fuzz [--seed <S>] [--iters <N>] [--shrink] [--unchecked] [--corpus <dir>] [--frontend]\n\
          \x20      catt serve [--stdio | --tcp <addr>]\n\
          \x20      catt serve-bench [--clients N] [--requests N] [--transport inproc|tcp] [...]"
     );
@@ -75,6 +93,8 @@ fn fuzz_main(args: &[String]) -> ExitCode {
         legality_checked: true,
     };
     let mut corpus_dir: Option<String> = None;
+    let mut frontend = false;
+    let mut iters_set = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -92,6 +112,7 @@ fn fuzz_main(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 opts.iters = n;
+                iters_set = true;
                 i += 2;
             }
             "--shrink" => {
@@ -100,6 +121,10 @@ fn fuzz_main(args: &[String]) -> ExitCode {
             }
             "--unchecked" => {
                 opts.legality_checked = false;
+                i += 1;
+            }
+            "--frontend" => {
+                frontend = true;
                 i += 1;
             }
             "--corpus" if i + 1 < args.len() => {
@@ -111,6 +136,28 @@ fn fuzz_main(args: &[String]) -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    if frontend {
+        // Mutational lexer/parser campaign over the registry workload
+        // sources: no panics, every rejection diagnosed, spans in bounds.
+        use catt_repro::verify::{run_frontend_fuzz, FrontFuzzOptions};
+        use catt_repro::workloads::registry;
+        let seeds: Vec<String> = registry::all_workloads()
+            .iter()
+            .map(|w| w.source.to_string())
+            .collect();
+        let fopts = FrontFuzzOptions {
+            seed: opts.seed,
+            iters: if iters_set { opts.iters } else { 300 },
+        };
+        let report = run_frontend_fuzz(&seeds, &fopts);
+        print!("{}", report.render());
+        return if report.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let mut failed = false;
@@ -556,6 +603,7 @@ fn main() -> ExitCode {
     let app = match pipe.compile_source(&src, &refs) {
         Ok(a) => a,
         Err(e) => {
+            eprint!("{}", render_diags(&e.diagnostics, &src, path));
             eprintln!("catt: {e}");
             return ExitCode::FAILURE;
         }
@@ -581,6 +629,17 @@ fn main() -> ExitCode {
                 l.decision.n,
                 l.decision.m,
                 l.tlp(a.warps_per_tb, a.plan.resident_tbs)
+            );
+        }
+        if !ck.warnings.is_empty() {
+            eprint!("{}", render_diags(&ck.warnings, &src, path));
+        }
+        if let Some(fb) = &ck.fallback_diagnostic {
+            eprint!("{}", render_diags(std::slice::from_ref(fb), &src, path));
+            eprintln!(
+                "kernel `{}`: transform fell back to the original source ({})",
+                a.kernel_name,
+                fb.code.as_str()
             );
         }
     }

@@ -58,6 +58,7 @@
 //! regenerating every table and figure of the paper.
 
 pub use catt_core as core;
+pub use catt_diag as diag;
 pub use catt_frontend as frontend;
 pub use catt_ir as ir;
 pub use catt_profile as profile;
